@@ -1,0 +1,60 @@
+"""Fig. 1 ablation — the three QPU-integration architectures under load.
+
+The paper's single-request models cannot see queueing; this ablation runs a
+closed multi-client workload through the DES on each architecture of Fig. 1
+and emits makespan / latency / queue-wait / throughput, quantifying what
+tighter integration buys.
+"""
+
+from __future__ import annotations
+
+from repro.core import SplitExecutionModel, format_table
+from repro.runtime import Architecture, simulate_architecture
+
+
+def test_fig1_architectures(benchmark, emit):
+    model = SplitExecutionModel()
+    profile = model.request_profile(30)
+
+    rows = []
+    results = {}
+    for arch in Architecture:
+        r = simulate_architecture(
+            arch, profile, num_clients=6, requests_per_client=3, rng=0
+        )
+        results[arch] = r
+        rows.append(
+            [
+                arch.value,
+                f"{r.makespan:.3f}",
+                f"{r.mean_latency:.3f}",
+                f"{r.max_latency:.3f}",
+                f"{r.mean_qpu_wait:.3f}",
+                f"{r.throughput:.2f}",
+            ]
+        )
+    emit(
+        "ablation_architectures",
+        format_table(
+            ["architecture", "makespan [s]", "mean latency [s]", "max latency [s]",
+             "mean QPU wait [s]", "throughput [req/s]"],
+            rows,
+            title="Fig. 1 ablation: 6 clients x 3 requests (LPS=30)",
+        ),
+    )
+
+    asym = results[Architecture.ASYMMETRIC]
+    shared = results[Architecture.SHARED]
+    dedicated = results[Architecture.DEDICATED]
+    # Contention ordering: dedicated eliminates QPU waits entirely.
+    assert dedicated.mean_qpu_wait == 0.0
+    assert shared.mean_qpu_wait > 0.0
+    assert dedicated.makespan < shared.makespan
+    # The LAN of the asymmetric model adds latency over shared integration.
+    assert asym.mean_latency >= shared.mean_latency
+
+    benchmark(
+        lambda: simulate_architecture(
+            Architecture.SHARED, profile, num_clients=6, requests_per_client=3, rng=0
+        ).makespan
+    )

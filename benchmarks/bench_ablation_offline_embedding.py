@@ -1,0 +1,50 @@
+"""Offline-embedding ablation — the paper's proposed fix (Sec. 3.3).
+
+"It may be beneficial to use some variant of off-line embedding, in which
+specific input graphs are pre-embedded and stored in a graph lookup table."
+This ablation compares online vs offline embedding modes of the pipeline
+model across problem sizes, quantifying the speedup and identifying the new
+bottleneck (the constant processor programming cost).
+"""
+
+from __future__ import annotations
+
+from repro.core import SplitExecutionModel, format_table
+
+
+def test_offline_embedding_ablation(benchmark, emit):
+    online = SplitExecutionModel(embedding_mode="online")
+    offline = SplitExecutionModel(embedding_mode="offline")
+
+    rows = []
+    for lps in (10, 20, 30, 50, 75, 100):
+        t_on = online.time_to_solution(lps)
+        t_off = offline.time_to_solution(lps)
+        rows.append(
+            [
+                lps,
+                f"{t_on.total_seconds:.4g}",
+                f"{t_off.total_seconds:.4g}",
+                f"{t_on.total_seconds / t_off.total_seconds:.3g}",
+                t_off.stage1.processor_initialize > t_off.stage1.embedding_flops,
+            ]
+        )
+    emit(
+        "ablation_offline_embedding",
+        format_table(
+            ["LPS", "online total [s]", "offline total [s]", "speedup",
+             "init-dominated offline"],
+            rows,
+            title="Offline-embedding ablation (lookup table replaces inline CMR)",
+        ),
+    )
+
+    # The speedup grows with problem size and exceeds 100x well before n=100.
+    t_on = online.time_to_solution(100).total_seconds
+    t_off = offline.time_to_solution(100).total_seconds
+    assert t_on / t_off > 100
+    # Offline pipelines are dominated by the constant programming cost.
+    b = offline.time_to_solution(100).stage1
+    assert b.processor_initialize > b.embedding_flops
+
+    benchmark(lambda: offline.time_to_solution(50))

@@ -1,0 +1,81 @@
+"""Eq. (6) — the repetition count s >= log(1-pa)/log(1-ps).
+
+Emits the (pa, ps) grid of repetition counts the Stage-2/3 models consume,
+and validates the formula against the behavioral QPU surrogate: batches of
+``s`` simulated-annealing reads contain the true ground state at least
+``pa`` of the time (Monte Carlo, within statistical tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.annealer import ExactSolver, SimulatedAnnealingSampler, geometric_schedule
+from repro.core import achieved_accuracy, format_table, required_repetitions
+from repro.qubo import random_ising
+
+
+def test_eq6_repetition_table(benchmark, emit):
+    pa_values = (0.5, 0.9, 0.99, 0.999, 0.9999)
+    ps_values = (0.1, 0.3, 0.5, 0.61, 0.7, 0.8, 0.9, 0.99)
+    rows = []
+    for ps in ps_values:
+        rows.append([ps] + [required_repetitions(pa, ps) for pa in pa_values])
+    emit(
+        "eq6_repetitions",
+        format_table(
+            ["ps \\ pa"] + [str(p) for p in pa_values],
+            rows,
+            title="Eq. (6) reproduction: required repetitions s(pa, ps)",
+        ),
+    )
+
+    # Spot values and tightness.
+    assert required_repetitions(0.99, 0.7) == 4
+    for ps in ps_values:
+        for pa in pa_values:
+            s = required_repetitions(pa, ps)
+            assert achieved_accuracy(s, ps) >= pa - 1e-12
+
+    benchmark(lambda: required_repetitions(0.9999, 0.61))
+
+
+def test_eq6_monte_carlo_validation(benchmark, emit):
+    """Empirical check against the simulated annealer.
+
+    The benchmarked kernel is one planned batch of ``s`` annealing reads —
+    the Stage-2 unit of work Eq. (6) sizes.
+    """
+    # A deliberately weak anneal (few sweeps) so ps lands mid-range and
+    # Eq. (6) prescribes several repetitions.
+    m = random_ising(14, density=0.6, rng=42)
+    ground = ExactSolver().ground_energy(m)
+    sa = SimulatedAnnealingSampler(geometric_schedule(12))
+
+    ps = sa.sample(m, num_reads=400, rng=0).ground_state_probability(ground)
+    pa = 0.9
+    s = required_repetitions(pa, ps)
+
+    benchmark.pedantic(lambda: sa.sample(m, num_reads=s, rng=0), rounds=3, iterations=1)
+
+    batches, hits = 150, 0
+    rng = np.random.default_rng(1)
+    for _ in range(batches):
+        hits += sa.sample(m, num_reads=s, rng=rng).lowest_energy <= ground + 1e-9
+    observed = hits / batches
+
+    emit(
+        "eq6_monte_carlo",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["empirical single-run ps", f"{ps:.3f}"],
+                ["target accuracy pa", f"{pa}"],
+                ["Eq. (6) repetitions s", s],
+                ["observed batch success", f"{observed:.3f}"],
+                ["predicted batch success", f"{achieved_accuracy(s, ps):.3f}"],
+            ],
+            title="Eq. (6) Monte-Carlo validation against the SA surrogate",
+        ),
+    )
+    assert observed >= pa - 0.08

@@ -1,0 +1,56 @@
+"""Fig. 5 — the ASPEN machine model of the CPU-QPU node.
+
+Parses the bundled SimpleNode machine (Xeon E5-2680 + M2090 + Vesuvius
+sockets) and verifies the QuOps resource converts annealing operations to
+time at 20 us each.  The benchmarked kernel is the full registry load +
+machine link, i.e. the cost of standing up the Fig.-5 model from source.
+"""
+
+from __future__ import annotations
+
+from repro.aspen import load_paper_models
+from repro.core import format_table
+
+
+def test_fig5_machine_model(benchmark, emit):
+    reg = load_paper_models()
+    machine = reg.machine("SimpleNode")
+
+    rows = []
+    for socket_name in machine.socket_names():
+        view = machine.socket(socket_name)
+        rows.append(
+            [
+                socket_name,
+                len(view.cores),
+                view.memory.name if view.memory else "-",
+                view.link.name if view.link else "-",
+                ", ".join(sorted(set(view.resource_names()))),
+            ]
+        )
+    emit(
+        "fig5_machine_model",
+        format_table(
+            ["socket", "core kinds", "memory", "link", "resources"],
+            rows,
+            title="Fig. 5 reproduction: SimpleNode machine model",
+        ),
+    )
+
+    # The QuOps resource: number * 20 / 1e6 seconds.
+    qpu = machine.socket("dwave_vesuvius_20")
+    lookup = qpu.find_resource("QuOps")
+    seconds, _ = lookup.time_seconds(1_000_000, [])
+    assert seconds == 20.0
+    assert machine.socket_names() == [
+        "dwave_vesuvius_20",
+        "intel_xeon_e5_2680",
+        "nvidia_m2090",
+    ]
+
+    def load_and_link():
+        r = load_paper_models()
+        return r.machine("SimpleNode").socket("dwave_vesuvius_20")
+
+    view = benchmark(load_and_link)
+    assert view.find_resource("QuOps") is not None

@@ -1,0 +1,54 @@
+"""Fig. 6 — the Stage-1 application model (Ising generation + embedding + init).
+
+Evaluates the bundled listing on the Fig.-5 machine across problem sizes and
+emits the per-resource breakdown, showing the embedding flops term taking
+over from the constant 0.32 s electronic initialization.  The benchmarked
+kernel is one full ASPEN evaluation of the Stage-1 model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AspenStageModels, Stage1Model, format_table
+
+
+@pytest.fixture(scope="module")
+def aspen() -> AspenStageModels:
+    return AspenStageModels()
+
+
+def test_fig6_stage1_model(benchmark, emit, aspen):
+    closed = Stage1Model()
+    rows = []
+    for lps in (1, 5, 10, 20, 30, 50, 75, 100):
+        b = closed.breakdown(lps)
+        total_aspen = aspen.stage1_seconds(lps)
+        rows.append(
+            [
+                lps,
+                f"{b.ising_generation:.3g}",
+                f"{b.parameter_setting:.3g}",
+                f"{b.embedding_flops:.4g}",
+                f"{b.processor_initialize:.3g}",
+                f"{b.total:.4g}",
+                f"{total_aspen:.4g}",
+            ]
+        )
+    emit(
+        "fig6_stage1_model",
+        format_table(
+            ["LPS", "ising [s]", "param-set [s]", "embedding [s]", "init [s]",
+             "total closed [s]", "total ASPEN [s]"],
+            rows,
+            title="Fig. 6 reproduction: Stage-1 model (closed form vs ASPEN evaluation)",
+        ),
+    )
+
+    # Cross-validation and shape checks.
+    for lps in (1, 30, 100):
+        assert closed.seconds(lps) == pytest.approx(aspen.stage1_seconds(lps), rel=1e-12)
+    assert closed.dominant_term(1) == "processor_initialize"
+    assert closed.dominant_term(100) == "embedding_flops"
+
+    benchmark(lambda: aspen.stage1_seconds(50))

@@ -1,0 +1,48 @@
+"""Fig. 7 — the Stage-2 application model (QPU statistical sampling).
+
+Evaluates the bundled listing across target accuracies, showing the Eq.-6
+repetition counts converting to QuOps time plus the fixed readout and
+thermalization constants.  The benchmarked kernel is one ASPEN evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AspenStageModels, Stage2Model, format_table
+
+
+def test_fig7_stage2_model(benchmark, emit):
+    aspen = AspenStageModels()
+    closed = Stage2Model()
+    ps = 0.7
+    rows = []
+    for acc_pct in (50.0, 90.0, 99.0, 99.9, 99.99):
+        b = closed.breakdown(acc_pct / 100.0, ps)
+        rows.append(
+            [
+                f"{acc_pct}%",
+                b.repetitions,
+                f"{b.anneal * 1e6:.0f}",
+                f"{b.readout * 1e6:.0f}",
+                f"{b.thermalization * 1e6:.0f}",
+                f"{b.total * 1e6:.0f}",
+                f"{aspen.stage2_seconds(acc_pct, ps) * 1e6:.0f}",
+            ]
+        )
+    emit(
+        "fig7_stage2_model",
+        format_table(
+            ["accuracy", "QPU calls s", "anneal [us]", "readout [us]",
+             "therm [us]", "total closed [us]", "total ASPEN [us]"],
+            rows,
+            title=f"Fig. 7 reproduction: Stage-2 model at ps = {ps}",
+        ),
+    )
+
+    for acc_pct in (50.0, 99.0, 99.99):
+        assert closed.seconds(acc_pct / 100.0, ps) == pytest.approx(
+            aspen.stage2_seconds(acc_pct, ps), rel=1e-12
+        )
+
+    benchmark(lambda: aspen.stage2_seconds(99.0, 0.7))

@@ -1,0 +1,47 @@
+"""Fig. 8 — the Stage-3 application model (readout parsing and heapsort).
+
+Evaluates the bundled listing across problem sizes with the listing's
+defaults (Success = 0.75, Accuracy = 0.99 -> Results = 4 readouts), showing
+the nanosecond-scale, near-linear cost of the final sort.  The benchmarked
+kernel is one ASPEN evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AspenStageModels, Stage3Model, format_table
+
+
+def test_fig8_stage3_model(benchmark, emit):
+    aspen = AspenStageModels()
+    closed = Stage3Model()
+    rows = []
+    for lps in (1, 10, 25, 50, 75, 100):
+        b = closed.breakdown(lps)
+        rows.append(
+            [
+                lps,
+                b.results,
+                f"{b.sort_flops * 1e9:.3g}",
+                f"{b.loads * 1e9:.3g}",
+                f"{b.stores * 1e9:.3g}",
+                f"{b.total * 1e9:.4g}",
+                f"{aspen.stage3_seconds(lps) * 1e9:.4g}",
+            ]
+        )
+    emit(
+        "fig8_stage3_model",
+        format_table(
+            ["LPS", "Results", "sort [ns]", "loads [ns]", "stores [ns]",
+             "total closed [ns]", "total ASPEN [ns]"],
+            rows,
+            title="Fig. 8 reproduction: Stage-3 model (Success=0.75, Accuracy=0.99)",
+        ),
+    )
+
+    for lps in (1, 50, 100):
+        assert closed.seconds(lps) == pytest.approx(aspen.stage3_seconds(lps), rel=1e-12)
+    assert closed.results() == 4
+
+    benchmark(lambda: aspen.stage3_seconds(50))

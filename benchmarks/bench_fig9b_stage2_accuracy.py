@@ -1,0 +1,49 @@
+"""Fig. 9(b) — Stage-2 timing vs desired accuracy.
+
+Plots the quantum-execution time against the target accuracy ``p_a`` at
+``p_s = 0.7`` (the paper's plotted value) and across other success
+probabilities, asserting the paper's two observations: the curve is nearly
+flat, and it is "approximately the same for all values of p_s > 0.6".
+"""
+
+from __future__ import annotations
+
+from repro.core import AspenStageModels, Stage2Model, format_table
+
+
+def test_fig9b_stage2_accuracy(benchmark, emit):
+    aspen = AspenStageModels()
+    closed = Stage2Model()
+
+    accuracies = (50.0, 75.0, 90.0, 99.0, 99.9, 99.99)
+    ps_values = (0.61, 0.7, 0.8, 0.9)
+
+    rows = []
+    for acc in accuracies:
+        row = [f"{acc}%"]
+        for ps in ps_values:
+            t = aspen.stage2_seconds(acc, ps)
+            s = closed.repetitions(acc / 100.0, ps)
+            row.append(f"{t * 1e6:.0f} ({s})")
+        rows.append(row)
+    emit(
+        "fig9b_stage2_accuracy",
+        format_table(
+            ["accuracy pa"] + [f"ps={ps} [us] (reps)" for ps in ps_values],
+            rows,
+            title="Fig. 9(b) reproduction: Stage-2 time vs accuracy (total us, repetition count)",
+        ),
+    )
+
+    # Flatness in pa at ps = 0.7.
+    series_07 = [aspen.stage2_seconds(acc, 0.7) for acc in accuracies]
+    assert max(series_07) / min(series_07) < 2.0
+
+    # Insensitivity across ps > 0.6 at high accuracy.
+    at_99 = [aspen.stage2_seconds(99.0, ps) for ps in ps_values]
+    assert max(at_99) / min(at_99) < 1.5
+
+    # Stage 2 stays far below the Stage-1 scale (sub-millisecond).
+    assert max(series_07) < 1e-3
+
+    benchmark(lambda: closed.seconds(0.99, 0.7))

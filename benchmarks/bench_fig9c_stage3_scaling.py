@@ -1,0 +1,47 @@
+"""Fig. 9(c) — Stage-3 timing vs input problem size.
+
+The post-processing sort: near-linear in the problem size and vanishingly
+small next to Stage 1 ("a very small contribution to the overall timing").
+"""
+
+from __future__ import annotations
+
+from repro.core import AspenStageModels, Stage1Model, Stage3Model, format_table, loglog_slope
+
+
+def test_fig9c_stage3_scaling(benchmark, emit):
+    aspen = AspenStageModels()
+    closed = Stage3Model()
+    stage1 = Stage1Model()
+
+    sizes = [1, 5, 10, 20, 30, 50, 75, 100]
+    rows = []
+    for lps in sizes:
+        t3 = aspen.stage3_seconds(lps)
+        rows.append(
+            [
+                lps,
+                f"{t3 * 1e9:.4g}",
+                f"{closed.seconds(lps) * 1e9:.4g}",
+                f"{stage1.seconds(lps) / t3:.3g}",
+            ]
+        )
+    emit(
+        "fig9c_stage3_scaling",
+        format_table(
+            ["n = LPS", "stage3 ASPEN [ns]", "stage3 closed [ns]", "stage1 / stage3"],
+            rows,
+            title="Fig. 9(c) reproduction: Stage-3 time vs input size",
+        ),
+    )
+
+    # Near-linear dependence (the loads term dominates and is linear in LPS).
+    big = [n for n in sizes if n >= 10]
+    slope = loglog_slope(big, [aspen.stage3_seconds(n) for n in big])
+    assert 0.7 < slope < 1.2
+
+    # Negligible magnitude: nanoseconds, many orders below stage 1.
+    assert aspen.stage3_seconds(100) < 1e-6
+    assert stage1.seconds(100) / aspen.stage3_seconds(100) > 1e8
+
+    benchmark(lambda: closed.seconds(50))

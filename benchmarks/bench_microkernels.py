@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the library's numerical kernels.
+
+Not a paper figure — performance tracking for the HPC-critical inner loops:
+vectorized Ising energies, the simulated-annealing sweep kernel on a
+device-scale (1152-spin) embedded problem, and the exhaustive solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer import SimulatedAnnealingSampler, geometric_schedule
+from repro.embedding import clique_embedding, embed_ising
+from repro.hardware import DW2X
+from repro.qubo import brute_force_ising, random_ising
+
+
+def test_energies_vectorized(benchmark):
+    m = random_ising(100, density=0.3, rng=0)
+    S = (np.random.default_rng(1).integers(0, 2, size=(1000, 100)) * 2 - 1).astype(np.int8)
+    energies = benchmark(lambda: m.energies(S))
+    assert energies.shape == (1000,)
+
+
+def test_sa_device_scale(benchmark):
+    """One 64-sweep anneal of 100 replicas on the full 1152-qubit lattice."""
+    logical = random_ising(12, rng=2)
+    emb = clique_embedding(12, DW2X)
+    ei = embed_ising(logical, emb, DW2X.graph())
+    sa = SimulatedAnnealingSampler(geometric_schedule(64))
+
+    def anneal():
+        return sa.sample(ei.physical, num_reads=100, rng=0)
+
+    ss = benchmark.pedantic(anneal, rounds=1, iterations=1)
+    assert ss.num_reads == 100
+
+
+def test_brute_force_20_spins(benchmark):
+    m = random_ising(18, density=0.2, rng=3)
+
+    def solve():
+        return brute_force_ising(m)[1][0]
+
+    energy = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert energy == pytest.approx(brute_force_ising(m)[1][0])

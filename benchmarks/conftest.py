@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it prints the
+series (visible with ``pytest -s``) and also writes it to
+``benchmarks/out/<name>.txt`` so results persist across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a named report block and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n"
+        print(banner + text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 builds (which require ``bdist_wheel``) are unavailable.  This shim
+enables the legacy editable install path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

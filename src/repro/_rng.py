@@ -1,0 +1,22 @@
+"""Random-number-generator plumbing shared across the library.
+
+Every stochastic entry point accepts ``rng`` as a :class:`numpy.random.Generator`,
+an integer seed, or ``None`` (fresh entropy), normalized by :func:`as_rng`.
+Passing an existing generator never reseeds it, so composed pipelines draw
+from a single reproducible stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "RngLike"]
+
+RngLike = "np.random.Generator | int | None"
+
+
+def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalize ``rng`` to a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

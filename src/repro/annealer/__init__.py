@@ -1,0 +1,33 @@
+"""The QPU surrogate: samplers, readout containers, and the timed device.
+
+The paper treats the QPU behaviorally — "a probabilistic processor" whose
+repeated anneal-read cycles return low-energy samples (Sec. 3.2).  This
+package supplies that behavior (a vectorized Metropolis simulated annealer
+plus an exact enumerator for ground truth) and the
+:class:`~repro.annealer.device.DWaveDevice` facade that stitches embedding,
+parameter programming, sampling, decoding, and DW2 timing into one call.
+"""
+
+from .device import DeviceResult, DeviceTiming, DWaveDevice
+from .exact import ExactSolver
+from .postprocess import greedy_descent, refine_sampleset
+from .sa import SimulatedAnnealingSampler, color_classes
+from .sampler import Sampler
+from .sampleset import SampleSet
+from .schedule import AnnealSchedule, geometric_schedule, linear_schedule
+
+__all__ = [
+    "Sampler",
+    "SampleSet",
+    "SimulatedAnnealingSampler",
+    "color_classes",
+    "ExactSolver",
+    "greedy_descent",
+    "refine_sampleset",
+    "AnnealSchedule",
+    "linear_schedule",
+    "geometric_schedule",
+    "DWaveDevice",
+    "DeviceResult",
+    "DeviceTiming",
+]

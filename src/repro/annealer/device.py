@@ -1,0 +1,216 @@
+"""The simulated D-Wave device: hardware + embedding + sampling + timing.
+
+This facade is the library's stand-in for the physical QPU server.  It wires
+together every hardware-side substrate exactly as the paper's middleware
+stack does (Fig. 2): the logical problem is minor-embedded into the working
+(fault-reduced) Chimera graph, parameters are set and degraded to the
+control precision, the register is "annealed" by the simulated-annealing
+surrogate, readouts are decoded back through the chains, and every step is
+charged its DW2 timing cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_rng
+from ..embedding import (
+    EmbeddedIsing,
+    Embedding,
+    embed_ising,
+    find_embedding_cmr,
+)
+from ..embedding.unembedding import chain_break_fraction
+from ..exceptions import SamplerError
+from ..hardware import (
+    DW2_PROPERTIES,
+    DW2_TIMING,
+    DW2X,
+    PERFECT_YIELD,
+    ChimeraTopology,
+    DeviceProperties,
+    DWaveTimingModel,
+    FaultModel,
+    ProgrammingReport,
+    program_ising,
+)
+from ..qubo import IsingModel, Qubo, qubo_to_ising
+from .sa import SimulatedAnnealingSampler
+from .sampler import Sampler
+from .sampleset import SampleSet
+from .schedule import AnnealSchedule
+
+__all__ = ["DeviceTiming", "DeviceResult", "DWaveDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceTiming:
+    """Wall-clock accounting of one device call (microseconds)."""
+
+    programming_us: float
+    anneal_us: float
+    readout_us: float
+    thermalization_us: float
+
+    @property
+    def sampling_us(self) -> float:
+        """Total per-read pipeline time (anneal + readout + thermalization)."""
+        return self.anneal_us + self.readout_us + self.thermalization_us
+
+    @property
+    def total_us(self) -> float:
+        return self.programming_us + self.sampling_us
+
+    @property
+    def total_s(self) -> float:
+        return self.total_us * 1e-6
+
+
+@dataclass(frozen=True)
+class DeviceResult:
+    """Everything returned by one :meth:`DWaveDevice.solve_ising` call."""
+
+    logical: SampleSet
+    physical: SampleSet
+    embedded: EmbeddedIsing
+    programming: ProgrammingReport
+    timing: DeviceTiming
+    chain_break_fraction: float
+
+    @property
+    def best_state(self) -> np.ndarray:
+        """Lowest-energy decoded logical state."""
+        return self.logical.first[0]
+
+    @property
+    def best_energy(self) -> float:
+        """Lowest decoded logical energy."""
+        return self.logical.first[1]
+
+
+class DWaveDevice:
+    """A behaviorally faithful, timing-annotated QPU simulator.
+
+    Parameters
+    ----------
+    topology:
+        The Chimera lattice (default: the 1152-qubit DW2X of the paper).
+    faults:
+        Fabrication faults to remove from the lattice.
+    properties:
+        Programmable ranges / DAC precision.
+    timing:
+        DW2 timing constants; ``timing.anneal_us`` is the annealing duration.
+    sampler:
+        The physics surrogate (default: simulated annealing).
+    """
+
+    def __init__(
+        self,
+        topology: ChimeraTopology = DW2X,
+        faults: FaultModel = PERFECT_YIELD,
+        properties: DeviceProperties = DW2_PROPERTIES,
+        timing: DWaveTimingModel = DW2_TIMING,
+        sampler: Sampler | None = None,
+    ) -> None:
+        self.topology = topology
+        self.faults = faults
+        self.properties = properties
+        self.timing = timing
+        self.sampler = sampler or SimulatedAnnealingSampler()
+        self.working_graph = topology.working_graph(faults)
+
+    @property
+    def num_working_qubits(self) -> int:
+        """Qubits that survived fault deactivation."""
+        return self.working_graph.number_of_nodes()
+
+    # ------------------------------------------------------------------ #
+    # Embedding
+    # ------------------------------------------------------------------ #
+    def embed(
+        self,
+        logical: IsingModel,
+        rng: np.random.Generator | int | None = None,
+    ) -> Embedding:
+        """Minor-embed the logical interaction graph with the CMR heuristic."""
+        return find_embedding_cmr(logical.graph(), self.working_graph, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve_ising(
+        self,
+        logical: IsingModel,
+        num_reads: int = 100,
+        embedding: Embedding | None = None,
+        chain_strength: float | None = None,
+        schedule: AnnealSchedule | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> DeviceResult:
+        """Run the full middleware pipeline on a logical Ising model.
+
+        Embed (unless a precomputed ``embedding`` is supplied — the paper's
+        *offline embedding* alternative), set parameters, program with
+        precision loss, sample, decode, and account for time.
+        """
+        if num_reads < 1:
+            raise SamplerError(f"num_reads must be >= 1, got {num_reads}")
+        gen = as_rng(rng)
+        if embedding is None:
+            embedding = self.embed(logical, rng=gen)
+
+        embedded = embed_ising(
+            logical, embedding, self.working_graph, chain_strength=chain_strength
+        )
+        programmed, report = program_ising(embedded.physical, self.properties)
+
+        kwargs = {"schedule": schedule} if schedule is not None else {}
+        physical = self.sampler.sample(programmed, num_reads=num_reads, rng=gen, **kwargs)
+
+        decoded = embedded.unembed(physical.samples)
+        logical_set = SampleSet.from_samples(logical, decoded)
+        cbf = chain_break_fraction(physical.samples, embedded.dense_chains())
+
+        timing = DeviceTiming(
+            programming_us=self.timing.processor_initialize_us,
+            anneal_us=num_reads * self.timing.anneal_us,
+            readout_us=num_reads * self.timing.readout_us,
+            thermalization_us=num_reads * self.timing.thermalization_us,
+        )
+        return DeviceResult(
+            logical=logical_set,
+            physical=physical,
+            embedded=embedded,
+            programming=report,
+            timing=timing,
+            chain_break_fraction=cbf,
+        )
+
+    def solve_qubo(self, qubo: Qubo, **kwargs) -> DeviceResult:
+        """Convert a QUBO to Ising form (Eqs. 4-5) and solve it."""
+        return self.solve_ising(qubo_to_ising(qubo), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Characterization
+    # ------------------------------------------------------------------ #
+    def estimate_success_probability(
+        self,
+        logical: IsingModel,
+        ground_energy: float,
+        num_reads: int = 200,
+        embedding: Embedding | None = None,
+        rng: np.random.Generator | int | None = None,
+        atol: float = 1e-9,
+    ) -> float:
+        """Monte-Carlo estimate of the single-run success probability ``p_s``.
+
+        ``p_s`` is the paper's "characteristic probability that any single
+        run finds the lowest-energy state" (Sec. 3.2, Eq. 6 input).
+        """
+        result = self.solve_ising(
+            logical, num_reads=num_reads, embedding=embedding, rng=rng
+        )
+        return result.logical.ground_state_probability(ground_energy, atol=atol)

@@ -1,0 +1,153 @@
+"""Vectorized simulated-annealing sampler — the QPU physics surrogate.
+
+The physical quantum annealer is unavailable offline, so the library follows
+the substitution rule laid out in DESIGN.md: the paper's performance models
+consume only the QPU's *behavioral* interface — stochastic low-energy
+samples with a characteristic single-run success probability ``p_s`` — and a
+heat-bath (Glauber) simulated annealer over the same embedded Ising
+Hamiltonian reproduces exactly that interface.
+
+Heat-bath acceptance ``p(flip) = 1 / (1 + exp(beta * dE))`` is used instead
+of Metropolis ``min(1, exp(-beta * dE))`` deliberately: with fixed-order
+sweeps, Metropolis' *deterministic* downhill moves make the composed scan
+kernel non-ergodic (it acquires extra unit eigenvalues), so the chain
+equilibrates to a mixture rather than the Boltzmann distribution — an
+effect the statistical test suite reproduces.  Glauber probabilities are
+strictly inside (0, 1) at finite beta, which restores ergodicity while
+preserving the same stationary distribution per single-spin kernel.
+
+Implementation notes (per the project's HPC guides): all ``num_reads``
+replicas are annealed simultaneously as one ``(reads, spins)`` array; spins
+are updated color-class by color-class (a greedy proper coloring of the
+interaction graph) so that each update step is a dense-sparse matrix product
+instead of a Python-level loop over spins.  Chimera graphs are bipartite, so
+embedded problems need exactly two color classes per sweep.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .._rng import as_rng
+from ..exceptions import SamplerError
+from ..qubo import IsingModel
+from .sampler import Sampler
+from .sampleset import SampleSet
+from .schedule import AnnealSchedule, geometric_schedule
+
+__all__ = ["SimulatedAnnealingSampler", "color_classes"]
+
+
+def color_classes(model: IsingModel) -> list[np.ndarray]:
+    """Greedy proper coloring of the interaction graph, as index arrays.
+
+    Spins within one class share no coupling, so they can be updated
+    simultaneously without biasing the Metropolis dynamics.
+    """
+    g = model.graph()
+    coloring = nx.greedy_color(g, strategy="largest_first")
+    num_colors = 1 + max(coloring.values(), default=0)
+    classes: list[list[int]] = [[] for _ in range(num_colors)]
+    for node, color in coloring.items():
+        classes[color].append(node)
+    return [np.asarray(sorted(c), dtype=np.intp) for c in classes if c]
+
+
+class SimulatedAnnealingSampler(Sampler):
+    """Heat-bath simulated annealing over {-1, +1} spins.
+
+    Parameters
+    ----------
+    schedule:
+        Default :class:`AnnealSchedule`; overridable per call.
+
+    Notes
+    -----
+    Energies follow the library convention
+    ``E(s) = h.s + sum_{i<j} J_ij s_i s_j + offset``; flipping spin ``i``
+    changes the energy by ``dE = -2 s_i (h_i + sum_j M_ij s_j)`` with ``M``
+    the symmetric coupling matrix.  Acceptance is heat-bath (Glauber); see
+    the module docstring for why Metropolis is avoided.
+    """
+
+    def __init__(self, schedule: AnnealSchedule | None = None):
+        self.schedule = schedule or geometric_schedule()
+
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        schedule: AnnealSchedule | None = None,
+        initial_states: np.ndarray | None = None,
+        aggregate: bool = False,
+    ) -> SampleSet:
+        """Anneal ``num_reads`` independent replicas and return the readouts.
+
+        Parameters
+        ----------
+        model:
+            The Ising model to sample.
+        num_reads:
+            Number of independent annealing runs (the paper's repetitions).
+        rng:
+            Seed or generator.
+        schedule:
+            Inverse-temperature waveform; defaults to the sampler's.
+        initial_states:
+            Optional ``(num_reads, n)`` array of {-1, +1} starting spins;
+            random infinite-temperature states otherwise.
+        aggregate:
+            If True, collapse duplicate readouts with multiplicities.
+        """
+        self._check_num_reads(num_reads)
+        gen = as_rng(rng)
+        sched = schedule or self.schedule
+        n = model.num_spins
+        if n == 0:
+            raise SamplerError("cannot sample a zero-spin model")
+
+        if initial_states is not None:
+            S = np.array(initial_states, dtype=np.int8, copy=True)
+            if S.shape != (num_reads, n):
+                raise SamplerError(
+                    f"initial_states must have shape ({num_reads}, {n}), got {S.shape}"
+                )
+            if not np.isin(S, (-1, 1)).all():
+                raise SamplerError("initial_states must contain only -1/+1 spins")
+        else:
+            S = (gen.integers(0, 2, size=(num_reads, n), dtype=np.int8) * 2 - 1).astype(
+                np.int8
+            )
+
+        h = model.h
+        classes = color_classes(model)
+        # Per-class coupling blocks, precomputed once: rows of the symmetric
+        # coupling matrix restricted to the class, in CSR for fast
+        # sparse @ dense products inside the sweep loop.
+        if model.num_interactions:
+            M = model.adjacency_csr()
+            blocks = [M[cls, :] for cls in classes]
+        else:
+            blocks = [None] * len(classes)
+
+        Sf = S.astype(np.float64)
+        for beta in sched.betas:
+            for cls, blk in zip(classes, blocks):
+                # Local field on the class spins: f_i = h_i + sum_j M_ij s_j.
+                if blk is not None:
+                    f = (blk @ Sf.T).T + h[cls]
+                else:
+                    f = np.broadcast_to(h[cls], (num_reads, cls.size))
+                dE = -2.0 * Sf[:, cls] * f
+                # Heat-bath (Glauber) acceptance: p = 1 / (1 + exp(beta*dE)),
+                # computed stably via clipping.
+                u = gen.random((num_reads, cls.size))
+                p_accept = 1.0 / (1.0 + np.exp(np.clip(beta * dE, -700.0, 700.0)))
+                flip = np.where(u < p_accept, -1.0, 1.0)
+                Sf[:, cls] *= flip
+
+        final = Sf.astype(np.int8)
+        out = SampleSet.from_samples(model, final)
+        return out.aggregated() if aggregate else out

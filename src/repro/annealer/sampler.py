@@ -1,0 +1,54 @@
+"""The abstract sampler interface shared by all solvers.
+
+A sampler consumes an Ising model and produces a :class:`SampleSet` — the
+behavioral contract of the QPU as the paper models it: "a probabilistic
+processor, [for which] multiple runs are required to collect statistics and
+build confidence that the lowest observed energy state is likely the global
+minimum" (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import SamplerError
+from ..qubo import IsingModel, Qubo, qubo_to_ising
+from .sampleset import SampleSet
+
+__all__ = ["Sampler"]
+
+
+class Sampler(abc.ABC):
+    """Base class for Ising samplers."""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        **kwargs,
+    ) -> SampleSet:
+        """Draw ``num_reads`` samples from (an approximation of) the model's
+        low-energy distribution, returned sorted by energy."""
+
+    def sample_qubo(
+        self,
+        qubo: Qubo,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        **kwargs,
+    ) -> SampleSet:
+        """Convenience wrapper: convert to Ising (Eqs. 4-5) and sample.
+
+        Energies in the returned set are QUBO energies (offset included in
+        the conversion), with spin states; map ``b = (s + 1) / 2``.
+        """
+        return self.sample(qubo_to_ising(qubo), num_reads=num_reads, rng=rng, **kwargs)
+
+    @staticmethod
+    def _check_num_reads(num_reads: int) -> None:
+        if num_reads < 1:
+            raise SamplerError(f"num_reads must be >= 1, got {num_reads}")

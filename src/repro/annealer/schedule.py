@@ -1,0 +1,87 @@
+"""Annealing schedules.
+
+The QPU's "schedule for annealing the system to the final Hamiltonian …
+characterized by the temporal waveform and duration" is a program option
+(paper Sec. 2.2), restricted by the control hardware to pre-defined ranges.
+For the simulated annealer standing in for the quantum hardware, the
+schedule is the sequence of inverse temperatures (betas) applied across
+Metropolis sweeps; the same monotone-waveform restriction is enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["AnnealSchedule", "linear_schedule", "geometric_schedule"]
+
+
+@dataclass(frozen=True)
+class AnnealSchedule:
+    """A sweep-indexed inverse-temperature waveform.
+
+    Attributes
+    ----------
+    betas:
+        Monotonically non-decreasing array; one Metropolis sweep is
+        performed at each value.
+    """
+
+    betas: np.ndarray
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.betas, dtype=np.float64)
+        if b.ndim != 1 or b.size == 0:
+            raise ValidationError("schedule must be a non-empty 1-D array of betas")
+        if np.any(b < 0):
+            raise ValidationError("betas must be non-negative")
+        if np.any(np.diff(b) < 0):
+            raise ValidationError(
+                "betas must be non-decreasing (the control system only supports "
+                "monotone annealing waveforms)"
+            )
+        b = b.copy()
+        b.setflags(write=False)
+        object.__setattr__(self, "betas", b)
+
+    @property
+    def num_sweeps(self) -> int:
+        return int(self.betas.shape[0])
+
+    def stretched(self, factor: float) -> "AnnealSchedule":
+        """A schedule with ``round(factor * num_sweeps)`` sweeps, same waveform.
+
+        Models changing the annealing *duration* while keeping its shape —
+        the user-settable option the paper notes for the D-Wave QPU.
+        """
+        if factor <= 0:
+            raise ValidationError(f"factor must be positive, got {factor}")
+        m = max(1, round(self.num_sweeps * factor))
+        x_old = np.linspace(0.0, 1.0, self.num_sweeps)
+        x_new = np.linspace(0.0, 1.0, m)
+        return AnnealSchedule(np.interp(x_new, x_old, self.betas))
+
+
+def linear_schedule(
+    num_sweeps: int = 256, beta_min: float = 0.05, beta_max: float = 8.0
+) -> AnnealSchedule:
+    """Linearly interpolated betas from ``beta_min`` to ``beta_max``."""
+    if num_sweeps < 1:
+        raise ValidationError(f"num_sweeps must be >= 1, got {num_sweeps}")
+    if not 0 <= beta_min <= beta_max:
+        raise ValidationError("need 0 <= beta_min <= beta_max")
+    return AnnealSchedule(np.linspace(beta_min, beta_max, num_sweeps))
+
+
+def geometric_schedule(
+    num_sweeps: int = 256, beta_min: float = 0.05, beta_max: float = 8.0
+) -> AnnealSchedule:
+    """Geometrically interpolated betas (more sweeps at low temperature)."""
+    if num_sweeps < 1:
+        raise ValidationError(f"num_sweeps must be >= 1, got {num_sweeps}")
+    if not 0 < beta_min <= beta_max:
+        raise ValidationError("need 0 < beta_min <= beta_max")
+    return AnnealSchedule(np.geomspace(beta_min, beta_max, num_sweeps))

@@ -1,0 +1,43 @@
+"""A from-scratch implementation of the ASPEN performance-modeling language.
+
+ASPEN (Spafford & Vetter, SC'12) is ORNL's structured analytical
+performance-modeling language; the paper expresses both its machine model
+(Fig. 5) and the three-stage split-execution application (Figs. 6-8) in it.
+This package implements the subset those listings use, end to end:
+
+* :func:`~repro.aspen.parser.parse_source` — lexer + recursive-descent
+  parser producing a typed AST;
+* :class:`~repro.aspen.machine.MachineModel` /
+  :class:`~repro.aspen.application.ApplicationModel` — resolved semantic
+  models;
+* :class:`~repro.aspen.evaluator.AspenEvaluator` — maps application
+  resource demands onto machine capabilities to produce runtime estimates
+  with per-clause breakdowns;
+* :class:`~repro.aspen.loader.ModelRegistry` — ``include`` resolution over
+  the bundled ``models/`` files, which contain the paper's listings
+  verbatim.
+"""
+
+from .application import ApplicationModel
+from .evaluator import AspenEvaluator, ClauseCost, EvaluationReport, TIME_UNITS
+from .expressions import Environment, evaluate_expr
+from .loader import ModelRegistry, bundled_models_dir, load_paper_models
+from .machine import MachineModel, SocketView
+from .parser import parse_expression, parse_source
+
+__all__ = [
+    "parse_source",
+    "parse_expression",
+    "ApplicationModel",
+    "MachineModel",
+    "SocketView",
+    "AspenEvaluator",
+    "EvaluationReport",
+    "ClauseCost",
+    "TIME_UNITS",
+    "Environment",
+    "evaluate_expr",
+    "ModelRegistry",
+    "bundled_models_dir",
+    "load_paper_models",
+]

@@ -1,0 +1,69 @@
+"""Semantic application models.
+
+An application model (paper Figs. 6-8) declares parameters, data sets, and
+kernels; the ``main`` kernel is the entry point.  This wrapper indexes the
+declarations and provides parameter/data resolution helpers for the
+evaluator.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import AspenNameError
+from .ast_nodes import DataDecl, Expr, KernelDecl, ModelDecl
+from .expressions import Environment, evaluate_expr
+
+__all__ = ["ApplicationModel"]
+
+
+class ApplicationModel:
+    """An indexed ASPEN application model."""
+
+    def __init__(self, decl: ModelDecl):
+        self.decl = decl
+        self.params: dict[str, Expr] = {}
+        for p in decl.params:
+            if p.name in self.params:
+                raise AspenNameError(f"duplicate param {p.name!r} in model {decl.name!r}")
+            self.params[p.name] = p.expr
+        self.data: dict[str, DataDecl] = {}
+        for d in decl.data:
+            if d.name in self.data:
+                raise AspenNameError(f"duplicate data set {d.name!r} in model {decl.name!r}")
+            self.data[d.name] = d
+        self.kernels: dict[str, KernelDecl] = {}
+        for k in decl.kernels:
+            if k.name in self.kernels:
+                raise AspenNameError(f"duplicate kernel {k.name!r} in model {decl.name!r}")
+            self.kernels[k.name] = k
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def kernel(self, name: str = "main") -> KernelDecl:
+        k = self.kernels.get(name)
+        if k is None:
+            raise AspenNameError(
+                f"model {self.name!r} has no kernel {name!r}; "
+                f"kernels: {sorted(self.kernels)}"
+            )
+        return k
+
+    def environment(self, overrides: dict[str, float | Expr] | None = None) -> Environment:
+        """The model's parameter environment with caller overrides applied."""
+        return Environment(self.params, overrides)
+
+    def data_bytes(self, name: str, env: Environment) -> float:
+        """Total byte size of a declared data set (count * element_bytes)."""
+        d = self.data.get(name)
+        if d is None:
+            raise AspenNameError(
+                f"model {self.name!r} has no data set {name!r}; data: {sorted(self.data)}"
+            )
+        return evaluate_expr(d.count, env) * evaluate_expr(d.element_bytes, env)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ApplicationModel({self.name!r}, params={len(self.params)}, "
+            f"data={len(self.data)}, kernels={sorted(self.kernels)})"
+        )

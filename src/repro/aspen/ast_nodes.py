@@ -1,0 +1,263 @@
+"""Abstract syntax tree for the ASPEN subset.
+
+Two node families: *expressions* (arithmetic over parameters) and
+*declarations* (application models, machine components).  All nodes are
+frozen dataclasses so parsed models can be shared and hashed safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Num",
+    "ParamRef",
+    "BinOp",
+    "UnaryOp",
+    "Call",
+    "ParamDecl",
+    "DataDecl",
+    "Clause",
+    "ExecuteBlock",
+    "KernelCall",
+    "Iterate",
+    "ParBlock",
+    "SeqBlock",
+    "KernelDecl",
+    "ModelDecl",
+    "ResourceDecl",
+    "PropertyDecl",
+    "ComponentRef",
+    "ComponentDecl",
+    "MachineDecl",
+    "IncludeDecl",
+    "SourceFile",
+]
+
+
+# --------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------- #
+class Expr:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """A reference to a named parameter (resolved at evaluation time)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation: ``+ - * / ^``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary plus/minus."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call such as ``log(x)``, ``ceil(x)``, ``max(a, b)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+# --------------------------------------------------------------------- #
+# Application-model declarations
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ParamDecl:
+    """``param NAME = expr``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class DataDecl:
+    """``data NAME as Array(count, element_bytes)``."""
+
+    name: str
+    count: Expr
+    element_bytes: Expr
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One resource-consumption line inside an execute block.
+
+    Examples from the paper's listings::
+
+        flops [EmbeddingOps] as sp, simd
+        loads [EH*4] from Input
+        loads [Results] of size [4*Length]
+        stores [EG*4] to Output
+        intracomm [EG*4] as copyout
+        microseconds [ProcessorInitialize]
+        QuOps [ceil(log(1-(Accuracy/100))/log(1-Success))]
+    """
+
+    resource: str
+    amount: Expr
+    traits: tuple[str, ...] = ()
+    target: str | None = None  # `to X` / `from X` data-set name
+    of_size: Expr | None = None  # `of size [expr]` element size multiplier
+
+
+@dataclass(frozen=True)
+class ExecuteBlock:
+    """``execute [count] { clauses }`` with an optional label."""
+
+    label: str | None
+    count: Expr
+    clauses: tuple[Clause, ...]
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """A bare kernel-name statement invoking another kernel."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Iterate:
+    """``iterate [count] { statements }`` — sequential repetition."""
+
+    count: Expr
+    body: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class ParBlock:
+    """``par { statements }`` — branches overlap; cost is the maximum."""
+
+    body: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class SeqBlock:
+    """``seq { statements }`` — explicit sequencing; cost is the sum."""
+
+    body: tuple["Statement", ...]
+
+
+Statement = ExecuteBlock | KernelCall | Iterate | ParBlock | SeqBlock
+
+
+@dataclass(frozen=True)
+class KernelDecl:
+    """``kernel NAME { statements }``."""
+
+    name: str
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class ModelDecl:
+    """``model NAME { params, data, kernels }`` — an application model."""
+
+    name: str
+    params: tuple[ParamDecl, ...] = ()
+    data: tuple[DataDecl, ...] = ()
+    kernels: tuple[KernelDecl, ...] = ()
+
+
+# --------------------------------------------------------------------- #
+# Machine-model declarations
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ResourceDecl:
+    """``resource NAME(arg) [cost_expr] with trait [expr], trait [expr]``.
+
+    The cost expression may reference the argument name, the component's
+    params, and — inside trait expressions — the symbol ``base``, bound to
+    the cost accumulated so far (base expression with earlier traits
+    applied).
+    """
+
+    name: str
+    arg: str
+    cost: Expr
+    traits: tuple[tuple[str, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class PropertyDecl:
+    """``property NAME [expr]`` — a static component property (e.g. capacity)."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ComponentRef:
+    """``[count] NAME role`` or ``NAME role`` inside a container component.
+
+    ``role`` is one of ``nodes``, ``sockets``, ``cores``, ``memory``;
+    ``linked with NAME`` is represented with role ``link`` and count 1.
+    """
+
+    count: Expr
+    name: str
+    role: str
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    """A machine component: ``node``, ``socket``, ``core``, ``memory``,
+    or ``interconnect`` blocks."""
+
+    kind: str  # node | socket | core | memory | interconnect
+    name: str
+    params: tuple[ParamDecl, ...] = ()
+    properties: tuple[PropertyDecl, ...] = ()
+    resources: tuple[ResourceDecl, ...] = ()
+    components: tuple[ComponentRef, ...] = ()
+
+
+@dataclass(frozen=True)
+class MachineDecl:
+    """``machine NAME { [count] NODE nodes }``."""
+
+    name: str
+    components: tuple[ComponentRef, ...] = ()
+
+
+@dataclass(frozen=True)
+class IncludeDecl:
+    """``include path/to/model.aspen``."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """All top-level declarations parsed from one source text."""
+
+    includes: tuple[IncludeDecl, ...] = ()
+    models: tuple[ModelDecl, ...] = ()
+    machines: tuple[MachineDecl, ...] = ()
+    components: tuple[ComponentDecl, ...] = field(default=())

@@ -1,0 +1,293 @@
+"""The ASPEN evaluator: application demands x machine capabilities -> time.
+
+Walks an application model's kernel call tree, evaluates every ``execute``
+block's clauses against a chosen socket of the machine model, and produces
+an :class:`EvaluationReport` with per-clause, per-kernel, and per-resource
+breakdowns — the timing estimates behind the paper's Fig. 9.
+
+Semantics:
+
+* clause ``amount`` is ``eval(amount_expr)``, multiplied by ``of size``
+  when present;
+* time resources (``seconds``, ``microseconds``, ...) convert intrinsically;
+* all other resources resolve through the socket (cores, then memory, then
+  interconnect) with trait modifiers applied;
+* an execute block combines its clause times by the *conflict policy*:
+  ``"sum"`` (default; fully serialized demands) or ``"max"`` (perfectly
+  overlapped demands);
+* kernels are sequential, ``iterate [n]`` multiplies, ``par`` takes the
+  branch maximum, ``seq`` sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import AspenEvaluationError, AspenNameError
+from .application import ApplicationModel
+from .ast_nodes import (
+    ExecuteBlock,
+    Expr,
+    Iterate,
+    KernelCall,
+    ParBlock,
+    SeqBlock,
+    Statement,
+)
+from .expressions import Environment, evaluate_expr
+from .machine import MachineModel, SocketView
+
+__all__ = ["ClauseCost", "EvaluationReport", "AspenEvaluator", "TIME_UNITS"]
+
+#: Intrinsic time resources and their scale to seconds.
+TIME_UNITS: dict[str, float] = {
+    "nanoseconds": 1e-9,
+    "microseconds": 1e-6,
+    "milliseconds": 1e-3,
+    "seconds": 1.0,
+    "minutes": 60.0,
+}
+
+_CONFLICT_POLICIES = ("sum", "max")
+
+
+@dataclass(frozen=True)
+class ClauseCost:
+    """The evaluated cost of one clause occurrence (multipliers included)."""
+
+    kernel: str
+    block: str
+    resource: str
+    amount: float
+    traits: tuple[str, ...]
+    seconds: float
+    multiplier: float
+
+
+@dataclass
+class EvaluationReport:
+    """Result of evaluating an application model on a machine socket."""
+
+    model: str
+    machine: str
+    socket: str
+    kernel: str
+    total_seconds: float = 0.0
+    clauses: list[ClauseCost] = field(default_factory=list)
+    parameters: dict[str, float] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    def per_kernel(self) -> dict[str, float]:
+        """Seconds attributed to each kernel (by clause residence)."""
+        out: dict[str, float] = {}
+        for c in self.clauses:
+            out[c.kernel] = out.get(c.kernel, 0.0) + c.seconds
+        return out
+
+    def per_resource(self) -> dict[str, float]:
+        """Seconds attributed to each resource kind."""
+        out: dict[str, float] = {}
+        for c in self.clauses:
+            out[c.resource] = out.get(c.resource, 0.0) + c.seconds
+        return out
+
+    def dominant_resource(self) -> str:
+        """The resource consuming the most time."""
+        per = self.per_resource()
+        if not per:
+            raise AspenEvaluationError("report has no clauses")
+        return max(per, key=per.get)  # type: ignore[arg-type]
+
+
+class AspenEvaluator:
+    """Evaluates application models against one machine model."""
+
+    def __init__(self, machine: MachineModel, conflict: str = "sum"):
+        if conflict not in _CONFLICT_POLICIES:
+            raise AspenEvaluationError(
+                f"conflict policy must be one of {_CONFLICT_POLICIES}, got {conflict!r}"
+            )
+        self.machine = machine
+        self.conflict = conflict
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        app: ApplicationModel,
+        socket: str,
+        params: dict[str, float | Expr] | None = None,
+        kernel: str = "main",
+    ) -> EvaluationReport:
+        """Predict the runtime of ``app`` (entry ``kernel``) on ``socket``.
+
+        Parameters
+        ----------
+        params:
+            Parameter overrides (e.g. ``{"LPS": 50}``) shadowing the model's
+            ``param`` declarations — how benches sweep the x-axes of Fig. 9.
+        """
+        view = self.machine.socket(socket)
+        env = app.environment(params)
+        report = EvaluationReport(
+            model=app.name, machine=self.machine.name, socket=socket, kernel=kernel
+        )
+        total = self._eval_kernel(app, kernel, env, view, report, stack=(), multiplier=1.0)
+        report.total_seconds = total
+        try:
+            report.parameters = env.resolved()
+        except Exception as exc:  # parameters referencing undefined inputs
+            report.warnings.append(f"could not resolve all parameters: {exc}")
+        self._check_capacity(app, env, view, report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _eval_kernel(
+        self,
+        app: ApplicationModel,
+        name: str,
+        env: Environment,
+        view: SocketView,
+        report: EvaluationReport,
+        stack: tuple[str, ...],
+        multiplier: float,
+    ) -> float:
+        if name in stack:
+            raise AspenEvaluationError(
+                f"recursive kernel invocation: {' -> '.join(stack + (name,))}"
+            )
+        kdecl = app.kernel(name)
+        total = 0.0
+        for stmt in kdecl.body:
+            total += self._eval_statement(
+                app, stmt, env, view, report, stack + (name,), multiplier
+            )
+        return total
+
+    def _eval_statement(
+        self,
+        app: ApplicationModel,
+        stmt: Statement,
+        env: Environment,
+        view: SocketView,
+        report: EvaluationReport,
+        stack: tuple[str, ...],
+        multiplier: float,
+    ) -> float:
+        if isinstance(stmt, ExecuteBlock):
+            return self._eval_execute(app, stmt, env, view, report, stack, multiplier)
+        if isinstance(stmt, KernelCall):
+            return self._eval_kernel(app, stmt.name, env, view, report, stack, multiplier)
+        if isinstance(stmt, Iterate):
+            count = evaluate_expr(stmt.count, env)
+            if count < 0:
+                raise AspenEvaluationError(f"iterate count is negative: {count}")
+            total = 0.0
+            for inner in stmt.body:
+                total += self._eval_statement(
+                    app, inner, env, view, report, stack, multiplier * count
+                )
+            return total
+        if isinstance(stmt, ParBlock):
+            times = [
+                self._eval_statement(app, inner, env, view, report, stack, multiplier)
+                for inner in stmt.body
+            ]
+            return max(times, default=0.0)
+        if isinstance(stmt, SeqBlock):
+            return sum(
+                self._eval_statement(app, inner, env, view, report, stack, multiplier)
+                for inner in stmt.body
+            )
+        raise AspenEvaluationError(f"unsupported statement {stmt!r}")
+
+    def _eval_execute(
+        self,
+        app: ApplicationModel,
+        block: ExecuteBlock,
+        env: Environment,
+        view: SocketView,
+        report: EvaluationReport,
+        stack: tuple[str, ...],
+        multiplier: float,
+    ) -> float:
+        count = evaluate_expr(block.count, env)
+        if count < 0:
+            raise AspenEvaluationError(f"execute count is negative: {count}")
+        label = block.label or "<anonymous>"
+        kernel_name = stack[-1] if stack else "<top>"
+        scale = multiplier * count
+
+        clause_times: list[float] = []
+        for clause in block.clauses:
+            amount = evaluate_expr(clause.amount, env)
+            if clause.of_size is not None:
+                amount *= evaluate_expr(clause.of_size, env)
+            if clause.target is not None and clause.target not in app.data:
+                raise AspenNameError(
+                    f"clause {clause.resource!r} in kernel {kernel_name!r} references "
+                    f"unknown data set {clause.target!r}"
+                )
+
+            if clause.resource in TIME_UNITS:
+                seconds_once = amount * TIME_UNITS[clause.resource]
+            else:
+                lookup = view.find_resource(clause.resource)
+                if lookup is None:
+                    raise AspenNameError(
+                        f"socket {view.name!r} provides no resource {clause.resource!r}; "
+                        f"available: {sorted(set(view.resource_names()))} "
+                        f"plus time units {sorted(TIME_UNITS)}"
+                    )
+                seconds_once, unmatched = lookup.time_seconds(amount, clause.traits)
+                for t in sorted(unmatched):
+                    msg = (
+                        f"trait {t!r} requested on {clause.resource!r} is not declared "
+                        f"by component {lookup.component.name!r}"
+                    )
+                    if msg not in report.warnings:
+                        report.warnings.append(msg)
+            if seconds_once < 0:
+                raise AspenEvaluationError(
+                    f"negative time for clause {clause.resource!r} in {kernel_name!r}"
+                )
+            clause_times.append(seconds_once)
+            report.clauses.append(
+                ClauseCost(
+                    kernel=kernel_name,
+                    block=label,
+                    resource=clause.resource,
+                    amount=amount,
+                    traits=clause.traits,
+                    seconds=seconds_once * scale,
+                    multiplier=scale,
+                )
+            )
+
+        if not clause_times:
+            return 0.0
+        combined = sum(clause_times) if self.conflict == "sum" else max(clause_times)
+        return combined * scale
+
+    # ------------------------------------------------------------------ #
+    def _check_capacity(
+        self,
+        app: ApplicationModel,
+        env: Environment,
+        view: SocketView,
+        report: EvaluationReport,
+    ) -> None:
+        """Warn when declared data sets exceed the socket memory capacity."""
+        if view.memory is None or not app.data:
+            return
+        capacity = view.property_value(view.memory, "capacity")
+        if capacity is None:
+            return
+        try:
+            total_bytes = sum(app.data_bytes(name, env) for name in app.data)
+        except Exception:
+            return
+        if total_bytes > capacity:
+            report.warnings.append(
+                f"declared data ({total_bytes:.3g} B) exceeds memory capacity "
+                f"of {view.memory.name!r} ({capacity:.3g} B)"
+            )

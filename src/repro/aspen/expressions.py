@@ -1,0 +1,171 @@
+"""Evaluation of ASPEN arithmetic expressions.
+
+Parameters resolve lazily against an environment of (possibly interdependent)
+parameter declarations plus caller overrides; cycles are reported as errors.
+``log`` is the natural logarithm (the convention of the reference ASPEN
+implementation); ``log2``/``log10`` are available where a specific base is
+wanted.  All values are Python floats.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from ..exceptions import AspenEvaluationError, AspenNameError
+from .ast_nodes import BinOp, Call, Expr, Num, ParamRef, UnaryOp
+
+__all__ = ["FUNCTIONS", "evaluate_expr", "Environment"]
+
+
+def _safe_log(x: float) -> float:
+    if x <= 0:
+        raise AspenEvaluationError(f"log of non-positive value {x}")
+    return math.log(x)
+
+
+def _safe_div(a: float, b: float) -> float:
+    if b == 0:
+        raise AspenEvaluationError("division by zero")
+    return a / b
+
+
+#: Built-in functions usable in ASPEN expressions.
+FUNCTIONS: dict[str, object] = {
+    "log": _safe_log,
+    "log2": lambda x: _safe_log(x) / math.log(2.0),
+    "log10": lambda x: _safe_log(x) / math.log(10.0),
+    "exp": math.exp,
+    "sqrt": math.sqrt,
+    "ceil": lambda x: float(math.ceil(x)),
+    "floor": lambda x: float(math.floor(x)),
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "pow": math.pow,
+}
+
+_ARITY = {
+    "log": 1,
+    "log2": 1,
+    "log10": 1,
+    "exp": 1,
+    "sqrt": 1,
+    "ceil": 1,
+    "floor": 1,
+    "abs": 1,
+    "pow": 2,
+}
+
+
+class Environment:
+    """Lazy parameter environment with cycle detection and memoization.
+
+    Parameters
+    ----------
+    declarations:
+        ``{name: Expr}`` from the model's ``param`` statements.
+    overrides:
+        ``{name: float | Expr}`` caller-supplied values that shadow
+        declarations (this is how benches sweep ``LPS`` or ``Accuracy``).
+    parent:
+        Optional outer environment (component params see machine params).
+    """
+
+    def __init__(
+        self,
+        declarations: Mapping[str, Expr] | None = None,
+        overrides: Mapping[str, float | Expr] | None = None,
+        parent: "Environment | None" = None,
+    ) -> None:
+        self._declarations = dict(declarations or {})
+        self._overrides = dict(overrides or {})
+        self._parent = parent
+        self._cache: dict[str, float] = {}
+        self._in_progress: set[str] = set()
+
+    def child(
+        self,
+        declarations: Mapping[str, Expr] | None = None,
+        overrides: Mapping[str, float | Expr] | None = None,
+    ) -> "Environment":
+        """A nested scope whose lookups fall back to this environment."""
+        return Environment(declarations, overrides, parent=self)
+
+    def defines(self, name: str) -> bool:
+        return (
+            name in self._overrides
+            or name in self._declarations
+            or (self._parent is not None and self._parent.defines(name))
+        )
+
+    def lookup(self, name: str) -> float:
+        if name in self._cache:
+            return self._cache[name]
+        if name in self._in_progress:
+            raise AspenEvaluationError(f"cyclic parameter definition involving {name!r}")
+
+        if name in self._overrides:
+            value = self._overrides[name]
+            result = (
+                float(value)
+                if isinstance(value, (int, float))
+                else evaluate_expr(value, self)
+            )
+        elif name in self._declarations:
+            self._in_progress.add(name)
+            try:
+                result = evaluate_expr(self._declarations[name], self)
+            finally:
+                self._in_progress.discard(name)
+        elif self._parent is not None:
+            result = self._parent.lookup(name)
+        else:
+            raise AspenNameError(f"undefined parameter {name!r}")
+        self._cache[name] = result
+        return result
+
+    def resolved(self, names: list[str] | None = None) -> dict[str, float]:
+        """Evaluate and return the named (or all locally declared) parameters."""
+        if names is None:
+            names = sorted(set(self._declarations) | set(self._overrides))
+        return {n: self.lookup(n) for n in names}
+
+
+def evaluate_expr(expr: Expr, env: Environment) -> float:
+    """Evaluate an expression tree to a float in the given environment."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, ParamRef):
+        return env.lookup(expr.name)
+    if isinstance(expr, UnaryOp):
+        v = evaluate_expr(expr.operand, env)
+        return -v if expr.op == "-" else v
+    if isinstance(expr, BinOp):
+        a = evaluate_expr(expr.lhs, env)
+        b = evaluate_expr(expr.rhs, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            return _safe_div(a, b)
+        if expr.op == "^":
+            return math.pow(a, b)
+        raise AspenEvaluationError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Call):
+        fn = FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise AspenNameError(f"unknown function {expr.name!r}")
+        arity = _ARITY.get(expr.name)
+        if arity is not None and len(expr.args) != arity:
+            raise AspenEvaluationError(
+                f"{expr.name}() takes {arity} argument(s), got {len(expr.args)}"
+            )
+        if expr.name in ("min", "max") and len(expr.args) < 1:
+            raise AspenEvaluationError(f"{expr.name}() needs at least one argument")
+        values = [evaluate_expr(a, env) for a in expr.args]
+        return float(fn(*values))  # type: ignore[operator]
+    raise AspenEvaluationError(f"cannot evaluate expression node {expr!r}")

@@ -1,0 +1,193 @@
+"""Tokenizer for the ASPEN modeling-language subset.
+
+ASPEN sources are free-form text with ``//`` line comments and ``/* */``
+block comments.  Tokens are identifiers (including keywords, which are
+distinguished by the parser), numeric literals (integer, decimal, and
+scientific notation), string literals, punctuation, and arithmetic
+operators.  Every token carries its 1-based line/column for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..exceptions import AspenSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    EQUALS = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CARET = "^"
+    EOF = "end of input"
+
+
+_PUNCT = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    "=": TokenType.EQUALS,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "^": TokenType.CARET,
+}
+
+# Unicode variants occasionally found in copy-pasted listings (the paper's
+# PDF renders '^' as a modifier circumflex, which is a *letter* category and
+# would otherwise be swallowed into identifiers).  Translated away up front.
+_ALIASES = str.maketrans({"ˆ": "^", "−": "-"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident_char(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert ASPEN source text into a token list ending with EOF.
+
+    Raises
+    ------
+    AspenSyntaxError
+        On unterminated comments/strings or unexpected characters.
+    """
+    source = source.translate(_ALIASES)
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+
+        if c in " \t\r\n":
+            advance()
+            continue
+
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                advance()
+            if i + 1 >= n:
+                raise AspenSyntaxError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+
+        if c == '"':
+            start_line, start_col = line, col
+            advance()
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise AspenSyntaxError("unterminated string", start_line, start_col)
+                chars.append(source[i])
+                advance()
+            if i >= n:
+                raise AspenSyntaxError("unterminated string", start_line, start_col)
+            advance()
+            tokens.append(Token(TokenType.STRING, "".join(chars), start_line, start_col))
+            continue
+
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            start_line, start_col = line, col
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                ch = source[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif ch in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 1
+                    if source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(TokenType.NUMBER, text, start_line, start_col))
+            continue
+
+        if _is_ident_start(c):
+            start_line, start_col = line, col
+            j = i
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            # Model file paths in `include` lines look like ident/ident.aspen;
+            # the parser re-assembles them from IDENT, SLASH, and '.' pieces —
+            # to keep the lexer simple, '.' inside an identifier is allowed.
+            while j < n and source[j] == "." and j + 1 < n and _is_ident_start(source[j + 1]):
+                j += 1
+                while j < n and _is_ident_char(source[j]):
+                    j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(TokenType.IDENT, text, start_line, start_col))
+            continue
+
+        if c in _PUNCT:
+            tokens.append(Token(_PUNCT[c], c, line, col))
+            advance()
+            continue
+
+        raise AspenSyntaxError(f"unexpected character {source[i]!r}", line, col)
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,118 @@
+"""Model registry and ``include`` resolution.
+
+ASPEN sources compose through ``include`` lines (paper Fig. 5 pulls in the
+memory and socket models).  The :class:`ModelRegistry` resolves includes
+against a list of search paths — the library's bundled ``models/`` directory
+by default — parses each file once, and indexes every declaration by name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..exceptions import AspenNameError
+from .application import ApplicationModel
+from .ast_nodes import ComponentDecl, MachineDecl, ModelDecl
+from .machine import MachineModel
+from .parser import parse_source
+
+__all__ = ["bundled_models_dir", "ModelRegistry", "load_paper_models"]
+
+_PAPER_MACHINE_FILE = "machines/simple_node.aspen"
+_PAPER_APP_FILES = ("apps/stage1.aspen", "apps/stage2.aspen", "apps/stage3.aspen")
+
+
+def bundled_models_dir() -> Path:
+    """Directory of the ``.aspen`` model files shipped with the library."""
+    return Path(__file__).resolve().parent / "models"
+
+
+class ModelRegistry:
+    """Parses ASPEN files (with includes) and indexes their declarations."""
+
+    def __init__(self, search_paths: list[Path | str] | None = None):
+        paths = [Path(p) for p in (search_paths or [])]
+        paths.append(bundled_models_dir())
+        self.search_paths = paths
+        self.models: dict[str, ModelDecl] = {}
+        self.machines: dict[str, MachineDecl] = {}
+        self.components: dict[str, ComponentDecl] = {}
+        self._loaded_files: set[Path] = set()
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def _resolve(self, path: str) -> Path:
+        candidate = Path(path)
+        if candidate.is_absolute() and candidate.exists():
+            return candidate
+        for base in self.search_paths:
+            p = base / path
+            if p.exists():
+                return p
+        raise AspenNameError(
+            f"cannot resolve include {path!r} in search paths "
+            f"{[str(p) for p in self.search_paths]}"
+        )
+
+    def load_file(self, path: str) -> "ModelRegistry":
+        """Parse one file (plus its transitive includes) into the registry."""
+        resolved = self._resolve(path)
+        if resolved in self._loaded_files:
+            return self
+        self._loaded_files.add(resolved)
+        src = parse_source(resolved.read_text())
+        for inc in src.includes:
+            self.load_file(inc.path)
+        self._absorb(src)
+        return self
+
+    def load_text(self, text: str) -> "ModelRegistry":
+        """Parse in-memory source text (includes resolved via search paths)."""
+        src = parse_source(text)
+        for inc in src.includes:
+            self.load_file(inc.path)
+        self._absorb(src)
+        return self
+
+    def _absorb(self, src) -> None:
+        for m in src.models:
+            self.models[m.name] = m
+        for m in src.machines:
+            self.machines[m.name] = m
+        for c in src.components:
+            self.components[c.name] = c
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def application(self, name: str) -> ApplicationModel:
+        decl = self.models.get(name)
+        if decl is None:
+            raise AspenNameError(
+                f"no application model {name!r}; known: {sorted(self.models)}"
+            )
+        return ApplicationModel(decl)
+
+    def machine(self, name: str) -> MachineModel:
+        decl = self.machines.get(name)
+        if decl is None:
+            raise AspenNameError(f"no machine {name!r}; known: {sorted(self.machines)}")
+        return MachineModel(decl, self.components)
+
+    def component(self, name: str) -> ComponentDecl:
+        decl = self.components.get(name)
+        if decl is None:
+            raise AspenNameError(
+                f"no component {name!r}; known: {sorted(self.components)}"
+            )
+        return decl
+
+
+def load_paper_models() -> ModelRegistry:
+    """Load the paper's machine (Fig. 5) and the Stage 1-3 applications (Figs. 6-8)."""
+    reg = ModelRegistry()
+    reg.load_file(_PAPER_MACHINE_FILE)
+    for app in _PAPER_APP_FILES:
+        reg.load_file(app)
+    return reg

@@ -1,0 +1,203 @@
+"""Semantic machine models: machines, nodes, sockets, cores, memory, links.
+
+A machine model (paper Fig. 5) is a containment hierarchy — machine ->
+nodes -> sockets -> {cores, memory, interconnect} — whose leaf components
+declare *resources*: named cost functions mapping an application demand
+(flops, bytes, quantum operations, ...) to seconds.  Resource cost
+expressions may carry *trait* modifiers (``sp``, ``dp``, ``fmad``, ``simd``)
+that an application clause opts into with ``as trait, trait``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..exceptions import AspenNameError
+from .ast_nodes import ComponentDecl, ComponentRef, MachineDecl, ResourceDecl
+from .expressions import Environment, evaluate_expr
+
+__all__ = ["ResourceLookup", "SocketView", "MachineModel"]
+
+
+@dataclass(frozen=True)
+class ResourceLookup:
+    """A resolved resource: its declaration plus the evaluation scope."""
+
+    decl: ResourceDecl
+    env: Environment
+    component: ComponentDecl
+
+    def time_seconds(self, amount: float, traits: Iterable[str]) -> tuple[float, set[str]]:
+        """Cost in seconds of ``amount`` units with the requested traits.
+
+        The base cost expression is evaluated with the resource argument
+        bound to ``amount``; each *declared* trait requested by the clause
+        is then applied in declaration order, with ``base`` bound to the
+        running cost.  Returns ``(seconds, unmatched_traits)`` where the
+        second element lists requested traits the resource does not declare
+        (reported as warnings, mirroring ASPEN's permissive trait handling).
+        """
+        requested = list(traits)
+        scope = self.env.child(overrides={self.decl.arg: float(amount)})
+        cost = evaluate_expr(self.decl.cost, scope)
+        declared = dict(self.decl.traits)
+        for name in requested:
+            expr = declared.get(name)
+            if expr is None:
+                continue
+            trait_scope = self.env.child(
+                overrides={self.decl.arg: float(amount), "base": cost}
+            )
+            cost = evaluate_expr(expr, trait_scope)
+        unmatched = {t for t in requested if t not in declared}
+        return cost, unmatched
+
+
+class SocketView:
+    """A socket with its resolved cores, memory, and interconnect.
+
+    Resource lookup order follows the containment intuition: core resources
+    first (compute), then memory (loads/stores), then the link
+    (intracomm), then resources declared on the socket itself.
+    """
+
+    def __init__(
+        self,
+        socket: ComponentDecl,
+        cores: list[tuple[float, ComponentDecl]],
+        memory: ComponentDecl | None,
+        link: ComponentDecl | None,
+        machine_env: Environment,
+    ) -> None:
+        self.socket = socket
+        self.cores = cores
+        self.memory = memory
+        self.link = link
+        self._socket_env = machine_env.child({p.name: p.expr for p in socket.params})
+        self._component_envs: dict[str, Environment] = {}
+
+    @property
+    def name(self) -> str:
+        return self.socket.name
+
+    def _env_for(self, component: ComponentDecl) -> Environment:
+        env = self._component_envs.get(component.name)
+        if env is None:
+            env = self._socket_env.child({p.name: p.expr for p in component.params})
+            self._component_envs[component.name] = env
+        return env
+
+    def find_resource(self, name: str) -> ResourceLookup | None:
+        """Resolve a resource by name, or return ``None`` if absent."""
+        search: list[ComponentDecl] = [core for _, core in self.cores]
+        if self.memory is not None:
+            search.append(self.memory)
+        if self.link is not None:
+            search.append(self.link)
+        search.append(self.socket)
+        for component in search:
+            for res in component.resources:
+                if res.name == name:
+                    return ResourceLookup(res, self._env_for(component), component)
+        return None
+
+    def resource_names(self) -> list[str]:
+        """All resource names reachable from this socket."""
+        names: list[str] = []
+        for _, core in self.cores:
+            names.extend(r.name for r in core.resources)
+        for comp in (self.memory, self.link, self.socket):
+            if comp is not None:
+                names.extend(r.name for r in comp.resources)
+        return names
+
+    def property_value(self, component: ComponentDecl, name: str) -> float | None:
+        """Evaluate a component property (e.g. memory ``capacity``) if present."""
+        for prop in component.properties:
+            if prop.name == name:
+                return evaluate_expr(prop.expr, self._env_for(component))
+        return None
+
+
+class MachineModel:
+    """A fully linked machine: declarations resolved against a component registry.
+
+    Parameters
+    ----------
+    decl:
+        The ``machine`` declaration.
+    components:
+        All known component declarations by name (from the registry).
+    """
+
+    def __init__(self, decl: MachineDecl, components: dict[str, ComponentDecl]):
+        self.decl = decl
+        self.components = components
+        self.env = Environment()
+        self._socket_views: dict[str, SocketView] = {}
+        self._socket_decls: dict[str, ComponentDecl] = {}
+        self._collect_sockets()
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def _component(self, name: str) -> ComponentDecl:
+        comp = self.components.get(name)
+        if comp is None:
+            raise AspenNameError(f"machine {self.decl.name!r} references unknown component {name!r}")
+        return comp
+
+    def _collect_sockets(self) -> None:
+        def visit(refs: tuple[ComponentRef, ...]) -> None:
+            for ref in refs:
+                comp = self._component(ref.name)
+                if comp.kind == "node" or ref.role == "nodes":
+                    visit(comp.components)
+                elif comp.kind == "socket" or ref.role == "sockets":
+                    self._socket_decls[comp.name] = comp
+                # cores/memory/links are resolved lazily per socket
+
+        visit(self.decl.components)
+
+    def socket_names(self) -> list[str]:
+        """Names of every socket reachable from the machine declaration."""
+        return sorted(self._socket_decls)
+
+    def socket(self, name: str) -> SocketView:
+        """Build (and cache) the resolved view of one socket."""
+        view = self._socket_views.get(name)
+        if view is not None:
+            return view
+        decl = self._socket_decls.get(name)
+        if decl is None:
+            # Allow direct evaluation against a socket that exists in the
+            # registry even if no machine references it (useful in tests).
+            candidate = self.components.get(name)
+            if candidate is None or candidate.kind != "socket":
+                raise AspenNameError(
+                    f"machine {self.decl.name!r} has no socket {name!r}; "
+                    f"known sockets: {self.socket_names()}"
+                )
+            decl = candidate
+
+        cores: list[tuple[float, ComponentDecl]] = []
+        memory: ComponentDecl | None = None
+        link: ComponentDecl | None = None
+        for ref in decl.components:
+            comp = self._component(ref.name)
+            count = evaluate_expr(ref.count, self.env)
+            if ref.role == "cores" or comp.kind == "core":
+                cores.append((count, comp))
+            elif ref.role == "memory" or comp.kind == "memory":
+                memory = comp
+            elif ref.role == "link" or comp.kind == "interconnect":
+                link = comp
+            else:
+                raise AspenNameError(
+                    f"socket {decl.name!r}: unsupported component role {ref.role!r}"
+                )
+        view = SocketView(decl, cores, memory, link, self.env)
+        self._socket_views[name] = view
+        return view

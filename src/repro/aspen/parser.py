@@ -1,0 +1,401 @@
+"""Recursive-descent parser for the ASPEN subset.
+
+The grammar covers every construct appearing in the paper's listings
+(Figs. 5-8) plus the control statements (``iterate``/``par``/``seq``) and
+machine-side component declarations needed to close the language:
+
+.. code-block:: text
+
+    source      := (include | model | machine | component)*
+    include     := 'include' path
+    model       := 'model' IDENT '{' (param | data | kernel)* '}'
+    param       := 'param' IDENT '=' expr
+    data        := 'data' IDENT 'as' 'Array' '(' expr ',' expr ')'
+    kernel      := 'kernel' IDENT '{' statement* '}'
+    statement   := execute | iterate | par | seq | IDENT
+    execute     := 'execute' IDENT? '[' expr ']' '{' clause* '}'
+    clause      := IDENT '[' expr ']' trailer*
+    trailer     := 'as' IDENT (',' IDENT)* | ('to'|'from') IDENT
+                 | 'of' 'size' '[' expr ']'
+    machine     := 'machine' IDENT '{' compref* '}'
+    component   := ('node'|'socket'|'core'|'memory'|'interconnect') IDENT
+                   '{' (param | property | resource | link | compref)* '}'
+    resource    := 'resource' IDENT '(' IDENT ')' '[' expr ']'
+                   ('with' IDENT '[' expr ']' (',' IDENT '[' expr ']')*)?
+    property    := 'property' IDENT '[' expr ']'
+    link        := 'linked' 'with' IDENT
+    compref     := ('[' expr ']')? IDENT IDENT
+
+Expressions use the usual precedence (``^`` right-associative above ``* /``
+above ``+ -``) with function calls and parentheses.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import AspenSyntaxError
+from .ast_nodes import (
+    BinOp,
+    Call,
+    Clause,
+    ComponentDecl,
+    ComponentRef,
+    DataDecl,
+    ExecuteBlock,
+    Expr,
+    IncludeDecl,
+    Iterate,
+    KernelCall,
+    KernelDecl,
+    MachineDecl,
+    ModelDecl,
+    Num,
+    ParamDecl,
+    ParamRef,
+    ParBlock,
+    PropertyDecl,
+    ResourceDecl,
+    SeqBlock,
+    SourceFile,
+    Statement,
+    UnaryOp,
+)
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_source", "parse_expression"]
+
+_COMPONENT_KINDS = ("node", "socket", "core", "memory", "interconnect")
+_STATEMENT_KEYWORDS = ("execute", "iterate", "par", "seq")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.cur
+        if tok.type is not TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def _error(self, message: str) -> AspenSyntaxError:
+        tok = self.cur
+        return AspenSyntaxError(f"{message} (found {tok.value!r})", tok.line, tok.column)
+
+    def _expect(self, type_: TokenType) -> Token:
+        if self.cur.type is not type_:
+            raise self._error(f"expected {type_.value}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._at_keyword(word):
+            raise self._error(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _at_keyword(self, word: str) -> bool:
+        return self.cur.type is TokenType.IDENT and self.cur.value == word
+
+    # -- entry point -----------------------------------------------------
+    def parse(self) -> SourceFile:
+        includes: list[IncludeDecl] = []
+        models: list[ModelDecl] = []
+        machines: list[MachineDecl] = []
+        components: list[ComponentDecl] = []
+        while self.cur.type is not TokenType.EOF:
+            if self._at_keyword("include"):
+                includes.append(self._include())
+            elif self._at_keyword("model"):
+                models.append(self._model())
+            elif self._at_keyword("machine"):
+                machines.append(self._machine())
+            elif self.cur.type is TokenType.IDENT and self.cur.value in _COMPONENT_KINDS:
+                components.append(self._component())
+            else:
+                raise self._error(
+                    "expected 'include', 'model', 'machine', or a component declaration"
+                )
+        return SourceFile(
+            includes=tuple(includes),
+            models=tuple(models),
+            machines=tuple(machines),
+            components=tuple(components),
+        )
+
+    # -- top-level declarations -------------------------------------------
+    def _include(self) -> IncludeDecl:
+        self._expect_keyword("include")
+        parts = [self._expect(TokenType.IDENT).value]
+        while self.cur.type is TokenType.SLASH:
+            self._advance()
+            parts.append(self._expect(TokenType.IDENT).value)
+        return IncludeDecl(path="/".join(parts))
+
+    def _model(self) -> ModelDecl:
+        self._expect_keyword("model")
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LBRACE)
+        params: list[ParamDecl] = []
+        data: list[DataDecl] = []
+        kernels: list[KernelDecl] = []
+        while self.cur.type is not TokenType.RBRACE:
+            if self._at_keyword("param"):
+                params.append(self._param())
+            elif self._at_keyword("data"):
+                data.append(self._data())
+            elif self._at_keyword("kernel"):
+                kernels.append(self._kernel())
+            else:
+                raise self._error("expected 'param', 'data', or 'kernel' in model body")
+        self._expect(TokenType.RBRACE)
+        return ModelDecl(name, tuple(params), tuple(data), tuple(kernels))
+
+    def _param(self) -> ParamDecl:
+        self._expect_keyword("param")
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.EQUALS)
+        return ParamDecl(name, self._expr())
+
+    def _data(self) -> DataDecl:
+        self._expect_keyword("data")
+        name = self._expect(TokenType.IDENT).value
+        self._expect_keyword("as")
+        ctor = self._expect(TokenType.IDENT).value
+        if ctor != "Array":
+            raise self._error(f"unsupported data constructor {ctor!r} (only Array)")
+        self._expect(TokenType.LPAREN)
+        count = self._expr()
+        self._expect(TokenType.COMMA)
+        elem = self._expr()
+        self._expect(TokenType.RPAREN)
+        return DataDecl(name, count, elem)
+
+    def _kernel(self) -> KernelDecl:
+        self._expect_keyword("kernel")
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LBRACE)
+        body = self._statements()
+        self._expect(TokenType.RBRACE)
+        return KernelDecl(name, body)
+
+    # -- statements -------------------------------------------------------
+    def _statements(self) -> tuple[Statement, ...]:
+        out: list[Statement] = []
+        while self.cur.type is not TokenType.RBRACE:
+            out.append(self._statement())
+        return tuple(out)
+
+    def _statement(self) -> Statement:
+        if self._at_keyword("execute"):
+            return self._execute()
+        if self._at_keyword("iterate"):
+            self._advance()
+            self._expect(TokenType.LBRACKET)
+            count = self._expr()
+            self._expect(TokenType.RBRACKET)
+            self._expect(TokenType.LBRACE)
+            body = self._statements()
+            self._expect(TokenType.RBRACE)
+            return Iterate(count, body)
+        if self._at_keyword("par") or self._at_keyword("seq"):
+            kind = self._advance().value
+            self._expect(TokenType.LBRACE)
+            body = self._statements()
+            self._expect(TokenType.RBRACE)
+            return ParBlock(body) if kind == "par" else SeqBlock(body)
+        if self.cur.type is TokenType.IDENT:
+            return KernelCall(self._advance().value)
+        raise self._error("expected a statement (execute/iterate/par/seq/kernel name)")
+
+    def _execute(self) -> ExecuteBlock:
+        self._expect_keyword("execute")
+        label: str | None = None
+        if self.cur.type is TokenType.IDENT:
+            label = self._advance().value
+        count: Expr = Num(1.0)
+        if self.cur.type is TokenType.LBRACKET:
+            self._advance()
+            count = self._expr()
+            self._expect(TokenType.RBRACKET)
+        self._expect(TokenType.LBRACE)
+        clauses: list[Clause] = []
+        while self.cur.type is not TokenType.RBRACE:
+            clauses.append(self._clause())
+        self._expect(TokenType.RBRACE)
+        return ExecuteBlock(label, count, tuple(clauses))
+
+    def _clause(self) -> Clause:
+        resource = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LBRACKET)
+        amount = self._expr()
+        self._expect(TokenType.RBRACKET)
+        traits: list[str] = []
+        target: str | None = None
+        of_size: Expr | None = None
+        while True:
+            if self._at_keyword("as"):
+                self._advance()
+                traits.append(self._expect(TokenType.IDENT).value)
+                while self.cur.type is TokenType.COMMA:
+                    self._advance()
+                    traits.append(self._expect(TokenType.IDENT).value)
+            elif self._at_keyword("to") or self._at_keyword("from"):
+                self._advance()
+                target = self._expect(TokenType.IDENT).value
+            elif self._at_keyword("of"):
+                self._advance()
+                self._expect_keyword("size")
+                self._expect(TokenType.LBRACKET)
+                of_size = self._expr()
+                self._expect(TokenType.RBRACKET)
+            else:
+                break
+        return Clause(resource, amount, tuple(traits), target, of_size)
+
+    # -- machine-side declarations -----------------------------------------
+    def _machine(self) -> MachineDecl:
+        self._expect_keyword("machine")
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LBRACE)
+        refs: list[ComponentRef] = []
+        while self.cur.type is not TokenType.RBRACE:
+            refs.append(self._component_ref())
+        self._expect(TokenType.RBRACE)
+        return MachineDecl(name, tuple(refs))
+
+    def _component(self) -> ComponentDecl:
+        kind = self._advance().value
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LBRACE)
+        params: list[ParamDecl] = []
+        properties: list[PropertyDecl] = []
+        resources: list[ResourceDecl] = []
+        components: list[ComponentRef] = []
+        while self.cur.type is not TokenType.RBRACE:
+            if self._at_keyword("param"):
+                params.append(self._param())
+            elif self._at_keyword("property"):
+                self._advance()
+                pname = self._expect(TokenType.IDENT).value
+                self._expect(TokenType.LBRACKET)
+                expr = self._expr()
+                self._expect(TokenType.RBRACKET)
+                properties.append(PropertyDecl(pname, expr))
+            elif self._at_keyword("resource"):
+                resources.append(self._resource())
+            elif self._at_keyword("linked"):
+                self._advance()
+                self._expect_keyword("with")
+                link_name = self._expect(TokenType.IDENT).value
+                components.append(ComponentRef(Num(1.0), link_name, "link"))
+            else:
+                components.append(self._component_ref())
+        self._expect(TokenType.RBRACE)
+        return ComponentDecl(
+            kind, name, tuple(params), tuple(properties), tuple(resources), tuple(components)
+        )
+
+    def _component_ref(self) -> ComponentRef:
+        count: Expr = Num(1.0)
+        if self.cur.type is TokenType.LBRACKET:
+            self._advance()
+            count = self._expr()
+            self._expect(TokenType.RBRACKET)
+        name = self._expect(TokenType.IDENT).value
+        role = self._expect(TokenType.IDENT).value
+        return ComponentRef(count, name, role)
+
+    def _resource(self) -> ResourceDecl:
+        self._expect_keyword("resource")
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LPAREN)
+        arg = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.RPAREN)
+        self._expect(TokenType.LBRACKET)
+        cost = self._expr()
+        self._expect(TokenType.RBRACKET)
+        traits: list[tuple[str, Expr]] = []
+        if self._at_keyword("with"):
+            self._advance()
+            while True:
+                tname = self._expect(TokenType.IDENT).value
+                self._expect(TokenType.LBRACKET)
+                texpr = self._expr()
+                self._expect(TokenType.RBRACKET)
+                traits.append((tname, texpr))
+                if self.cur.type is TokenType.COMMA:
+                    self._advance()
+                    continue
+                break
+        return ResourceDecl(name, arg, cost, tuple(traits))
+
+    # -- expressions -------------------------------------------------------
+    def _expr(self) -> Expr:
+        node = self._term()
+        while self.cur.type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance().value
+            node = BinOp(op, node, self._term())
+        return node
+
+    def _term(self) -> Expr:
+        node = self._power()
+        while self.cur.type in (TokenType.STAR, TokenType.SLASH):
+            op = self._advance().value
+            node = BinOp(op, node, self._power())
+        return node
+
+    def _power(self) -> Expr:
+        base = self._unary()
+        if self.cur.type is TokenType.CARET:
+            self._advance()
+            return BinOp("^", base, self._power())  # right-associative
+        return base
+
+    def _unary(self) -> Expr:
+        if self.cur.type in (TokenType.MINUS, TokenType.PLUS):
+            op = self._advance().value
+            return UnaryOp(op, self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        tok = self.cur
+        if tok.type is TokenType.NUMBER:
+            self._advance()
+            return Num(float(tok.value))
+        if tok.type is TokenType.IDENT:
+            self._advance()
+            if self.cur.type is TokenType.LPAREN:
+                self._advance()
+                args: list[Expr] = []
+                if self.cur.type is not TokenType.RPAREN:
+                    args.append(self._expr())
+                    while self.cur.type is TokenType.COMMA:
+                        self._advance()
+                        args.append(self._expr())
+                self._expect(TokenType.RPAREN)
+                return Call(tok.value, tuple(args))
+            return ParamRef(tok.value)
+        if tok.type is TokenType.LPAREN:
+            self._advance()
+            node = self._expr()
+            self._expect(TokenType.RPAREN)
+            return node
+        raise self._error("expected a number, parameter, function call, or '('")
+
+
+def parse_source(source: str) -> SourceFile:
+    """Parse ASPEN source text into a :class:`SourceFile` AST."""
+    return _Parser(tokenize(source)).parse()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone arithmetic expression (used for parameter overrides)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expr()
+    if parser.cur.type is not TokenType.EOF:
+        raise parser._error("unexpected trailing input after expression")
+    return expr

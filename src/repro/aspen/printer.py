@@ -1,0 +1,164 @@
+"""Pretty-printer: AST back to ASPEN source text.
+
+Supports programmatic model authoring (build or transform an AST, then emit
+a ``.aspen`` file) and enables the round-trip property the test suite
+checks: ``parse(print(parse(src)))`` evaluates identically to ``parse(src)``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import AspenError
+from .ast_nodes import (
+    BinOp,
+    Call,
+    Clause,
+    ComponentDecl,
+    ComponentRef,
+    ExecuteBlock,
+    Expr,
+    IncludeDecl,
+    Iterate,
+    KernelCall,
+    KernelDecl,
+    MachineDecl,
+    ModelDecl,
+    Num,
+    ParamRef,
+    ParBlock,
+    SeqBlock,
+    SourceFile,
+    Statement,
+    UnaryOp,
+)
+
+__all__ = ["format_expr", "format_source"]
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "^": 3}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Num):
+        v = expr.value
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return repr(v)
+    if isinstance(expr, ParamRef):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        inner = format_expr(expr.operand, 4)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        # Left operand: same precedence binds left for + - * /; ^ is
+        # right-associative, so a left ^ child needs parens.
+        lhs = format_expr(expr.lhs, prec + (1 if expr.op == "^" else 0))
+        rhs = format_expr(expr.rhs, prec + (0 if expr.op == "^" else 1))
+        text = f"{lhs} {expr.op} {rhs}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a, 0) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise AspenError(f"cannot format expression node {expr!r}")
+
+
+def _format_clause(clause: Clause, indent: str) -> str:
+    parts = [f"{indent}{clause.resource} [{format_expr(clause.amount)}]"]
+    if clause.traits:
+        parts.append("as " + ", ".join(clause.traits))
+    if clause.target is not None:
+        # `from` vs `to` is not stored; `to` round-trips identically in this
+        # grammar since both attach a data-set name.
+        parts.append(f"to {clause.target}")
+    if clause.of_size is not None:
+        parts.append(f"of size [{format_expr(clause.of_size)}]")
+    return " ".join(parts)
+
+
+def _format_statement(stmt: Statement, indent: str) -> list[str]:
+    if isinstance(stmt, ExecuteBlock):
+        label = f" {stmt.label}" if stmt.label else ""
+        head = f"{indent}execute{label} [{format_expr(stmt.count)}] {{"
+        body = [_format_clause(c, indent + "  ") for c in stmt.clauses]
+        return [head, *body, f"{indent}}}"]
+    if isinstance(stmt, KernelCall):
+        return [f"{indent}{stmt.name}"]
+    if isinstance(stmt, Iterate):
+        head = f"{indent}iterate [{format_expr(stmt.count)}] {{"
+        body = [line for s in stmt.body for line in _format_statement(s, indent + "  ")]
+        return [head, *body, f"{indent}}}"]
+    if isinstance(stmt, (ParBlock, SeqBlock)):
+        kw = "par" if isinstance(stmt, ParBlock) else "seq"
+        body = [line for s in stmt.body for line in _format_statement(s, indent + "  ")]
+        return [f"{indent}{kw} {{", *body, f"{indent}}}"]
+    raise AspenError(f"cannot format statement {stmt!r}")
+
+
+def _format_model(model: ModelDecl) -> list[str]:
+    lines = [f"model {model.name} {{"]
+    for p in model.params:
+        lines.append(f"  param {p.name} = {format_expr(p.expr)}")
+    for d in model.data:
+        lines.append(
+            f"  data {d.name} as Array({format_expr(d.count)}, "
+            f"{format_expr(d.element_bytes)})"
+        )
+    for k in model.kernels:
+        lines.append(f"  kernel {k.name} {{")
+        for stmt in k.body:
+            lines.extend(_format_statement(stmt, "    "))
+        lines.append("  }")
+    lines.append("}")
+    return lines
+
+
+def _format_component_ref(ref: ComponentRef, indent: str) -> str:
+    if ref.role == "link":
+        return f"{indent}linked with {ref.name}"
+    count = format_expr(ref.count)
+    return f"{indent}[{count}] {ref.name} {ref.role}"
+
+
+def _format_component(comp: ComponentDecl) -> list[str]:
+    lines = [f"{comp.kind} {comp.name} {{"]
+    for p in comp.params:
+        lines.append(f"  param {p.name} = {format_expr(p.expr)}")
+    for prop in comp.properties:
+        lines.append(f"  property {prop.name} [{format_expr(prop.expr)}]")
+    for res in comp.resources:
+        head = f"  resource {res.name}({res.arg}) [{format_expr(res.cost)}]"
+        if res.traits:
+            traits = ", ".join(f"{n} [{format_expr(e)}]" for n, e in res.traits)
+            head += f" with {traits}"
+        lines.append(head)
+    for ref in comp.components:
+        lines.append(_format_component_ref(ref, "  "))
+    lines.append("}")
+    return lines
+
+
+def _format_machine(machine: MachineDecl) -> list[str]:
+    lines = [f"machine {machine.name} {{"]
+    for ref in machine.components:
+        lines.append(_format_component_ref(ref, "  "))
+    lines.append("}")
+    return lines
+
+
+def format_source(src: SourceFile) -> str:
+    """Render a full source file (includes, models, machines, components)."""
+    blocks: list[str] = []
+    for inc in src.includes:
+        blocks.append(f"include {inc.path}")
+    for machine in src.machines:
+        blocks.append("\n".join(_format_machine(machine)))
+    for comp in src.components:
+        blocks.append("\n".join(_format_component(comp)))
+    for model in src.models:
+        blocks.append("\n".join(_format_model(model)))
+    return "\n\n".join(blocks) + "\n"
+
+
+def _format_include(inc: IncludeDecl) -> str:  # pragma: no cover - trivial
+    return f"include {inc.path}"

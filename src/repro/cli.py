@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four commands cover the everyday uses of the library:
+
+* ``predict`` — stage-resolved time-to-solution from the performance models
+  (the paper's Fig. 9 numbers for one operating point);
+* ``solve``   — run a random problem through the simulated device end to end;
+* ``embed``   — minor-embed a random graph and report chain statistics;
+* ``fig9``    — print the three Fig. 9 series from the ASPEN artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Split-execution performance models (Humble et al., 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="stage-resolved time-to-solution")
+    p.add_argument("--lps", type=int, default=50, help="logical problem size")
+    p.add_argument("--accuracy", type=float, default=0.99, help="target accuracy pa")
+    p.add_argument("--success", type=float, default=0.7, help="single-run success ps")
+    p.add_argument(
+        "--embedding-mode",
+        choices=("online", "offline"),
+        default="online",
+        help="inline CMR embedding vs precomputed lookup table",
+    )
+
+    p = sub.add_parser("solve", help="solve an Ising problem on the simulated QPU")
+    p.add_argument("--file", type=str, default=None,
+                   help="COO problem file (see repro.qubo.io); random problem if omitted")
+    p.add_argument("--spins", type=int, default=8, help="random-problem size")
+    p.add_argument("--reads", type=int, default=100, help="annealing reads")
+    p.add_argument("--cells", type=int, default=4, help="Chimera lattice is cells x cells")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("embed", help="CMR-embed a random graph and report statistics")
+    p.add_argument("--vertices", type=int, default=16)
+    p.add_argument("--density", type=float, default=0.3, help="edge probability")
+    p.add_argument("--cells", type=int, default=12, help="Chimera lattice is cells x cells")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig9", help="print the Fig. 9 series from the ASPEN models")
+    p.add_argument("--max-lps", type=int, default=100)
+
+    return parser
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .core import SplitExecutionModel, format_seconds
+
+    model = SplitExecutionModel(embedding_mode=args.embedding_mode)
+    t = model.time_to_solution(args.lps, args.accuracy, args.success)
+    print(f"split-execution prediction (LPS={args.lps}, pa={args.accuracy}, "
+          f"ps={args.success}, embedding={args.embedding_mode}):")
+    print(f"  stage 1 (classical pre-processing): {format_seconds(t.stage1_seconds)}")
+    print(f"    - embedding computation : {format_seconds(t.stage1.embedding_flops)}")
+    print(f"    - processor programming : {format_seconds(t.stage1.processor_initialize)}")
+    print(f"  stage 2 (quantum execution, {t.stage2.repetitions} reads): "
+          f"{format_seconds(t.stage2_seconds)}")
+    print(f"  stage 3 (post-processing)         : {format_seconds(t.stage3_seconds)}")
+    print(f"  total                             : {format_seconds(t.total_seconds)}")
+    print(f"  dominant stage                    : {t.dominant_stage}")
+    if t.stage2_seconds > 0:
+        print(f"  quantum fraction                  : {t.quantum_fraction:.3e}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .annealer import DWaveDevice, ExactSolver
+    from .core import format_seconds
+    from .hardware import ChimeraTopology
+    from .qubo import Qubo, load_problem, qubo_to_ising, random_ising
+
+    if args.file:
+        loaded = load_problem(args.file)
+        problem = qubo_to_ising(loaded) if isinstance(loaded, Qubo) else loaded
+        origin = f"loaded from {args.file}"
+    else:
+        problem = random_ising(args.spins, rng=args.seed)
+        origin = "random Ising"
+    device = DWaveDevice(topology=ChimeraTopology(args.cells, args.cells, 4))
+    t0 = time.perf_counter()
+    result = device.solve_ising(problem, num_reads=args.reads, rng=args.seed)
+    wall = time.perf_counter() - t0
+    print(f"problem: {origin}, {problem.num_spins} spins")
+    print(f"best energy found : {result.best_energy:.6g}")
+    if problem.num_spins <= 20:
+        exact = ExactSolver().ground_energy(problem)
+        gap = result.best_energy - exact
+        print(f"exact ground      : {exact:.6g}  (gap {gap:.3g})")
+    emb = result.embedded.embedding
+    print(f"embedding         : {emb.num_physical} qubits, max chain {emb.max_chain_length}")
+    print(f"chain breaks      : {result.chain_break_fraction:.2%}")
+    print(f"device-model time : {format_seconds(result.timing.total_s)}")
+    print(f"wall-clock time   : {format_seconds(wall)}")
+    return 0
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    import networkx as nx
+
+    from .core import format_seconds
+    from .embedding import find_embedding_cmr, verify_embedding
+    from .hardware import ChimeraTopology
+
+    graph = nx.gnp_random_graph(args.vertices, args.density, seed=args.seed)
+    topo = ChimeraTopology(args.cells, args.cells, 4)
+    hardware = topo.graph()
+    t0 = time.perf_counter()
+    emb, diag = find_embedding_cmr(graph, hardware, rng=args.seed, return_diagnostics=True)
+    wall = time.perf_counter() - t0
+    verify_embedding(emb, graph, hardware)
+    print(f"source: G({args.vertices}, {args.density}) with {graph.number_of_edges()} edges")
+    print(f"target: C({args.cells},{args.cells},4) with {topo.num_qubits} qubits")
+    print(f"embedding found in {format_seconds(wall)} "
+          f"({diag.tries} tries, {diag.evaluations} vertex-model evaluations)")
+    print(f"  physical qubits : {emb.num_physical}")
+    print(f"  max chain       : {emb.max_chain_length}")
+    print(f"  mean chain      : {emb.num_physical / max(emb.num_logical, 1):.2f}")
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from .core import AspenStageModels, format_seconds, format_table
+
+    aspen = AspenStageModels()
+    sizes = [n for n in (1, 2, 5, 10, 20, 30, 50, 75, 100) if n <= args.max_lps]
+    print(format_table(
+        ["LPS", "stage 1", "stage 3"],
+        [[n, format_seconds(aspen.stage1_seconds(n)),
+          format_seconds(aspen.stage3_seconds(n))] for n in sizes],
+        title="Fig. 9(a)/(c): stage 1 and stage 3 vs problem size",
+    ))
+    print()
+    print(format_table(
+        ["accuracy", "stage 2 (ps=0.7)"],
+        [[f"{a}%", format_seconds(aspen.stage2_seconds(a, 0.7))]
+         for a in (50.0, 90.0, 99.0, 99.9, 99.99)],
+        title="Fig. 9(b): stage 2 vs accuracy",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "predict": _cmd_predict,
+    "solve": _cmd_solve,
+    "embed": _cmd_embed,
+    "fig9": _cmd_fig9,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

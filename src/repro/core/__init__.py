@@ -1,0 +1,58 @@
+"""The paper's primary contribution: split-execution performance models.
+
+Closed-form implementations of the Stage 1-3 application models
+(Figs. 6-8), the Eq.-6 repetition planner, the composed
+:class:`SplitExecutionModel` pipeline with bottleneck analysis, scaling and
+crossover studies, calibration against measured CMR timings, an
+ASPEN-evaluated backend cross-validating the closed forms, and report
+formatting for the benchmark harness.
+"""
+
+from .aspen_backend import AspenStageModels
+from .calibration import (
+    calibrate_embed_rate,
+    measure_cmr_timings,
+    model_measured_ratios,
+)
+from .machine_params import XEON_E5_2680, HostMachineParams
+from .pipeline import SplitExecutionModel, StageTimings
+from .repetition import (
+    achieved_accuracy,
+    required_repetitions,
+    required_success_probability,
+)
+from .report import format_seconds, format_series, format_table
+from .scaling import crossover_point, loglog_slope, series, stage_dominance_table
+from .sensitivity import elasticity, model_elasticities
+from .stage1 import Stage1Breakdown, Stage1Model
+from .stage2 import Stage2Breakdown, Stage2Model
+from .stage3 import Stage3Breakdown, Stage3Model
+
+__all__ = [
+    "required_repetitions",
+    "achieved_accuracy",
+    "required_success_probability",
+    "HostMachineParams",
+    "XEON_E5_2680",
+    "Stage1Model",
+    "Stage1Breakdown",
+    "Stage2Model",
+    "Stage2Breakdown",
+    "Stage3Model",
+    "Stage3Breakdown",
+    "SplitExecutionModel",
+    "StageTimings",
+    "AspenStageModels",
+    "series",
+    "loglog_slope",
+    "crossover_point",
+    "stage_dominance_table",
+    "elasticity",
+    "model_elasticities",
+    "measure_cmr_timings",
+    "calibrate_embed_rate",
+    "model_measured_ratios",
+    "format_seconds",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,88 @@
+"""Stage timings computed through the ASPEN evaluator on the paper listings.
+
+The closed-form models in :mod:`repro.core.stage1`-``stage3`` and this
+ASPEN-evaluated backend are two independent implementations of the same
+performance models; the test suite asserts they agree to floating-point
+precision, which pins the closed forms to the paper's actual artifacts
+(Figs. 5-8).
+"""
+
+from __future__ import annotations
+
+from ..aspen import AspenEvaluator, EvaluationReport, load_paper_models
+from ..exceptions import ValidationError
+
+__all__ = ["AspenStageModels"]
+
+_CPU_SOCKET = "intel_xeon_e5_2680"
+_QPU_SOCKET = "dwave_vesuvius_20"
+
+
+class AspenStageModels:
+    """Evaluates the bundled Stage 1-3 listings on the Fig.-5 machine."""
+
+    def __init__(self) -> None:
+        self._registry = load_paper_models()
+        self._machine = self._registry.machine("SimpleNode")
+        self._evaluator = AspenEvaluator(self._machine)
+        self._stage1 = self._registry.application("Stage1")
+        self._stage2 = self._registry.application("Stage2")
+        self._stage3 = self._registry.application("Stage3")
+
+    # ------------------------------------------------------------------ #
+    def stage1_report(self, lps: int) -> EvaluationReport:
+        """Full Stage-1 evaluation report at problem size ``lps``."""
+        if lps < 0:
+            raise ValidationError(f"lps must be non-negative, got {lps}")
+        return self._evaluator.evaluate(
+            self._stage1, socket=_CPU_SOCKET, params={"LPS": float(lps)}
+        )
+
+    def stage1_seconds(self, lps: int) -> float:
+        """Stage-1 total seconds (Fig. 9(a) solid line)."""
+        return self.stage1_report(lps).total_seconds
+
+    # ------------------------------------------------------------------ #
+    def stage2_report(self, accuracy_percent: float, success: float) -> EvaluationReport:
+        """Stage-2 evaluation; note the listing takes accuracy as a percentage."""
+        if not 0.0 <= accuracy_percent < 100.0:
+            raise ValidationError(
+                f"accuracy_percent must lie in [0, 100), got {accuracy_percent}"
+            )
+        if not 0.0 < success < 1.0:
+            raise ValidationError(f"success must lie in (0, 1), got {success}")
+        return self._evaluator.evaluate(
+            self._stage2,
+            socket=_QPU_SOCKET,
+            params={"Accuracy": float(accuracy_percent), "Success": float(success)},
+        )
+
+    def stage2_seconds(self, accuracy_percent: float, success: float) -> float:
+        """Stage-2 total seconds (Fig. 9(b))."""
+        return self.stage2_report(accuracy_percent, success).total_seconds
+
+    # ------------------------------------------------------------------ #
+    def stage3_report(
+        self,
+        lps: int,
+        accuracy: float | None = None,
+        success: float | None = None,
+    ) -> EvaluationReport:
+        """Stage-3 evaluation (listing defaults: Success 0.75, Accuracy 0.99)."""
+        if lps < 0:
+            raise ValidationError(f"lps must be non-negative, got {lps}")
+        params: dict[str, float] = {"LPS": float(lps)}
+        if accuracy is not None:
+            params["Accuracy"] = float(accuracy)
+        if success is not None:
+            params["Success"] = float(success)
+        return self._evaluator.evaluate(self._stage3, socket=_CPU_SOCKET, params=params)
+
+    def stage3_seconds(
+        self,
+        lps: int,
+        accuracy: float | None = None,
+        success: float | None = None,
+    ) -> float:
+        """Stage-3 total seconds (Fig. 9(c))."""
+        return self.stage3_report(lps, accuracy, success).total_seconds

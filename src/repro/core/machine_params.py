@@ -1,0 +1,73 @@
+"""Machine-rate constants shared by the closed-form stage models.
+
+These mirror the bundled ASPEN machine files exactly (see
+``repro/aspen/models/``); the test suite cross-validates the closed-form
+stage models against the ASPEN evaluator, so any change here must be made
+in the ``.aspen`` sources too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+
+__all__ = ["HostMachineParams", "XEON_E5_2680"]
+
+
+@dataclass(frozen=True)
+class HostMachineParams:
+    """Aggregate rates of the conventional host (CPU socket + DRAM + PCIe)."""
+
+    clock_hz: float = 2.7e9
+    simd_sp_lanes: int = 8
+    fmad_factor: float = 2.0
+    memory_bandwidth_bytes_per_s: float = 8.528e9 * 4
+    pcie_bandwidth_bytes_per_s: float = 6e9
+    pcie_latency_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "clock_hz",
+            "memory_bandwidth_bytes_per_s",
+            "pcie_bandwidth_bytes_per_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+        if self.simd_sp_lanes < 1 or self.fmad_factor < 1:
+            raise ValidationError("simd_sp_lanes and fmad_factor must be >= 1")
+        if self.pcie_latency_s < 0:
+            raise ValidationError("pcie_latency_s must be non-negative")
+
+    # -- effective flop rates for the paper's trait combinations --------- #
+    @property
+    def flops_sp(self) -> float:
+        """Scalar single-precision rate (clause ``as sp``)."""
+        return self.clock_hz
+
+    @property
+    def flops_sp_simd(self) -> float:
+        """Vectorized single-precision rate (clause ``as sp, simd``)."""
+        return self.clock_hz * self.simd_sp_lanes
+
+    @property
+    def flops_sp_fmad_simd(self) -> float:
+        """Vectorized FMA single-precision rate (clause ``as sp, fmad, simd``)."""
+        return self.clock_hz * self.simd_sp_lanes * self.fmad_factor
+
+    # -- data movement ---------------------------------------------------- #
+    def memory_seconds(self, num_bytes: float) -> float:
+        """Time to stream ``num_bytes`` through main memory."""
+        if num_bytes < 0:
+            raise ValidationError("byte counts must be non-negative")
+        return num_bytes / self.memory_bandwidth_bytes_per_s
+
+    def pcie_seconds(self, num_bytes: float) -> float:
+        """Latency plus transfer time for one PCIe crossing."""
+        if num_bytes < 0:
+            raise ValidationError("byte counts must be non-negative")
+        return self.pcie_latency_s + num_bytes / self.pcie_bandwidth_bytes_per_s
+
+
+#: The Intel Xeon E5-2680 host of the paper's Fig. 5 machine model.
+XEON_E5_2680 = HostMachineParams()

@@ -1,0 +1,204 @@
+"""The end-to-end split-execution performance model.
+
+Composes the three stage models into the paper's application model
+(Sec. 3.2): time-to-solution, stage breakdown, bottleneck analysis, and the
+bridge into the discrete-event runtime (a :class:`RequestProfile` for the
+Fig. 1/2 simulations).
+
+The ``embedding_mode`` knob implements the paper's closing discussion: with
+``"offline"`` embedding, the minor-embedding computation moves off the
+critical path into a precomputed lookup table, leaving only a graph-lookup
+cost (charged as ``LPS^2`` comparisons — the documented stand-in for the
+graph-isomorphism check the paper envisions the table needing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..exceptions import ValidationError
+from ..runtime.layers import RequestProfile
+from .stage1 import Stage1Breakdown, Stage1Model
+from .stage2 import Stage2Breakdown, Stage2Model
+from .stage3 import Stage3Breakdown, Stage3Model
+
+__all__ = ["StageTimings", "SplitExecutionModel"]
+
+_EMBEDDING_MODES = ("online", "offline")
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Stage-resolved prediction for one problem instance."""
+
+    lps: int
+    accuracy: float
+    success: float
+    stage1: Stage1Breakdown
+    stage2: Stage2Breakdown
+    stage3: Stage3Breakdown
+    embedding_mode: str = "online"
+
+    @property
+    def stage1_seconds(self) -> float:
+        return self.stage1.total
+
+    @property
+    def stage2_seconds(self) -> float:
+        return self.stage2.total
+
+    @property
+    def stage3_seconds(self) -> float:
+        return self.stage3.total
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stage1.total + self.stage2.total + self.stage3.total
+
+    @property
+    def dominant_stage(self) -> str:
+        """Which stage dominates the time-to-solution."""
+        times = {
+            "stage1": self.stage1.total,
+            "stage2": self.stage2.total,
+            "stage3": self.stage3.total,
+        }
+        return max(times, key=times.get)  # type: ignore[arg-type]
+
+    @property
+    def quantum_fraction(self) -> float:
+        """Fraction of the total spent in quantum execution (Stage 2)."""
+        total = self.total_seconds
+        return self.stage2.total / total if total > 0 else 0.0
+
+    def stage_fractions(self) -> dict[str, float]:
+        total = self.total_seconds
+        if total <= 0:
+            return {"stage1": 0.0, "stage2": 0.0, "stage3": 0.0}
+        return {
+            "stage1": self.stage1.total / total,
+            "stage2": self.stage2.total / total,
+            "stage3": self.stage3.total / total,
+        }
+
+
+@dataclass(frozen=True)
+class SplitExecutionModel:
+    """The composed three-stage performance model.
+
+    Parameters
+    ----------
+    stage1, stage2, stage3:
+        The stage models (paper Figs. 6-8 defaults).
+    embedding_mode:
+        ``"online"`` — the embedding is computed inside the request (the
+        paper's measured configuration, whose bottleneck Fig. 9 exposes);
+        ``"offline"`` — the embedding comes from a precomputed lookup
+        table and only the lookup cost remains.
+    """
+
+    stage1: Stage1Model = field(default_factory=Stage1Model)
+    stage2: Stage2Model = field(default_factory=Stage2Model)
+    stage3: Stage3Model = field(default_factory=Stage3Model)
+    embedding_mode: str = "online"
+
+    def __post_init__(self) -> None:
+        if self.embedding_mode not in _EMBEDDING_MODES:
+            raise ValidationError(
+                f"embedding_mode must be one of {_EMBEDDING_MODES}, "
+                f"got {self.embedding_mode!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Predictions
+    # ------------------------------------------------------------------ #
+    def _stage1_breakdown(self, lps: int) -> Stage1Breakdown:
+        b = self.stage1.breakdown(lps)
+        if self.embedding_mode == "online":
+            return b
+        # Offline: replace the embedding computation with a table lookup
+        # charged LPS^2 comparison flops (graph-signature matching).
+        lookup_seconds = float(lps) ** 2 / self.stage1.host.flops_sp
+        return replace(b, embedding_flops=lookup_seconds)
+
+    def time_to_solution(
+        self, lps: int, accuracy: float = 0.99, success: float = 0.7
+    ) -> StageTimings:
+        """Predict the stage-resolved time-to-solution for one problem.
+
+        Parameters
+        ----------
+        lps:
+            Logical problem size (spins in the logical Hamiltonian).
+        accuracy:
+            Target ensemble accuracy ``p_a`` (fraction, e.g. 0.99).
+        success:
+            Characteristic single-run success probability ``p_s``.
+        """
+        return StageTimings(
+            lps=lps,
+            accuracy=accuracy,
+            success=success,
+            stage1=self._stage1_breakdown(lps),
+            stage2=self.stage2.breakdown(accuracy, success),
+            stage3=self.stage3.breakdown(lps, accuracy, success),
+            embedding_mode=self.embedding_mode,
+        )
+
+    def sweep(
+        self,
+        lps_values,
+        accuracy: float = 0.99,
+        success: float = 0.7,
+    ) -> list[StageTimings]:
+        """Predictions across a range of problem sizes (the Fig. 9 x-axes)."""
+        return [self.time_to_solution(int(n), accuracy, success) for n in lps_values]
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+    def bottleneck(self, lps: int, accuracy: float = 0.99, success: float = 0.7) -> str:
+        """The dominating stage at this operating point."""
+        return self.time_to_solution(lps, accuracy, success).dominant_stage
+
+    def required_embedding_speedup(
+        self, lps: int, accuracy: float = 0.99, success: float = 0.7
+    ) -> float:
+        """Speedup of the classical translation needed to become QPU-limited.
+
+        The paper concludes "the pre-processing overhead for split-execution
+        must be reduced by many orders of magnitude in order to become
+        processor limited"; this computes the exact factor at a given
+        operating point (translation time / quantum execution time).
+        """
+        t = self.time_to_solution(lps, accuracy, success)
+        if t.stage2.total <= 0:
+            raise ValidationError("quantum execution time is zero; speedup undefined")
+        return t.stage1.classical_translation / t.stage2.total
+
+    # ------------------------------------------------------------------ #
+    # Runtime bridge
+    # ------------------------------------------------------------------ #
+    def request_profile(
+        self,
+        lps: int,
+        accuracy: float = 0.99,
+        success: float = 0.7,
+        network_latency: float = 0.0,
+    ) -> RequestProfile:
+        """Stage durations packaged for the discrete-event runtime (Fig. 2)."""
+        t = self.time_to_solution(lps, accuracy, success)
+        payload_bytes = 4.0 * (lps * lps)  # the dense logical problem
+        transfer = payload_bytes / self.stage1.host.pcie_bandwidth_bytes_per_s
+        return RequestProfile(
+            ising_generation=t.stage1.ising_generation + t.stage1.parameter_setting,
+            embedding=t.stage1.embedding_flops
+            + t.stage1.input_loads
+            + t.stage1.output_stores
+            + t.stage1.intracomm,
+            processor_init=t.stage1.processor_initialize,
+            quantum_execution=t.stage2.total,
+            postprocessing=t.stage3.total,
+            network_latency=network_latency,
+            payload_transfer=transfer,
+        )

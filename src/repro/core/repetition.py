@@ -1,0 +1,78 @@
+"""The repetition planner: paper Eq. (6).
+
+The QPU is a probabilistic processor; if a single run finds the ground
+state with characteristic probability ``p_s``, then reaching a target
+solution accuracy ``p_a`` (probability that at least one of ``s`` runs
+succeeded) requires
+
+    s >= log(1 - p_a) / log(1 - p_s).
+
+These helpers implement the formula, its inverse forms, and the Monte-Carlo
+validation hook used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "required_repetitions",
+    "achieved_accuracy",
+    "required_success_probability",
+]
+
+
+def _check_prob(name: str, value: float, lo_open: bool, hi_open: bool) -> None:
+    lo_ok = value > 0.0 if lo_open else value >= 0.0
+    hi_ok = value < 1.0 if hi_open else value <= 1.0
+    if not (lo_ok and hi_ok):
+        lo = "(" if lo_open else "["
+        hi = ")" if hi_open else "]"
+        raise ValidationError(f"{name} must lie in {lo}0, 1{hi}, got {value}")
+
+
+def required_repetitions(accuracy: float, success: float) -> int:
+    """Minimum number of annealing runs to reach the target accuracy (Eq. 6).
+
+    Parameters
+    ----------
+    accuracy:
+        Desired probability ``p_a`` in ``[0, 1)`` that the ensemble contains
+        the ground state.
+    success:
+        Characteristic single-run success probability ``p_s`` in ``(0, 1]``.
+
+    Returns
+    -------
+    int
+        ``ceil(log(1 - p_a) / log(1 - p_s))``; 0 when ``accuracy == 0``,
+        1 when ``success == 1`` and ``accuracy > 0``.
+    """
+    _check_prob("accuracy", accuracy, lo_open=False, hi_open=True)
+    _check_prob("success", success, lo_open=True, hi_open=False)
+    if accuracy == 0.0:
+        return 0
+    if success == 1.0:
+        return 1
+    s = math.log(1.0 - accuracy) / math.log(1.0 - success)
+    return int(math.ceil(s - 1e-12))
+
+
+def achieved_accuracy(repetitions: int, success: float) -> float:
+    """Accuracy delivered by ``s`` runs: ``1 - (1 - p_s)^s`` (inverse of Eq. 6)."""
+    if repetitions < 0:
+        raise ValidationError(f"repetitions must be non-negative, got {repetitions}")
+    _check_prob("success", success, lo_open=True, hi_open=False)
+    return 1.0 - (1.0 - success) ** repetitions
+
+
+def required_success_probability(accuracy: float, repetitions: int) -> float:
+    """Smallest ``p_s`` for which ``s`` runs reach the target accuracy."""
+    _check_prob("accuracy", accuracy, lo_open=False, hi_open=True)
+    if repetitions < 1:
+        if accuracy == 0.0:
+            return 0.0
+        raise ValidationError("cannot reach a positive accuracy with zero repetitions")
+    return 1.0 - (1.0 - accuracy) ** (1.0 / repetitions)

@@ -1,0 +1,75 @@
+"""Plain-text report rendering for benches and examples.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting consistent everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..exceptions import ValidationError
+
+__all__ = ["format_seconds", "format_table", "format_series"]
+
+_UNITS = (
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+)
+
+
+def format_seconds(value: float, digits: int = 3) -> str:
+    """Engineering-style rendering of a duration (``1.23 ms``, ``45.6 s``)."""
+    if value < 0:
+        raise ValidationError(f"durations must be non-negative, got {value}")
+    if value == 0:
+        return "0 s"
+    if math.isinf(value):
+        return "inf"
+    for scale, unit in _UNITS:
+        if value >= scale:
+            return f"{value / scale:.{digits}g} {unit}"
+    return f"{value / 1e-9:.{digits}g} ns"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence[object], ys: Sequence[float], x_name: str, y_name: str) -> str:
+    """Two-column table for an (x, y) series — one paper curve."""
+    if len(xs) != len(ys):
+        raise ValidationError("series lengths differ")
+    return format_table(
+        [x_name, y_name], [[x, format_seconds(float(y))] for x, y in zip(xs, ys)]
+    )
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

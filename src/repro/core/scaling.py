@@ -1,0 +1,107 @@
+"""Scaling studies: series sweeps, log-log exponents, crossover finding.
+
+The paper's headline analysis is about *scaling* — "how the time-to-solution
+varies with the size of the problem" (Sec. 3.3).  These helpers extract the
+quantities that analysis rests on: stage-time series over problem size, the
+empirical polynomial order of a series, and crossover points between
+competing cost terms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .pipeline import SplitExecutionModel
+
+__all__ = [
+    "series",
+    "loglog_slope",
+    "crossover_point",
+    "stage_dominance_table",
+]
+
+
+def series(fn: Callable[[int], float], xs: Sequence[int]) -> np.ndarray:
+    """Evaluate ``fn`` over ``xs`` into a float array."""
+    return np.asarray([fn(int(x)) for x in xs], dtype=np.float64)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log(y)`` against ``log(x)``.
+
+    The empirical polynomial order of a scaling curve; e.g. the Stage-1
+    embedding term has asymptotic slope 3 in the problem size.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValidationError("need at least two matching samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValidationError("log-log slope requires positive samples")
+    lx, ly = np.log(x), np.log(y)
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def crossover_point(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    lo: int = 1,
+    hi: int = 10_000,
+) -> int | None:
+    """Smallest integer ``x`` in ``[lo, hi]`` with ``f(x) >= g(x)``.
+
+    Assumes ``f - g`` is eventually non-decreasing (true for the polynomial-
+    vs-constant comparisons used here); returns ``None`` if no crossover
+    occurs in range.
+    """
+    if lo > hi:
+        raise ValidationError(f"empty search range [{lo}, {hi}]")
+    if f(lo) >= g(lo):
+        return lo
+    if f(hi) < g(hi):
+        return None
+    a, b = lo, hi  # invariant: f(a) < g(a), f(b) >= g(b)
+    while b - a > 1:
+        mid = (a + b) // 2
+        if f(mid) >= g(mid):
+            b = mid
+        else:
+            a = mid
+    return b
+
+
+def stage_dominance_table(
+    model: SplitExecutionModel,
+    lps_values: Sequence[int],
+    accuracy: float = 0.99,
+    success: float = 0.7,
+) -> list[dict[str, float | int | str]]:
+    """Rows of stage times, fractions, and the dominant stage per size.
+
+    The machine-readable form of the paper's central claim (Sec. 3.3): the
+    application bottleneck lies in Stage 1, not in quantum execution.
+    """
+    rows: list[dict[str, float | int | str]] = []
+    for lps in lps_values:
+        t = model.time_to_solution(int(lps), accuracy, success)
+        rows.append(
+            {
+                "lps": int(lps),
+                "stage1_s": t.stage1_seconds,
+                "stage2_s": t.stage2_seconds,
+                "stage3_s": t.stage3_seconds,
+                "total_s": t.total_seconds,
+                "dominant": t.dominant_stage,
+                "quantum_fraction": t.quantum_fraction,
+                "stage1_over_stage2": (
+                    t.stage1_seconds / t.stage2_seconds
+                    if t.stage2_seconds > 0
+                    else float("inf")
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,102 @@
+"""Parameter-sensitivity analysis of the split-execution model.
+
+The paper's abstract claims "the primary time cost is independent of
+quantum processor behavior".  This module makes that statement quantitative:
+the *elasticity* of the total time-to-solution with respect to a machine or
+program parameter,
+
+    elasticity = (dT / T) / (dx / x),
+
+estimated by central finite differences in log space.  An elasticity of -1
+means doubling the parameter halves the total; 0 means the parameter is
+irrelevant at that operating point.  The paper's claim is then simply:
+the elasticity with respect to every QPU-side constant (anneal duration,
+readout, success probability) is ~0, while CPU-side rates carry ~-1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+
+from ..exceptions import ValidationError
+from .machine_params import HostMachineParams
+from .pipeline import SplitExecutionModel
+
+__all__ = ["elasticity", "model_elasticities"]
+
+
+def elasticity(
+    fn: Callable[[float], float],
+    x0: float,
+    rel_step: float = 0.05,
+) -> float:
+    """Central-difference elasticity of ``fn`` at ``x0``.
+
+    ``(d log fn / d log x)`` estimated with multiplicative steps
+    ``x0 * (1 +/- rel_step)``.
+    """
+    if x0 <= 0:
+        raise ValidationError(f"elasticity needs a positive base point, got {x0}")
+    if not 0 < rel_step < 1:
+        raise ValidationError(f"rel_step must lie in (0, 1), got {rel_step}")
+    import math
+
+    hi = fn(x0 * (1 + rel_step))
+    lo = fn(x0 * (1 - rel_step))
+    if hi <= 0 or lo <= 0:
+        raise ValidationError("fn must be positive near the base point")
+    return (math.log(hi) - math.log(lo)) / (
+        math.log(1 + rel_step) - math.log(1 - rel_step)
+    )
+
+
+def _with_host(model: SplitExecutionModel, host: HostMachineParams) -> SplitExecutionModel:
+    return replace(
+        model,
+        stage1=replace(model.stage1, host=host),
+        stage3=replace(model.stage3, host=host),
+    )
+
+
+def model_elasticities(
+    model: SplitExecutionModel | None = None,
+    lps: int = 50,
+    accuracy: float = 0.99,
+    success: float = 0.7,
+) -> dict[str, float]:
+    """Elasticity of total time-to-solution w.r.t. every tunable constant.
+
+    Returns ``{parameter_name: elasticity}`` for the CPU clock, memory and
+    PCIe bandwidths, the QPU anneal duration, and the characteristic
+    success probability, all evaluated at the given operating point.
+    """
+    base = model or SplitExecutionModel()
+
+    def total_with_clock(clock: float) -> float:
+        host = replace(base.stage1.host, clock_hz=clock)
+        return _with_host(base, host).time_to_solution(lps, accuracy, success).total_seconds
+
+    def total_with_membw(bw: float) -> float:
+        host = replace(base.stage1.host, memory_bandwidth_bytes_per_s=bw)
+        return _with_host(base, host).time_to_solution(lps, accuracy, success).total_seconds
+
+    def total_with_pcie(bw: float) -> float:
+        host = replace(base.stage1.host, pcie_bandwidth_bytes_per_s=bw)
+        return _with_host(base, host).time_to_solution(lps, accuracy, success).total_seconds
+
+    def total_with_anneal(anneal_us: float) -> float:
+        m = replace(base, stage2=base.stage2.with_anneal_time(anneal_us))
+        return m.time_to_solution(lps, accuracy, success).total_seconds
+
+    def total_with_success(ps: float) -> float:
+        return base.time_to_solution(lps, accuracy, min(ps, 0.999999)).total_seconds
+
+    host = base.stage1.host
+    return {
+        "cpu_clock_hz": elasticity(total_with_clock, host.clock_hz),
+        "memory_bandwidth": elasticity(total_with_membw, host.memory_bandwidth_bytes_per_s),
+        "pcie_bandwidth": elasticity(total_with_pcie, host.pcie_bandwidth_bytes_per_s),
+        "anneal_duration_us": elasticity(total_with_anneal, base.stage2.timing.anneal_us),
+        "success_probability": elasticity(total_with_success, success),
+    }

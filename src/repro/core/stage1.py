@@ -1,0 +1,189 @@
+"""Stage 1: classical pre-processing (paper Fig. 6) in closed form.
+
+Stage 1 charges, for a logical problem of size ``LPS = n``:
+
+* ``Ising = n^2`` flops (``sp, fmad, simd``) to build the logical Ising
+  model from the QUBO (Eqs. 4-5);
+* ``ParameterSetting = n^3`` flops (``sp, fmad, simd``) — the paper's
+  ``O(n^3)`` addition bound for setting the embedded parameters;
+* ``EmbeddingOps = (EG + NG ln NG) * (2 EH) * NH * NG`` flops
+  (``sp, simd``) — the worst-case Cai-Macready-Roy cost, with
+  ``NH = n``, ``EH = n(n-1)/2`` (complete input graph) and the
+  ``M = N = 12``, ``L = 4`` Chimera constants;
+* loads/stores of the input and embedded problem arrays, a PCIe ``copyout``
+  of the embedded problem, and the constant ``ProcessorInitialize``
+  electronic-control cost (319 573 us).
+
+The closed form matches the bundled ASPEN listing exactly (the test suite
+asserts equality against the evaluator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..embedding.cmr import cmr_embedding_ops
+from ..exceptions import ValidationError
+from ..hardware.chimera import chimera_edge_count, chimera_node_count
+from ..hardware.timing import DW2_TIMING, DWaveTimingModel
+from .machine_params import XEON_E5_2680, HostMachineParams
+
+__all__ = ["Stage1Breakdown", "Stage1Model"]
+
+_INPUT_ELEMENT_BYTES = 4.0  # single-precision values, as in the listing
+
+
+@dataclass(frozen=True)
+class Stage1Breakdown:
+    """Per-contribution seconds of one Stage-1 evaluation."""
+
+    ising_generation: float
+    parameter_setting: float
+    embedding_flops: float
+    input_loads: float
+    output_stores: float
+    intracomm: float
+    processor_initialize: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.ising_generation
+            + self.parameter_setting
+            + self.embedding_flops
+            + self.input_loads
+            + self.output_stores
+            + self.intracomm
+            + self.processor_initialize
+        )
+
+    @property
+    def classical_translation(self) -> float:
+        """Everything except the constant hardware initialization."""
+        return self.total - self.processor_initialize
+
+
+@dataclass(frozen=True)
+class Stage1Model:
+    """Closed-form Stage-1 timing model.
+
+    Parameters
+    ----------
+    m, n, l:
+        Chimera lattice dimensions (paper: 12, 12, 4).
+    host:
+        Conventional-host rates (Xeon E5-2680 by default).
+    timing:
+        QPU timing constants supplying ``ProcessorInitialize``.
+    embed_rate_scale:
+        Calibration factor on the embedding flop rate (see
+        :mod:`repro.core.calibration`); 1.0 reproduces the raw machine model.
+    """
+
+    m: int = 12
+    n: int = 12
+    l: int = 4
+    host: HostMachineParams = field(default_factory=lambda: XEON_E5_2680)
+    timing: DWaveTimingModel = field(default_factory=lambda: DW2_TIMING)
+    embed_rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.l) < 1:
+            raise ValidationError("Chimera dimensions must be positive")
+        if self.embed_rate_scale <= 0:
+            raise ValidationError("embed_rate_scale must be positive")
+
+    # -- graph-size parameters (the listing's NG / EG / NH / EH) --------- #
+    @property
+    def hardware_nodes(self) -> int:
+        return chimera_node_count(self.m, self.n, self.l)
+
+    @property
+    def hardware_edges(self) -> int:
+        return chimera_edge_count(self.m, self.n, self.l)
+
+    @staticmethod
+    def logical_nodes(lps: int) -> int:
+        return int(lps)
+
+    @staticmethod
+    def logical_edges(lps: int) -> int:
+        """Complete input graph: ``EH = n(n-1)/2`` (the worst case assumed)."""
+        return lps * (lps - 1) // 2
+
+    # -- operation counts -------------------------------------------------- #
+    def ising_generation_ops(self, lps: int) -> float:
+        """``Ising = LPS^2`` flops."""
+        return float(lps) ** 2
+
+    def parameter_setting_ops(self, lps: int) -> float:
+        """``ParameterSetting = LPS^3`` flops."""
+        return float(lps) ** 3
+
+    def embedding_ops(self, lps: int) -> float:
+        """Worst-case CMR operation count (Fig. 6)."""
+        return cmr_embedding_ops(
+            nh=self.logical_nodes(lps),
+            eh=self.logical_edges(lps),
+            ng=self.hardware_nodes,
+            eg=self.hardware_edges,
+        )
+
+    # -- timing ------------------------------------------------------------ #
+    def breakdown(self, lps: int) -> Stage1Breakdown:
+        """Evaluate every Stage-1 contribution for problem size ``lps``."""
+        if lps < 0:
+            raise ValidationError(f"problem size must be non-negative, got {lps}")
+        nh = self.logical_nodes(lps)
+        eh = self.logical_edges(lps)
+        eg = self.hardware_edges
+
+        embed_rate = self.host.flops_sp_simd * self.embed_rate_scale
+        return Stage1Breakdown(
+            ising_generation=self.ising_generation_ops(lps) / self.host.flops_sp_fmad_simd,
+            parameter_setting=self.parameter_setting_ops(lps) / self.host.flops_sp_fmad_simd,
+            embedding_flops=self.embedding_ops(lps) / embed_rate,
+            input_loads=self.host.memory_seconds(eh * _INPUT_ELEMENT_BYTES),
+            output_stores=self.host.memory_seconds(
+                nh * _INPUT_ELEMENT_BYTES + eg * _INPUT_ELEMENT_BYTES
+            ),
+            intracomm=self.host.pcie_seconds(eg * _INPUT_ELEMENT_BYTES),
+            processor_initialize=self.timing.processor_initialize_s,
+        )
+
+    def seconds(self, lps: int) -> float:
+        """Total Stage-1 time for problem size ``lps``."""
+        return self.breakdown(lps).total
+
+    def embedded_graph_size(self, lps: int) -> int:
+        """The paper's worst-case assumption: the embedded graph has ``LPS^2`` nodes."""
+        return int(lps) ** 2
+
+    def dominant_term(self, lps: int) -> str:
+        """Name of the largest contribution at size ``lps``."""
+        b = self.breakdown(lps)
+        terms = {
+            "ising_generation": b.ising_generation,
+            "parameter_setting": b.parameter_setting,
+            "embedding_flops": b.embedding_flops,
+            "input_loads": b.input_loads,
+            "output_stores": b.output_stores,
+            "intracomm": b.intracomm,
+            "processor_initialize": b.processor_initialize,
+        }
+        return max(terms, key=terms.get)  # type: ignore[arg-type]
+
+    def crossover_size(self) -> int:
+        """Smallest ``lps`` at which embedding flops exceed the constant init cost.
+
+        Below this size Stage 1 is dominated by the fixed 0.32 s electronic
+        programming; above it, by the embedding computation — the knee
+        visible in Fig. 9(a).
+        """
+        lps = 1
+        while lps < 10_000:
+            b = self.breakdown(lps)
+            if b.embedding_flops > b.processor_initialize:
+                return lps
+            lps += 1
+        raise ValidationError("no crossover found below lps = 10000")  # pragma: no cover

@@ -1,0 +1,84 @@
+"""Stage 2: quantum execution (paper Fig. 7) in closed form.
+
+The QPU performs ``s`` annealing runs — the Eq.-6 repetition count for the
+requested accuracy ``p_a`` given the characteristic single-run success
+probability ``p_s`` — each charged the annealing duration through the
+``QuOps`` resource, plus the readout (320 us) and thermalization (5 us)
+constants.
+
+Two accounting conventions are supported:
+
+* ``per_read=False`` (default, **listing-faithful**): readout and
+  thermalization are charged once per Stage-2 call, exactly as the Fig.-7
+  listing's ``mainblock3``/``mainblock4`` do;
+* ``per_read=True`` (**device-accurate**): every repetition pays the full
+  anneal-read-thermalize cycle, as the physical pipeline does.  The
+  difference is an ablation the benchmark suite quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ValidationError
+from ..hardware.timing import DW2_TIMING, DWaveTimingModel
+from .repetition import required_repetitions
+
+__all__ = ["Stage2Breakdown", "Stage2Model"]
+
+
+@dataclass(frozen=True)
+class Stage2Breakdown:
+    """Per-contribution seconds of one Stage-2 evaluation."""
+
+    repetitions: int
+    anneal: float
+    readout: float
+    thermalization: float
+
+    @property
+    def total(self) -> float:
+        return self.anneal + self.readout + self.thermalization
+
+
+@dataclass(frozen=True)
+class Stage2Model:
+    """Closed-form Stage-2 timing model.
+
+    Parameters
+    ----------
+    timing:
+        QPU timing constants (anneal/readout/thermalization durations).
+    per_read:
+        Accounting convention; see the module docstring.
+    """
+
+    timing: DWaveTimingModel = field(default_factory=lambda: DW2_TIMING)
+    per_read: bool = False
+
+    def repetitions(self, accuracy: float, success: float) -> int:
+        """Eq. (6): annealing runs needed for the target accuracy."""
+        return required_repetitions(accuracy, success)
+
+    def breakdown(self, accuracy: float, success: float) -> Stage2Breakdown:
+        """Evaluate every Stage-2 contribution."""
+        s = self.repetitions(accuracy, success)
+        cycles = s if self.per_read else 1
+        return Stage2Breakdown(
+            repetitions=s,
+            anneal=self.timing.quops_seconds(s),
+            readout=cycles * self.timing.readout_us * 1e-6,
+            thermalization=cycles * self.timing.thermalization_us * 1e-6,
+        )
+
+    def seconds(self, accuracy: float, success: float) -> float:
+        """Total Stage-2 time."""
+        return self.breakdown(accuracy, success).total
+
+    def with_anneal_time(self, anneal_us: float) -> "Stage2Model":
+        """A copy with a different annealing duration (user program option)."""
+        if anneal_us < 0:
+            raise ValidationError(f"anneal_us must be non-negative, got {anneal_us}")
+        return Stage2Model(
+            timing=self.timing.with_anneal_time(anneal_us), per_read=self.per_read
+        )

@@ -1,0 +1,93 @@
+"""Stage 3: classical post-processing (paper Fig. 8) in closed form.
+
+The readout ensemble — ``Results`` states of ``LPS`` spins each — is
+heap-sorted by energy to identify the lowest state and the multiplicity of
+each value: ``SortOps = Results * ln(Results)`` scalar (``sp``) flops, plus
+loading the ensemble (``Results * 4 * LPS`` bytes) and storing the sorted
+index.  The contribution is nearly linear in the problem size and
+negligible next to Stage 1 (Fig. 9(c)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import ValidationError
+from .machine_params import XEON_E5_2680, HostMachineParams
+from .repetition import required_repetitions
+
+__all__ = ["Stage3Breakdown", "Stage3Model"]
+
+_ELEMENT_BYTES = 4.0
+
+
+@dataclass(frozen=True)
+class Stage3Breakdown:
+    """Per-contribution seconds of one Stage-3 evaluation."""
+
+    results: int
+    sort_flops: float
+    loads: float
+    stores: float
+
+    @property
+    def total(self) -> float:
+        return self.sort_flops + self.loads + self.stores
+
+
+@dataclass(frozen=True)
+class Stage3Model:
+    """Closed-form Stage-3 timing model.
+
+    Parameters
+    ----------
+    host:
+        Conventional-host rates.
+    success, accuracy:
+        The listing's defaults (0.75 and 0.99) determining the default
+        ensemble size ``Results``; both can be overridden per call.
+    """
+
+    host: HostMachineParams = field(default_factory=lambda: XEON_E5_2680)
+    success: float = 0.75
+    accuracy: float = 0.99
+
+    def results(self, accuracy: float | None = None, success: float | None = None) -> int:
+        """Ensemble size: the Eq.-6 repetition count (paper Fig. 8)."""
+        return required_repetitions(
+            self.accuracy if accuracy is None else accuracy,
+            self.success if success is None else success,
+        )
+
+    def sort_ops(self, results: int) -> float:
+        """``SortOps = Results * ln(Results)`` (heapsort)."""
+        if results < 0:
+            raise ValidationError(f"results must be non-negative, got {results}")
+        return results * math.log(results) if results > 1 else 0.0
+
+    def breakdown(
+        self,
+        lps: int,
+        accuracy: float | None = None,
+        success: float | None = None,
+    ) -> Stage3Breakdown:
+        """Evaluate every Stage-3 contribution for problem size ``lps``."""
+        if lps < 0:
+            raise ValidationError(f"problem size must be non-negative, got {lps}")
+        r = self.results(accuracy, success)
+        return Stage3Breakdown(
+            results=r,
+            sort_flops=self.sort_ops(r) / self.host.flops_sp,
+            loads=self.host.memory_seconds(r * _ELEMENT_BYTES * lps),
+            stores=self.host.memory_seconds(r * 1.0),
+        )
+
+    def seconds(
+        self,
+        lps: int,
+        accuracy: float | None = None,
+        success: float | None = None,
+    ) -> float:
+        """Total Stage-3 time for problem size ``lps``."""
+        return self.breakdown(lps, accuracy, success).total

@@ -1,0 +1,47 @@
+"""Minor embedding: the classical-quantum translation layer.
+
+"The translation between these two models is signified by the map of the
+logical Hamiltonian to the physical hardware, i.e., minor embedding"
+(paper Sec. 3.2).  This package implements that translation end to end:
+
+* :class:`Embedding` / :func:`verify_embedding` — the data type and the
+  formal validity check;
+* :func:`find_embedding_cmr` — the Cai-Macready-Roy randomized heuristic the
+  paper's Stage-1 model is built on;
+* :func:`clique_embedding` — the deterministic complete-graph construction
+  (quadratic qubit cost);
+* :func:`find_subgraph_embedding` — exact unit-chain search for small
+  instances / offline tables;
+* :func:`embed_ising` / :func:`decode_samples` — parameter setting onto the
+  hardware and chain decoding back to logical spins.
+"""
+
+from .clique import clique_embedding, clique_qubit_cost, minimal_clique_topology
+from .cmr import CmrDiagnostics, CmrParams, cmr_embedding_ops, find_embedding_cmr
+from .exhaustive import find_subgraph_embedding, subgraph_embedding_exists
+from .parallel import ParallelDiagnostics, find_embedding_parallel
+from .parameters import EmbeddedIsing, default_chain_strength, embed_ising
+from .types import Embedding, is_valid_embedding, verify_embedding
+from .unembedding import chain_break_fraction, decode_samples
+
+__all__ = [
+    "Embedding",
+    "verify_embedding",
+    "is_valid_embedding",
+    "CmrParams",
+    "CmrDiagnostics",
+    "find_embedding_cmr",
+    "cmr_embedding_ops",
+    "clique_embedding",
+    "clique_qubit_cost",
+    "minimal_clique_topology",
+    "find_embedding_parallel",
+    "ParallelDiagnostics",
+    "find_subgraph_embedding",
+    "subgraph_embedding_exists",
+    "EmbeddedIsing",
+    "embed_ising",
+    "default_chain_strength",
+    "decode_samples",
+    "chain_break_fraction",
+]

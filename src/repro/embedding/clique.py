@@ -1,0 +1,90 @@
+"""Deterministic complete-graph (clique) minor embeddings into Chimera.
+
+This is the polynomial scheme the paper attributes to Choi and to
+Klymko-Sullivan-Humble (Sec. 2.2): embedding the complete graph ``K_n``
+into ``C(m, m, L)`` with ``n <= L*m`` using one L-shaped chain per logical
+vertex.  Writing ``v = L*a + b``, the chain of ``v`` consists of
+
+* the *horizontal* qubits ``(a, c, u=1, k=b)`` for cells ``c = 0..a`` of row
+  ``a`` (connected by inter-cell horizontal couplers), and
+* the *vertical* qubits ``(r, a, u=0, k=b)`` for cells ``r = a..m-1`` of
+  column ``a`` (connected by inter-cell vertical couplers),
+
+joined at the diagonal cell ``(a, a)`` by an intra-cell coupler.  Any two
+chains meet in exactly one unit cell with opposite orientations, where the
+``K_{L,L}`` intra-cell coupling supplies the logical edge.  Every chain has
+length ``m + 1`` and the embedding touches ``n * (m + 1)`` qubits — the
+quadratic hardware growth ("a Chimera hardware with n^2 qubits",
+paper Sec. 2.2) that motivates input-adaptive heuristics like CMR.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import EmbeddingError
+from ..hardware.chimera import ChimeraTopology
+from .types import Embedding
+
+__all__ = ["clique_embedding", "minimal_clique_topology", "clique_qubit_cost"]
+
+
+def minimal_clique_topology(n: int, l: int = 4) -> ChimeraTopology:
+    """Smallest square Chimera ``C(m, m, l)`` hosting ``K_n`` via :func:`clique_embedding`."""
+    if n < 1:
+        raise EmbeddingError(f"clique size must be >= 1, got {n}")
+    m = max(1, math.ceil(n / l))
+    return ChimeraTopology(m, m, l)
+
+
+def clique_qubit_cost(n: int, l: int = 4) -> int:
+    """Number of physical qubits the clique embedding of ``K_n`` consumes.
+
+    Equals ``n * (m + 1)`` with ``m = ceil(n / l)`` — Theta(n^2 / l),
+    the quadratic overhead the paper's Stage-1 model assumes.
+    """
+    m = max(1, math.ceil(n / l))
+    return n * (m + 1)
+
+
+def clique_embedding(n: int, topology: ChimeraTopology | None = None) -> Embedding:
+    """Embed ``K_n`` into a (square) Chimera lattice deterministically.
+
+    Parameters
+    ----------
+    n:
+        Number of logical vertices.
+    topology:
+        Target lattice; defaults to the smallest square lattice that fits.
+        Must satisfy ``n <= l * min(m, n_cells)`` and be square enough to
+        host the diagonal construction (``m`` rows and ``>= m`` columns).
+
+    Returns
+    -------
+    Embedding
+        Chains over linear qubit indices; every chain has length ``m + 1``.
+
+    Raises
+    ------
+    EmbeddingError
+        If the lattice is too small for ``K_n``.
+    """
+    if n < 1:
+        raise EmbeddingError(f"clique size must be >= 1, got {n}")
+    topo = topology or minimal_clique_topology(n)
+    l = topo.l
+    blocks_needed = math.ceil(n / l)
+    if blocks_needed > topo.m or blocks_needed > topo.n:
+        raise EmbeddingError(
+            f"K_{n} needs a {blocks_needed}x{blocks_needed} cell block; "
+            f"C({topo.m}, {topo.n}, {l}) is too small"
+        )
+    m = blocks_needed  # construction lives in the top-left m x m block
+
+    chains: list[tuple[int, ...]] = []
+    for v in range(n):
+        a, b = divmod(v, l)
+        qubits = [topo.coord_to_linear((a, c, 1, b)) for c in range(a + 1)]
+        qubits += [topo.coord_to_linear((r, a, 0, b)) for r in range(a, m)]
+        chains.append(tuple(qubits))
+    return Embedding(tuple(chains))

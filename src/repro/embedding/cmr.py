@@ -1,0 +1,430 @@
+"""The Cai-Macready-Roy (CMR) minor-embedding heuristic.
+
+This is the "practical heuristic for finding graph minors" (Cai, Macready &
+Roy, arXiv:1406.2741) the paper adopts for its Stage-1 programming model: a
+non-deterministic technique that grows one *vertex model* (chain) per logical
+vertex by routing node-weighted shortest paths between the already-embedded
+neighbor chains, with hardware qubits weighted exponentially in how many
+chains currently claim them.  Iterative re-embedding sweeps drive the chain
+overlap to zero; success yields a valid minor embedding, typically using far
+fewer qubits than the worst-case complete-graph construction.
+
+Two engineering refinements (both standard in congestion-driven routers and
+documented in DESIGN.md) make the sweeps converge reliably on dense inputs:
+
+* **Annealed sharing penalty** — the usage penalty base starts small and
+  doubles each sweep up to its ceiling, letting early sweeps rearrange
+  chains freely before sharing is squeezed out (PathFinder's
+  present-sharing schedule).
+* **Congestion history** — qubits that stay overlapped accrue a permanent
+  multiplicative cost, so persistent conflicts eventually force the chains
+  walling them in to reorganize (PathFinder's history term).  Plain
+  per-sweep penalties provably lock into lopsided equilibria on cliques.
+
+The shortest-path kernel is node-weighted multi-source Dijkstra, run in C
+through :func:`scipy.sparse.csgraph.dijkstra` on a directed CSR matrix whose
+edge ``u -> v`` carries the weight of its *head* ``v`` (so a path's cost is
+the sum of the weights of the nodes it enters); paths are recovered from the
+returned predecessor trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+from .._rng import as_rng
+from ..exceptions import EmbeddingError
+from .types import Embedding
+
+__all__ = ["CmrParams", "CmrDiagnostics", "find_embedding_cmr", "cmr_embedding_ops"]
+
+_NO_PREDECESSOR = -9999  # scipy.sparse.csgraph sentinel
+
+
+@dataclass(frozen=True)
+class CmrParams:
+    """Tuning knobs of the CMR heuristic.
+
+    Attributes
+    ----------
+    max_tries:
+        Number of random restarts (fresh vertex orders) before giving up.
+    max_passes:
+        Work budget per try, in *sweep equivalents*: up to
+        ``max_passes * n`` vertex-model computations are spent on the
+        eviction cascade before restarting.
+    penalty_base:
+        Ceiling of the exponential vertex weight ``w(q) = base ** usage(q)``.
+        ``None`` (default) auto-selects ``max(16, |V(H)|)`` so that one
+        reused qubit eventually costs more than any clean detour path.  The
+        effective base is annealed: it starts at 2 and doubles every
+        ``n`` evaluations until it reaches the ceiling.
+    history_base:
+        Base of the congestion-history factor.  Each qubit found shared
+        when a chain is (re)placed accrues one unit of history, multiplying
+        its weight by ``history_base`` for the rest of the try.  Together
+        with eviction this is the negotiated-congestion scheme of
+        PathFinder-style routers, which breaks the overlap equilibria that
+        plain re-embedding sweeps provably lock into on dense inputs.
+    prune_chains:
+        Whether to strip unnecessary leaf qubits from chains on success.
+    jitter:
+        Relative magnitude of random multiplicative noise on node weights.
+        The heuristic is *non-deterministic by design* (paper Sec. 2.2);
+        without noise the sweeps can lock into a fixed point.
+    """
+
+    max_tries: int = 48
+    max_passes: int = 24
+    penalty_base: float | None = None
+    history_base: float = 4.0
+    prune_chains: bool = True
+    jitter: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_tries < 1 or self.max_passes < 1:
+            raise EmbeddingError("max_tries >= 1 and max_passes >= 1 required")
+        if self.penalty_base is not None and self.penalty_base <= 1.0:
+            raise EmbeddingError("penalty_base must exceed 1 for overlap to be discouraged")
+        if self.history_base < 1.0:
+            raise EmbeddingError("history_base must be >= 1")
+
+
+@dataclass(frozen=True)
+class CmrDiagnostics:
+    """Run statistics returned alongside a successful embedding."""
+
+    tries: int
+    evaluations: int
+    num_physical: int
+    max_chain_length: int
+
+
+class _Workspace:
+    """Dense-index view of the hardware graph plus mutable chain state."""
+
+    def __init__(self, source: nx.Graph, hardware: nx.Graph, rng: np.random.Generator):
+        self.source = source
+        self.rng = rng
+        self.hw_nodes = sorted(hardware.nodes())
+        self.N = len(self.hw_nodes)
+        self.to_dense = {q: i for i, q in enumerate(self.hw_nodes)}
+
+        self.adj: list[np.ndarray] = []
+        for q in self.hw_nodes:
+            nbrs = sorted(self.to_dense[x] for x in hardware.neighbors(q) if x != q)
+            self.adj.append(np.asarray(nbrs, dtype=np.intp))
+        self.adj_sets = [set(a.tolist()) for a in self.adj]
+
+        # Directed CSR for node-weighted Dijkstra: the data vector is
+        # refreshed to the current node weights before every search batch.
+        rows: list[int] = []
+        cols: list[int] = []
+        for q, a in enumerate(self.adj):
+            rows.extend([q] * a.size)
+            cols.extend(int(x) for x in a)
+        self.csr = sp.csr_array(
+            (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+            shape=(self.N, self.N),
+        )
+        self.csr_cols = self.csr.indices.copy()
+
+        self.n = source.number_of_nodes()
+        self.chains: list[np.ndarray | None] = [None] * self.n
+        self.usage = np.zeros(self.N, dtype=np.int64)
+        self.history = np.zeros(self.N, dtype=np.int64)
+        self.owners: list[set[int]] = [set() for _ in range(self.N)]
+        self.pass_index = 0  # advanced by the improvement loop (anneal clock)
+
+    # -- weights ------------------------------------------------------- #
+    #: Cap on log-weights.  exp(24) ~ 2.6e10 keeps every path cost below
+    #: ~1e12, where float64 still resolves unit-weight steps exactly; larger
+    #: weights would create flat plateaus in the distance fields (absorption)
+    #: on which the greedy path descent could cycle.
+    _MAX_LOG_WEIGHT = 24.0
+
+    def node_weights(self, params: CmrParams) -> np.ndarray:
+        ceiling = params.penalty_base if params.penalty_base is not None else max(16.0, self.N)
+        # Annealed present-sharing penalty: 2, 4, 8, ... up to the ceiling.
+        log_base = min(np.log(ceiling), np.log(2.0) * (1.0 + self.pass_index))
+        log_w = self.usage * log_base + self.history * np.log(params.history_base)
+        w = np.exp(np.minimum(log_w, self._MAX_LOG_WEIGHT))
+        if params.jitter > 0:
+            w = w * (1.0 + params.jitter * self.rng.random(self.N))
+        return w
+
+    # -- chain bookkeeping --------------------------------------------- #
+    def remove_chain(self, v: int) -> None:
+        chain = self.chains[v]
+        if chain is not None:
+            self.usage[chain] -= 1
+            for q in chain:
+                self.owners[int(q)].discard(v)
+            self.chains[v] = None
+
+    def set_chain(self, v: int, chain: np.ndarray) -> set[int]:
+        """Install a chain; return the set of vertices it now conflicts with.
+
+        Each shared qubit is charged one unit of congestion history.
+        """
+        self.chains[v] = chain
+        self.usage[chain] += 1
+        conflicted: set[int] = set()
+        for q in chain:
+            q = int(q)
+            owners = self.owners[q]
+            if owners:
+                conflicted |= owners
+                self.history[q] += 1
+            owners.add(v)
+        conflicted.discard(v)
+        return conflicted
+
+    def overlap(self) -> int:
+        return int(np.count_nonzero(self.usage > 1))
+
+    def total_usage(self) -> int:
+        return int(self.usage.sum())
+
+
+def _distance_fields(
+    ws: _Workspace, chains: list[np.ndarray], w: np.ndarray, jitter_rng=None, jitter=0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Node-weighted shortest-path distances from each chain to every qubit.
+
+    ``D[i, q]`` is the minimum, over paths from chain ``i`` to ``q``, of the
+    sum of weights of the nodes *entered* (sources cost 0); ``P[i, q]`` is
+    the predecessor of ``q`` on such a path (scipy sentinel -9999 at sources
+    and unreachable nodes).
+    """
+    ws.csr.data[:] = w[ws.csr_cols]  # edge u -> v costs the weight of v
+    if jitter > 0.0 and jitter_rng is not None:
+        # Break path ties at random so successive evaluations explore
+        # different routings instead of reproducing a conflicted fixed point.
+        ws.csr.data *= 1.0 + jitter * jitter_rng.random(ws.csr.data.shape[0])
+    k = len(chains)
+    D = np.empty((k, ws.N), dtype=np.float64)
+    P = np.empty((k, ws.N), dtype=np.int32)
+    for i, chain in enumerate(chains):
+        d, p = csgraph.dijkstra(
+            ws.csr,
+            directed=True,
+            indices=chain,
+            min_only=True,
+            return_predecessors=True,
+        )[:2]
+        D[i] = d
+        P[i] = p
+    return D, P
+
+
+def _walk_path(P_row: np.ndarray, root: int, chain_set: set[int]) -> list[int]:
+    """Follow a predecessor tree from ``root`` back to its source chain.
+
+    Returns the intermediate nodes (including ``root``, excluding the chain
+    endpoint).
+    """
+    path: list[int] = []
+    cur = root
+    while cur not in chain_set:
+        path.append(cur)
+        nxt = int(P_row[cur])
+        if nxt == _NO_PREDECESSOR:
+            break  # root itself was a source for this neighbor
+        cur = nxt
+    return path
+
+
+def _find_vertex_model(ws: _Workspace, v: int, params: CmrParams) -> np.ndarray | None:
+    """Compute a vertex model for ``v`` given the current chains of its neighbors.
+
+    Returns dense hardware indices, or ``None`` if some embedded neighbor is
+    unreachable (disconnected hardware).
+    """
+    embedded_nbrs = [u for u in ws.source.neighbors(v) if u != v and ws.chains[u] is not None]
+    w = ws.node_weights(params)
+
+    if not embedded_nbrs:
+        # Isolated (so far) vertex: claim a least-used qubit at random.
+        candidates = np.flatnonzero(ws.usage == ws.usage.min())
+        root = int(ws.rng.choice(candidates))
+        return np.asarray([root], dtype=np.intp)
+
+    chain_arrays = [ws.chains[u] for u in embedded_nbrs]
+    D, P = _distance_fields(ws, chain_arrays, w, jitter_rng=ws.rng, jitter=params.jitter)  # type: ignore[arg-type]
+
+    # Root cost: the plain sum of weighted path costs, as in CMR.  Rooting
+    # *on* a neighbor's chain is not free — the root would join v's model
+    # and overlap phi(y) — so source entries cost the qubit's own weight.
+    totals = D.copy()
+    for i, chain in enumerate(chain_arrays):
+        totals[i, chain] = w[chain]
+    total = totals.sum(axis=0)
+    total[~np.isfinite(D).all(axis=0)] = np.inf
+
+    best = float(total.min())
+    if not np.isfinite(best):
+        return None
+    near_best = np.flatnonzero(total <= best * (1.0 + 1e-12))
+    root = int(ws.rng.choice(near_best))
+
+    model: set[int] = {root}
+    for i, chain in enumerate(chain_arrays):
+        chain_set = set(int(q) for q in chain)
+        model.update(_walk_path(P[i], root, chain_set))
+    return np.fromiter(sorted(model), dtype=np.intp, count=len(model))
+
+
+def _prune_chain(ws: _Workspace, v: int) -> None:
+    """Remove leaf qubits of ``v``'s chain that serve no logical edge.
+
+    A leaf may be dropped when the chain stays connected (always true for
+    leaves of the chain's spanning structure) and every logical neighbor of
+    ``v`` remains reachable through some other chain qubit.
+    """
+    chain = set(int(q) for q in ws.chains[v])  # type: ignore[union-attr]
+    nbr_chains = [
+        set(int(q) for q in ws.chains[u])
+        for u in ws.source.neighbors(v)
+        if u != v and ws.chains[u] is not None
+    ]
+    changed = True
+    while changed and len(chain) > 1:
+        changed = False
+        for q in sorted(chain):
+            inside = ws.adj_sets[q] & chain
+            if len(inside) != 1:
+                continue  # not a leaf of the chain
+            rest = chain - {q}
+            ok = True
+            for nc in nbr_chains:
+                if any(r in nc or (ws.adj_sets[r] & nc) for r in rest):
+                    continue
+                ok = False
+                break
+            if ok:
+                chain.remove(q)
+                changed = True
+                break
+    new = np.fromiter(sorted(chain), dtype=np.intp, count=len(chain))
+    ws.remove_chain(v)
+    ws.set_chain(v, new)
+
+
+def find_embedding_cmr(
+    source: nx.Graph,
+    hardware: nx.Graph,
+    params: CmrParams | None = None,
+    rng: np.random.Generator | int | None = None,
+    return_diagnostics: bool = False,
+) -> Embedding | tuple[Embedding, CmrDiagnostics]:
+    """Find a minor embedding of ``source`` into ``hardware`` with the CMR heuristic.
+
+    Parameters
+    ----------
+    source:
+        Logical graph with nodes exactly ``range(n)``.
+    hardware:
+        Hardware (working) graph; any hashable node ids.
+    params:
+        Algorithm knobs; see :class:`CmrParams`.
+    rng:
+        Seed or generator controlling vertex orders and tie-breaking.
+    return_diagnostics:
+        Also return a :class:`CmrDiagnostics` record.
+
+    Raises
+    ------
+    EmbeddingError
+        If no overlap-free embedding is found within ``max_tries`` restarts.
+    """
+    params = params or CmrParams()
+    gen = as_rng(rng)
+    n = source.number_of_nodes()
+    if sorted(source.nodes()) != list(range(n)):
+        raise EmbeddingError("source graph nodes must be exactly range(n)")
+    if n == 0:
+        emb = Embedding(())
+        return (emb, CmrDiagnostics(0, 0, 0, 0)) if return_diagnostics else emb
+    if hardware.number_of_nodes() < n:
+        raise EmbeddingError(
+            f"hardware has {hardware.number_of_nodes()} nodes < {n} logical vertices"
+        )
+
+    evaluations_done = 0
+
+    for attempt in range(1, params.max_tries + 1):
+        # Cold restart: a fresh workspace per try.  (Carrying congestion
+        # history across tries was tested and *hurts* dense instances — the
+        # stale mountains bias every subsequent try into the same wedge.)
+        ws = _Workspace(source, hardware, gen)
+
+        # Eviction cascade: every vertex starts queued; (re)placing a chain
+        # queues whichever vertices it now conflicts with.  The queue drains
+        # exactly when the last placement created no conflict anywhere —
+        # i.e. when the embedding is overlap-free.
+        queue: deque[int] = deque(int(v) for v in gen.permutation(n))
+        queued = set(queue)
+        budget = params.max_passes * n
+        feasible = True
+        processed = 0
+        while queue and processed < budget:
+            v = queue.popleft()
+            queued.discard(v)
+            processed += 1
+            evaluations_done += 1
+            ws.pass_index = processed // max(n, 1)  # anneal clock
+            ws.remove_chain(v)
+            model = _find_vertex_model(ws, v, params)
+            if model is None:  # disconnected hardware
+                feasible = False
+                break
+            for u in ws.set_chain(v, model):
+                if u not in queued:
+                    queue.append(u)
+                    queued.add(u)
+
+        if feasible and not queue and ws.overlap() == 0:
+            if params.prune_chains:
+                for v in range(n):
+                    _prune_chain(ws, v)
+            chains = tuple(
+                tuple(ws.hw_nodes[int(q)] for q in ws.chains[v])  # type: ignore[union-attr]
+                for v in range(n)
+            )
+            emb = Embedding(chains)
+            if return_diagnostics:
+                diag = CmrDiagnostics(
+                    tries=attempt,
+                    evaluations=evaluations_done,
+                    num_physical=emb.num_physical,
+                    max_chain_length=emb.max_chain_length,
+                )
+                return emb, diag
+            return emb
+
+    raise EmbeddingError(
+        f"CMR failed to embed {n}-vertex graph into {hardware.number_of_nodes()}-node "
+        f"hardware within {params.max_tries} tries"
+    )
+
+
+def cmr_embedding_ops(nh: int, eh: int, ng: int, eg: int) -> float:
+    """Worst-case CMR operation count used by the paper's Stage-1 model.
+
+    Fig. 6 charges ``EmbeddingOps = (EG + NG*log(NG)) * (2*EH) * NH * NG``:
+    one node-weighted Dijkstra costs ``EG + NG log NG``; each of the ``EH``
+    logical edges is routed from both endpoints; and the sweep repeats over
+    the ``NH`` logical vertices with up to ``NG`` improvement iterations.
+    ``log`` is the natural logarithm, matching the ASPEN evaluator.
+    """
+    if min(nh, eh, ng, eg) < 0:
+        raise EmbeddingError("graph sizes must be non-negative")
+    log_ng = float(np.log(ng)) if ng > 1 else 0.0
+    return float((eg + ng * log_ng) * (2.0 * eh) * nh * ng)

@@ -1,0 +1,126 @@
+"""Exact (backtracking) embedding search for small instances.
+
+The paper mentions a "brute force approach to minor embedding that relies on
+solving the subgraph isomorphism problem to identify the smallest embedded
+minor" — exponential in hardware size, but usable offline to precompute
+lookup tables (Sec. 2.2 and 3.3).  This module provides the unit-chain case:
+a backtracking subgraph-*monomorphism* search that maps every logical vertex
+to a single hardware qubit.  When it succeeds, the result is the smallest
+possible minor (every chain has length 1); when the input is not
+subgraph-embeddable the search is exhaustive proof of that fact (for the
+unit-chain class), and callers fall back to heuristic chain-based embedders.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..exceptions import EmbeddingError
+from .types import Embedding
+
+__all__ = ["find_subgraph_embedding", "subgraph_embedding_exists"]
+
+_DEFAULT_NODE_LIMIT = 4096
+
+
+def _search(
+    order: list[int],
+    source_adj: dict[int, set[int]],
+    hw_adj: dict[int, set[int]],
+    hw_degree: dict[int, int],
+    assignment: dict[int, int],
+    used: set[int],
+    pos: int,
+) -> bool:
+    if pos == len(order):
+        return True
+    v = order[pos]
+    needed_deg = len(source_adj[v])
+    mapped_nbrs = [assignment[u] for u in source_adj[v] if u in assignment]
+
+    if mapped_nbrs:
+        # Candidates must be hardware-adjacent to every already-mapped neighbor.
+        candidates = set(hw_adj[mapped_nbrs[0]])
+        for q in mapped_nbrs[1:]:
+            candidates &= hw_adj[q]
+        candidates -= used
+    else:
+        candidates = set(hw_adj) - used
+
+    for q in sorted(candidates):
+        if hw_degree[q] < needed_deg:
+            continue
+        assignment[v] = q
+        used.add(q)
+        if _search(order, source_adj, hw_adj, hw_degree, assignment, used, pos + 1):
+            return True
+        del assignment[v]
+        used.remove(q)
+    return False
+
+
+def find_subgraph_embedding(
+    source: nx.Graph,
+    hardware: nx.Graph,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> Embedding:
+    """Find a unit-chain embedding (subgraph monomorphism) by backtracking.
+
+    Vertices are processed in a connectivity-aware order (highest degree
+    first, then neighbors of placed vertices) with degree pruning.
+
+    Raises
+    ------
+    EmbeddingError
+        If no unit-chain embedding exists, or the hardware exceeds
+        ``node_limit`` nodes (guard against accidental exponential blowups).
+    """
+    n = source.number_of_nodes()
+    if sorted(source.nodes()) != list(range(n)):
+        raise EmbeddingError("source graph nodes must be exactly range(n)")
+    if hardware.number_of_nodes() > node_limit:
+        raise EmbeddingError(
+            f"hardware has {hardware.number_of_nodes()} nodes > node_limit={node_limit}; "
+            "use a heuristic embedder for large graphs"
+        )
+    if n == 0:
+        return Embedding(())
+    if n > hardware.number_of_nodes():
+        raise EmbeddingError("source has more vertices than the hardware has qubits")
+
+    source_adj = {v: set(source.neighbors(v)) - {v} for v in source.nodes()}
+    hw_adj = {q: set(hardware.neighbors(q)) - {q} for q in hardware.nodes()}
+    hw_degree = {q: len(a) for q, a in hw_adj.items()}
+
+    # Order: start at max degree, then repeatedly take the unplaced vertex
+    # with the most placed neighbors (ties by degree) — a classic VF2-style
+    # connectivity order that keeps the candidate sets small.
+    remaining = set(range(n))
+    order: list[int] = []
+    while remaining:
+        if order:
+            placed = set(order)
+            v = max(
+                remaining,
+                key=lambda x: (len(source_adj[x] & placed), len(source_adj[x]), -x),
+            )
+        else:
+            v = max(remaining, key=lambda x: (len(source_adj[x]), -x))
+        order.append(v)
+        remaining.remove(v)
+
+    assignment: dict[int, int] = {}
+    if not _search(order, source_adj, hw_adj, hw_degree, assignment, set(), 0):
+        raise EmbeddingError(
+            f"no unit-chain (subgraph) embedding of the {n}-vertex source exists"
+        )
+    return Embedding(tuple((assignment[v],) for v in range(n)))
+
+
+def subgraph_embedding_exists(source: nx.Graph, hardware: nx.Graph) -> bool:
+    """Boolean wrapper around :func:`find_subgraph_embedding`."""
+    try:
+        find_subgraph_embedding(source, hardware)
+    except EmbeddingError:
+        return False
+    return True

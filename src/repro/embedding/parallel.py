@@ -1,0 +1,145 @@
+"""Parallel minor-embedding search: the paper's future-work direction.
+
+Section 4 closes with: "it must also be considered that our models have not
+exploited more sophisticated host systems, e.g., HPC … and there may be
+additional parallel strategies that can accelerate the pre-processing
+stage."  The CMR heuristic's random restarts are embarrassingly parallel —
+per-try success is independent across seeds — so launching tries across
+worker processes and taking the first success turns a geometric(p) retry
+count into a near-min-of-k race: expected time-to-first-success drops
+roughly linearly in the worker count while any single try stays serial.
+
+Work is dispatched in *waves* of one small-budget search per worker; the
+pool is torn down as soon as a wave returns a success, so losers never run
+more than one wave past the winner.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, replace
+
+import networkx as nx
+import numpy as np
+
+from .._rng import as_rng
+from ..exceptions import EmbeddingError
+from .cmr import CmrParams, find_embedding_cmr
+from .types import Embedding
+
+__all__ = ["ParallelDiagnostics", "find_embedding_parallel"]
+
+
+@dataclass(frozen=True)
+class ParallelDiagnostics:
+    """Statistics from a parallel embedding search."""
+
+    num_workers: int
+    waves: int
+    tries_launched: int
+
+
+def _worker_search(payload: tuple) -> tuple[tuple[tuple[int, ...], ...], ...] | None:
+    """Run one small-budget CMR search in a worker process.
+
+    Receives plain tuples (edge lists and ints) so the payload pickles
+    cheaply; returns the chains tuple or ``None`` on failure.
+    """
+    (n, source_edges, hw_nodes, hw_edges, params, seed) = payload
+    source = nx.Graph()
+    source.add_nodes_from(range(n))
+    source.add_edges_from(source_edges)
+    hardware = nx.Graph()
+    hardware.add_nodes_from(hw_nodes)
+    hardware.add_edges_from(hw_edges)
+    try:
+        emb = find_embedding_cmr(source, hardware, params=params, rng=seed)
+    except EmbeddingError:
+        return None
+    return emb.chains
+
+
+def find_embedding_parallel(
+    source: nx.Graph,
+    hardware: nx.Graph,
+    params: CmrParams | None = None,
+    num_workers: int | None = None,
+    tries_per_wave: int = 2,
+    rng: np.random.Generator | int | None = None,
+    return_diagnostics: bool = False,
+) -> Embedding | tuple[Embedding, ParallelDiagnostics]:
+    """Race independent CMR searches across worker processes.
+
+    Parameters
+    ----------
+    source, hardware:
+        As for :func:`repro.embedding.find_embedding_cmr`.
+    params:
+        Per-search knobs.  ``params.max_tries`` is the *total* try budget
+        across all workers and waves; each dispatched search runs
+        ``tries_per_wave`` tries.
+    num_workers:
+        Worker processes (default: ``min(cpu_count, 8)``).
+    tries_per_wave:
+        Tries per dispatched search; small values minimize wasted work
+        after a win, larger values amortize process-dispatch overhead.
+    rng:
+        Seed for deriving independent worker seed streams.
+
+    Raises
+    ------
+    EmbeddingError
+        If the total try budget is exhausted without a success.
+    """
+    params = params or CmrParams()
+    if tries_per_wave < 1:
+        raise EmbeddingError("tries_per_wave must be >= 1")
+    n = source.number_of_nodes()
+    if sorted(source.nodes()) != list(range(n)):
+        raise EmbeddingError("source graph nodes must be exactly range(n)")
+    if num_workers is None:
+        num_workers = min(os.cpu_count() or 1, 8)
+    num_workers = max(1, num_workers)
+
+    gen = as_rng(rng)
+    search_params = replace(params, max_tries=tries_per_wave)
+    total_budget = params.max_tries
+    source_edges = tuple((int(u), int(v)) for u, v in source.edges())
+    hw_nodes = tuple(hardware.nodes())
+    hw_edges = tuple(hardware.edges())
+
+    launched = 0
+    waves = 0
+    winner: tuple | None = None
+
+    with concurrent.futures.ProcessPoolExecutor(max_workers=num_workers) as pool:
+        while winner is None and launched < total_budget:
+            waves += 1
+            wave_size = min(num_workers, max(1, (total_budget - launched) // tries_per_wave) or 1)
+            futures = []
+            for _ in range(wave_size):
+                seed = int(gen.integers(0, 2**63 - 1))
+                payload = (n, source_edges, hw_nodes, hw_edges, search_params, seed)
+                futures.append(pool.submit(_worker_search, payload))
+                launched += tries_per_wave
+            for fut in concurrent.futures.as_completed(futures):
+                chains = fut.result()
+                if chains is not None:
+                    winner = chains
+                    break
+            if winner is not None:
+                for fut in futures:
+                    fut.cancel()
+
+    if winner is None:
+        raise EmbeddingError(
+            f"parallel CMR failed to embed {n}-vertex graph within "
+            f"{total_budget} total tries across {num_workers} workers"
+        )
+    emb = Embedding(winner)
+    if return_diagnostics:
+        return emb, ParallelDiagnostics(
+            num_workers=num_workers, waves=waves, tries_launched=launched
+        )
+    return emb

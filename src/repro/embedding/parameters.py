@@ -1,0 +1,179 @@
+"""Parameter setting for embedded Ising models.
+
+After minor embedding, "the corresponding parameters for the embedded Ising
+model must be set" (paper Sec. 2.2): the logical field ``h_i`` is divided
+across the qubits of chain ``i``, each logical coupling ``J_ij`` is divided
+across the hardware couplers joining chains ``i`` and ``j``, and "one
+additional coupling strength must be introduced to account for the
+interactions between qubits forming embedded subtrees … typically chosen to
+be much larger than neighboring elements to ensure all qubits within a
+subgraph behave collectively".  In the library's computational sign
+convention a *negative* intra-chain coupling rewards aligned spins, so the
+chain coupler value is ``-chain_strength``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import EmbeddingError, ValidationError
+from ..qubo import IsingModel
+from .types import Embedding
+
+__all__ = ["EmbeddedIsing", "default_chain_strength", "embed_ising"]
+
+
+def default_chain_strength(logical: IsingModel, factor: float = 2.0) -> float:
+    """The paper's "much larger than neighboring elements" heuristic.
+
+    Returns ``factor * max(max|h|, max|J|)`` with a floor of ``factor`` for
+    all-zero problems.
+    """
+    if factor <= 0:
+        raise ValidationError(f"factor must be positive, got {factor}")
+    base = max(logical.max_abs_h, logical.max_abs_j, 1.0)
+    return factor * base
+
+
+@dataclass(frozen=True)
+class EmbeddedIsing:
+    """A logical Ising model mapped onto hardware.
+
+    Attributes
+    ----------
+    logical:
+        The original problem.
+    physical:
+        The programmed model over dense hardware indices
+        ``0..num_physical_spins-1`` (unused qubits carry zero parameters).
+    embedding:
+        The minor embedding used.
+    chain_strength:
+        Magnitude of the ferromagnetic intra-chain coupling.
+    hardware_nodes:
+        ``hardware_nodes[p]`` is the hardware-graph node id of dense
+        physical index ``p``.
+    """
+
+    logical: IsingModel
+    physical: IsingModel
+    embedding: Embedding
+    chain_strength: float
+    hardware_nodes: tuple[int, ...]
+
+    @property
+    def num_physical_spins(self) -> int:
+        return self.physical.num_spins
+
+    def dense_chains(self) -> tuple[tuple[int, ...], ...]:
+        """Chains re-indexed into the dense physical spin indices."""
+        pos = {q: p for p, q in enumerate(self.hardware_nodes)}
+        return tuple(tuple(pos[q] for q in chain) for chain in self.embedding.chains)
+
+    def unembed(self, samples: np.ndarray, break_strategy: str = "majority") -> np.ndarray:
+        """Decode physical samples back to logical spins.
+
+        See :func:`repro.embedding.unembedding.decode_samples`.
+        """
+        from .unembedding import decode_samples
+
+        return decode_samples(samples, self.dense_chains(), strategy=break_strategy)
+
+
+def embed_ising(
+    logical: IsingModel,
+    embedding: Embedding,
+    hardware: nx.Graph,
+    chain_strength: float | None = None,
+) -> EmbeddedIsing:
+    """Set the parameters of the embedded Ising model.
+
+    Parameters
+    ----------
+    logical:
+        Logical Ising model over ``0..n-1``.
+    embedding:
+        A valid minor embedding of the logical interaction graph into
+        ``hardware`` (validity is *assumed*; call
+        :func:`repro.embedding.verify_embedding` first if unsure — but
+        missing inter-chain couplers are detected here and raised).
+    hardware:
+        The working hardware graph.
+    chain_strength:
+        Magnitude of the intra-chain ferromagnetic coupling; defaults to
+        :func:`default_chain_strength`.
+
+    Returns
+    -------
+    EmbeddedIsing
+        With ``physical`` defined over dense indices of the *used plus
+        remaining* hardware nodes (full hardware vector, so samplers see the
+        true device size).
+    """
+    n = logical.num_spins
+    if embedding.num_logical != n:
+        raise EmbeddingError(
+            f"embedding has {embedding.num_logical} chains, logical model has {n} spins"
+        )
+    if chain_strength is None:
+        chain_strength = default_chain_strength(logical)
+    if chain_strength < 0:
+        raise ValidationError(f"chain_strength must be non-negative, got {chain_strength}")
+
+    hw_nodes = tuple(sorted(hardware.nodes()))
+    pos = {q: p for p, q in enumerate(hw_nodes)}
+    N = len(hw_nodes)
+
+    h_phys = np.zeros(N, dtype=np.float64)
+    J_phys: dict[tuple[int, int], float] = {}
+
+    def add_j(p: int, q: int, v: float) -> None:
+        key = (min(p, q), max(p, q))
+        J_phys[key] = J_phys.get(key, 0.0) + v
+
+    # Fields: spread h_i uniformly across chain i.
+    for v, chain in enumerate(embedding.chains):
+        if not chain:
+            raise EmbeddingError(f"chain of logical vertex {v} is empty")
+        share = logical.h[v] / len(chain)
+        for q in chain:
+            if q not in pos:
+                raise EmbeddingError(f"chain of vertex {v} uses node {q} not in hardware")
+            h_phys[pos[q]] += share
+
+    # Intra-chain ferromagnetic couplers on every hardware edge inside a chain.
+    for v, chain in enumerate(embedding.chains):
+        cs = set(chain)
+        for q in chain:
+            for r in hardware.neighbors(q):
+                if r in cs and q < r:
+                    add_j(pos[q], pos[r], -float(chain_strength))
+
+    # Logical couplings: spread J_ij uniformly across available couplers.
+    for i, j, val in logical.iter_couplings():
+        ci, cj = set(embedding.chains[i]), set(embedding.chains[j])
+        couplers = [
+            (pos[p], pos[q])
+            for p in ci
+            for q in hardware.neighbors(p)
+            if q in cj
+        ]
+        if not couplers:
+            raise EmbeddingError(
+                f"no hardware coupler realizes logical edge ({i}, {j}); invalid embedding"
+            )
+        share = val / len(couplers)
+        for p, q in couplers:
+            add_j(p, q, share)
+
+    physical = IsingModel(h_phys, J_phys, offset=logical.offset)
+    return EmbeddedIsing(
+        logical=logical,
+        physical=physical,
+        embedding=embedding,
+        chain_strength=float(chain_strength),
+        hardware_nodes=hw_nodes,
+    )

@@ -1,0 +1,176 @@
+"""Minor-embedding data types and the formal validity check.
+
+A minor embedding of a logical graph ``G`` into a hardware graph ``H`` maps
+each vertex of ``G`` to a *vertex model* (chain) — a connected subtree of
+``H`` — such that chains are pairwise disjoint and every edge of ``G`` is
+realized by at least one hardware coupler between the corresponding chains
+(paper Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..exceptions import InvalidEmbeddingError
+
+__all__ = ["Embedding", "verify_embedding", "is_valid_embedding"]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """An assignment of logical vertices ``0..n-1`` to hardware chains.
+
+    ``chains[v]`` is the tuple of hardware-node ids forming the vertex model
+    of logical vertex ``v``.  The container itself enforces only shape;
+    validity against a particular ``(G, H)`` pair is checked by
+    :func:`verify_embedding`.
+    """
+
+    chains: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        normalized = tuple(tuple(sorted(set(int(q) for q in c))) for c in self.chains)
+        object.__setattr__(self, "chains", normalized)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[int, Iterable[int]]) -> "Embedding":
+        """Build from ``{logical_vertex: iterable_of_hardware_nodes}``.
+
+        Keys must be exactly ``range(n)``.
+        """
+        n = len(mapping)
+        if sorted(mapping) != list(range(n)):
+            raise InvalidEmbeddingError(
+                f"embedding keys must be range({n}), got {sorted(mapping)[:8]}..."
+            )
+        return cls(tuple(tuple(mapping[v]) for v in range(n)))
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_logical(self) -> int:
+        """Number of logical vertices."""
+        return len(self.chains)
+
+    @property
+    def num_physical(self) -> int:
+        """Total number of hardware qubits used (with multiplicity collapsed)."""
+        return len(self.used_qubits())
+
+    def chain_lengths(self) -> list[int]:
+        """Length of each chain, indexed by logical vertex."""
+        return [len(c) for c in self.chains]
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest chain (0 for an empty embedding)."""
+        return max((len(c) for c in self.chains), default=0)
+
+    def used_qubits(self) -> set[int]:
+        """Union of all chains."""
+        out: set[int] = set()
+        for c in self.chains:
+            out.update(c)
+        return out
+
+    def overlap_count(self) -> int:
+        """Number of hardware qubits claimed by more than one chain.
+
+        Zero for a valid embedding; the CMR heuristic drives this to zero.
+        """
+        seen: set[int] = set()
+        dup: set[int] = set()
+        for c in self.chains:
+            for q in c:
+                (dup if q in seen else seen).add(q)
+        return len(dup)
+
+    def physical_to_logical(self) -> dict[int, int]:
+        """Inverse map ``{hardware_node: logical_vertex}``.
+
+        Raises :class:`InvalidEmbeddingError` if chains overlap.
+        """
+        inv: dict[int, int] = {}
+        for v, chain in enumerate(self.chains):
+            for q in chain:
+                if q in inv:
+                    raise InvalidEmbeddingError(
+                        f"hardware node {q} belongs to chains of both {inv[q]} and {v}"
+                    )
+                inv[q] = v
+        return inv
+
+    def as_dict(self) -> dict[int, tuple[int, ...]]:
+        """Export as ``{logical_vertex: chain_tuple}``."""
+        return {v: c for v, c in enumerate(self.chains)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Embedding(num_logical={self.num_logical}, num_physical={self.num_physical}, "
+            f"max_chain_length={self.max_chain_length})"
+        )
+
+
+def verify_embedding(
+    embedding: Embedding,
+    source: nx.Graph,
+    hardware: nx.Graph,
+) -> None:
+    """Check the minor-embedding definition; raise :class:`InvalidEmbeddingError` on failure.
+
+    The four conditions checked (paper Sec. 2.2):
+
+    1. every logical vertex has a non-empty chain of valid hardware nodes;
+    2. chains are pairwise disjoint;
+    3. every chain induces a *connected* subgraph of the hardware graph;
+    4. every logical edge maps to at least one hardware edge between the
+       two chains.
+    """
+    n = source.number_of_nodes()
+    if sorted(source.nodes()) != list(range(n)):
+        raise InvalidEmbeddingError("source graph nodes must be exactly range(n)")
+    if embedding.num_logical != n:
+        raise InvalidEmbeddingError(
+            f"embedding has {embedding.num_logical} chains but source has {n} vertices"
+        )
+
+    hw_nodes = set(hardware.nodes())
+    for v, chain in enumerate(embedding.chains):
+        if not chain:
+            raise InvalidEmbeddingError(f"logical vertex {v} has an empty chain")
+        missing = [q for q in chain if q not in hw_nodes]
+        if missing:
+            raise InvalidEmbeddingError(
+                f"chain of vertex {v} uses nodes absent from hardware: {missing[:4]}"
+            )
+
+    inv = embedding.physical_to_logical()  # raises on overlap (condition 2)
+
+    for v, chain in enumerate(embedding.chains):
+        if len(chain) > 1:
+            sub = hardware.subgraph(chain)
+            if not nx.is_connected(sub):
+                raise InvalidEmbeddingError(f"chain of vertex {v} is disconnected: {chain}")
+
+    for u, v in source.edges():
+        if u == v:
+            continue
+        cu, cv = set(embedding.chains[u]), set(embedding.chains[v])
+        if not any((q in cv) for p in cu for q in hardware.neighbors(p)):
+            raise InvalidEmbeddingError(
+                f"logical edge ({u}, {v}) is not realized by any hardware coupler"
+            )
+    del inv
+
+
+def is_valid_embedding(embedding: Embedding, source: nx.Graph, hardware: nx.Graph) -> bool:
+    """Boolean wrapper around :func:`verify_embedding`."""
+    try:
+        verify_embedding(embedding, source, hardware)
+    except InvalidEmbeddingError:
+        return False
+    return True

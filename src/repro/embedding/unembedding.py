@@ -1,0 +1,92 @@
+"""Decoding physical readouts back to logical spin configurations.
+
+Readout of the QPU register yields one value per *physical* qubit; the
+middleware must map each chain back to a single logical spin before the
+Stage-3 post-processing can sort solutions (paper Secs. 2 and 3.2).  When
+the qubits of a chain disagree — a *broken chain* — a repair strategy is
+applied; majority vote is the standard choice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["decode_samples", "chain_break_fraction"]
+
+_STRATEGIES = ("majority", "discard")
+
+
+def decode_samples(
+    samples: np.ndarray,
+    chains: Sequence[Sequence[int]],
+    strategy: str = "majority",
+) -> np.ndarray:
+    """Map physical spin samples to logical spin samples.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(k, N)`` with entries in {-1, +1}; column ``p`` is
+        physical spin ``p``.
+    chains:
+        ``chains[v]`` lists the physical indices of logical spin ``v``.
+    strategy:
+        ``"majority"`` — logical spin is the sign of the chain sum (exact
+        ties broken toward +1); ``"discard"`` — samples containing any
+        broken chain are dropped.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k', n)`` int8 array of logical spins (``k' < k`` only for
+        ``"discard"``).
+    """
+    if strategy not in _STRATEGIES:
+        raise ValidationError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+    S = np.asarray(samples)
+    if S.ndim != 2:
+        raise ValidationError(f"samples must be 2-D, got shape {S.shape}")
+    k = S.shape[0]
+    n = len(chains)
+    logical = np.empty((k, n), dtype=np.int8)
+    broken = np.zeros(k, dtype=bool)
+    for v, chain in enumerate(chains):
+        idx = np.asarray(list(chain), dtype=np.intp)
+        if idx.size == 0:
+            raise ValidationError(f"chain {v} is empty")
+        if idx.size and (idx.min() < 0 or idx.max() >= S.shape[1]):
+            raise ValidationError(f"chain {v} references a column outside the samples")
+        block = S[:, idx]
+        sums = block.sum(axis=1)
+        logical[:, v] = np.where(sums >= 0, 1, -1).astype(np.int8)
+        if strategy == "discard":
+            broken |= np.abs(sums) != idx.size
+    if strategy == "discard":
+        return logical[~broken]
+    return logical
+
+
+def chain_break_fraction(samples: np.ndarray, chains: Sequence[Sequence[int]]) -> float:
+    """Fraction of (sample, chain) pairs whose chain qubits disagree.
+
+    A diagnostic for choosing the chain strength: values near zero indicate
+    the ferromagnetic coupling dominates as the paper prescribes.
+    """
+    S = np.asarray(samples)
+    if S.ndim != 2:
+        raise ValidationError(f"samples must be 2-D, got shape {S.shape}")
+    if not chains:
+        return 0.0
+    k = S.shape[0]
+    if k == 0:
+        return 0.0
+    broken = 0
+    for chain in chains:
+        idx = np.asarray(list(chain), dtype=np.intp)
+        sums = S[:, idx].sum(axis=1)
+        broken += int(np.count_nonzero(np.abs(sums) != idx.size))
+    return broken / (k * len(chains))

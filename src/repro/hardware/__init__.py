@@ -1,0 +1,45 @@
+"""Quantum hardware substrate: Chimera lattices, faults, precision, timing.
+
+Everything the middleware layer needs to know about the physical processor:
+the connectivity graph it must embed into (paper Fig. 3), the fabrication
+faults that deform it, the parameter ranges/precision the control
+electronics can realize, and the measured timing constants of the
+programming and sampling pipeline (paper Figs. 5-7).
+"""
+
+from .chimera import (
+    DW2_VESUVIUS,
+    DW2X,
+    ChimeraTopology,
+    chimera_edge_count,
+    chimera_node_count,
+)
+from .faults import PERFECT_YIELD, FaultModel, random_faults
+from .properties import (
+    DW2_PROPERTIES,
+    DeviceProperties,
+    ProgrammingReport,
+    program_ising,
+    quantize_value,
+    rescale_to_ranges,
+)
+from .timing import DW2_TIMING, DWaveTimingModel
+
+__all__ = [
+    "ChimeraTopology",
+    "chimera_node_count",
+    "chimera_edge_count",
+    "DW2_VESUVIUS",
+    "DW2X",
+    "FaultModel",
+    "random_faults",
+    "PERFECT_YIELD",
+    "DeviceProperties",
+    "ProgrammingReport",
+    "program_ising",
+    "quantize_value",
+    "rescale_to_ranges",
+    "DW2_PROPERTIES",
+    "DWaveTimingModel",
+    "DW2_TIMING",
+]

@@ -1,0 +1,201 @@
+"""Chimera hardware connectivity graphs (paper Fig. 3).
+
+The D-Wave processor family lays physical qubits out as an ``M x N`` lattice
+of unit cells, each a complete bipartite graph ``K_{L,L}`` between a
+*vertical* shore (``u = 0``) and a *horizontal* shore (``u = 1``).  Vertical
+qubits couple to the like-indexed vertical qubit in the cells above/below;
+horizontal qubits couple left/right.  Interior qubits therefore reach
+``L + 2`` neighbors (6 for the production ``L = 4``), edge qubits ``L + 1``
+(5), exactly as the paper states.
+
+Two indexing schemes are supported and interconvertible:
+
+* **coordinates** ``(i, j, u, k)``: cell row ``i``, cell column ``j``,
+  shore ``u`` in {0 (vertical), 1 (horizontal)}, in-shore index ``k < L``;
+* **linear** ``q = ((i * N + j) * 2 + u) * L + k``.
+
+The closed-form node/edge counts match the paper's Stage-1 listing
+(Fig. 6): for ``L = 4``, ``NG = 8*M*N`` and ``EG = 4*(2MN - M - N) + 16MN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import HardwareError
+
+__all__ = [
+    "ChimeraTopology",
+    "chimera_node_count",
+    "chimera_edge_count",
+    "DW2_VESUVIUS",
+    "DW2X",
+]
+
+Coord = tuple[int, int, int, int]
+
+
+def chimera_node_count(m: int, n: int, l: int) -> int:
+    """Number of qubits in ``C(M, N, L)``: ``2 * L * M * N``."""
+    return 2 * l * m * n
+
+
+def chimera_edge_count(m: int, n: int, l: int) -> int:
+    """Number of couplers in ``C(M, N, L)``.
+
+    ``L^2 * M * N`` intra-cell couplers plus ``L * ((M-1)*N + M*(N-1))``
+    inter-cell couplers; for ``L = 4`` this reduces to the paper's
+    ``EG = 4*(2MN - M - N) + 16*M*N``.
+    """
+    return l * l * m * n + l * ((m - 1) * n + m * (n - 1))
+
+
+@dataclass(frozen=True)
+class ChimeraTopology:
+    """An ``M x N`` Chimera lattice with shore size ``L``.
+
+    Instances are immutable and hashable; the full :mod:`networkx` graph is
+    built lazily and cached.
+    """
+
+    m: int
+    n: int
+    l: int = 4
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1 or self.l < 1:
+            raise HardwareError(
+                f"Chimera dimensions must be positive, got (m={self.m}, n={self.n}, l={self.l})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Counting
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Total number of physical qubits ``NG``."""
+        return chimera_node_count(self.m, self.n, self.l)
+
+    @property
+    def num_couplers(self) -> int:
+        """Total number of tunable couplers ``EG``."""
+        return chimera_edge_count(self.m, self.n, self.l)
+
+    @property
+    def max_degree(self) -> int:
+        """Degree of an interior qubit (``L + 2``; 6 for the D-Wave family)."""
+        l_plus = self.l
+        if self.m > 1 or self.n > 1:
+            l_plus += 2 if (self.m > 1 and self.n > 1) else 1
+        # Degenerate single-row/column lattices still have +2 interior
+        # degree along the nontrivial axis when length > 2.
+        return l_plus
+
+    # ------------------------------------------------------------------ #
+    # Index conversions
+    # ------------------------------------------------------------------ #
+    def coord_to_linear(self, coord: Coord) -> int:
+        """Convert ``(i, j, u, k)`` coordinates to the linear qubit index."""
+        i, j, u, k = coord
+        if not (0 <= i < self.m and 0 <= j < self.n and u in (0, 1) and 0 <= k < self.l):
+            raise HardwareError(f"coordinate {coord} outside C({self.m}, {self.n}, {self.l})")
+        return ((i * self.n + j) * 2 + u) * self.l + k
+
+    def linear_to_coord(self, q: int) -> Coord:
+        """Convert a linear qubit index to ``(i, j, u, k)`` coordinates."""
+        if not 0 <= q < self.num_qubits:
+            raise HardwareError(f"qubit {q} outside C({self.m}, {self.n}, {self.l})")
+        q, k = divmod(q, self.l)
+        q, u = divmod(q, 2)
+        i, j = divmod(q, self.n)
+        return (i, j, u, k)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def iter_edges(self):
+        """Yield every coupler as a ``(p, q)`` pair of linear indices, ``p < q``.
+
+        Intra-cell couplers first (cell by cell), then vertical inter-cell,
+        then horizontal inter-cell; deterministic order.
+        """
+        to_lin = self.coord_to_linear
+        for i in range(self.m):
+            for j in range(self.n):
+                for k0 in range(self.l):
+                    p = to_lin((i, j, 0, k0))
+                    for k1 in range(self.l):
+                        q = to_lin((i, j, 1, k1))
+                        yield (p, q) if p < q else (q, p)
+        for i in range(self.m - 1):
+            for j in range(self.n):
+                for k in range(self.l):
+                    yield (to_lin((i, j, 0, k)), to_lin((i + 1, j, 0, k)))
+        for i in range(self.m):
+            for j in range(self.n - 1):
+                for k in range(self.l):
+                    yield (to_lin((i, j, 1, k)), to_lin((i, j + 1, 1, k)))
+
+    @cached_property
+    def _graph(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_qubits))
+        g.add_edges_from(self.iter_edges())
+        return g
+
+    def graph(self) -> nx.Graph:
+        """The full hardware graph (cached; treat as read-only or copy)."""
+        return self._graph
+
+    def working_graph(self, faults=None) -> nx.Graph:
+        """The hardware graph with a fault model's dead qubits/couplers removed.
+
+        Parameters
+        ----------
+        faults:
+            A :class:`repro.hardware.faults.FaultModel`, or ``None`` for a
+            fault-free processor (returns a copy so callers may mutate).
+        """
+        g = self._graph.copy()
+        if faults is not None:
+            faults.validate(self)
+            g.remove_edges_from(faults.dead_couplers)
+            g.remove_nodes_from(faults.dead_qubits)
+        return g
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style adjacency ``(indptr, neighbors)`` over linear indices.
+
+        Useful for array-based shortest-path kernels that want to avoid
+        per-node Python overhead.
+        """
+        g = self._graph
+        n = self.num_qubits
+        degs = np.array([g.degree(v) for v in range(n)], dtype=np.intp)
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(degs, out=indptr[1:])
+        neighbors = np.empty(indptr[-1], dtype=np.intp)
+        for v in range(n):
+            neighbors[indptr[v] : indptr[v + 1]] = sorted(g.neighbors(v))
+        return indptr, neighbors
+
+    def cell_qubits(self, i: int, j: int) -> list[int]:
+        """Linear indices of the ``2L`` qubits of unit cell ``(i, j)``."""
+        return [self.coord_to_linear((i, j, u, k)) for u in (0, 1) for k in range(self.l)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChimeraTopology(m={self.m}, n={self.n}, l={self.l}; "
+            f"{self.num_qubits} qubits, {self.num_couplers} couplers)"
+        )
+
+
+#: The 512-qubit, 8x8 lattice shown in the paper's Fig. 3.
+DW2_VESUVIUS = ChimeraTopology(8, 8, 4)
+
+#: The 1152-qubit, 12x12 lattice of the DW2X used in the Stage-1 model (M = N = 12).
+DW2X = ChimeraTopology(12, 12, 4)

@@ -1,0 +1,113 @@
+"""Hard-fault models for the Chimera lattice.
+
+Random fabrication faults deactivate qubits and couplers; they are identified
+during calibration and "must be deactivated to avoid unwanted usage"
+(paper Sec. 2.2, citing Klymko-Sullivan-Humble).  Losing a node destroys the
+lattice symmetry and makes minor embedding harder — the embedding algorithms
+in :mod:`repro.embedding` therefore all operate on the *working graph*
+produced by applying a :class:`FaultModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import as_rng
+from ..exceptions import HardwareError
+from .chimera import ChimeraTopology
+
+__all__ = ["FaultModel", "random_faults", "PERFECT_YIELD"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A set of dead qubits and dead couplers.
+
+    Couplers are stored as ``(p, q)`` linear-index pairs with ``p < q``.
+    Couplers incident to a dead qubit need not be listed; removing the qubit
+    removes them implicitly.
+    """
+
+    dead_qubits: frozenset[int] = field(default_factory=frozenset)
+    dead_couplers: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dead_qubits", frozenset(int(q) for q in self.dead_qubits))
+        object.__setattr__(
+            self,
+            "dead_couplers",
+            frozenset(
+                (min(int(p), int(q)), max(int(p), int(q))) for p, q in self.dead_couplers
+            ),
+        )
+
+    @property
+    def num_dead_qubits(self) -> int:
+        return len(self.dead_qubits)
+
+    @property
+    def num_dead_couplers(self) -> int:
+        return len(self.dead_couplers)
+
+    def validate(self, topology: ChimeraTopology) -> None:
+        """Raise :class:`HardwareError` if a fault references a nonexistent element."""
+        nq = topology.num_qubits
+        for q in self.dead_qubits:
+            if not 0 <= q < nq:
+                raise HardwareError(f"dead qubit {q} outside topology with {nq} qubits")
+        edge_set = None
+        for p, q in self.dead_couplers:
+            if not (0 <= p < nq and 0 <= q < nq):
+                raise HardwareError(f"dead coupler ({p}, {q}) outside topology")
+            if edge_set is None:
+                edge_set = set(topology.iter_edges())
+            if (p, q) not in edge_set:
+                raise HardwareError(f"dead coupler ({p}, {q}) is not a coupler of the topology")
+
+    def union(self, other: "FaultModel") -> "FaultModel":
+        """Combine two fault models (union of dead elements)."""
+        return FaultModel(
+            self.dead_qubits | other.dead_qubits,
+            self.dead_couplers | other.dead_couplers,
+        )
+
+    def yield_fraction(self, topology: ChimeraTopology) -> float:
+        """Fraction of qubits that survive (the processor *yield*)."""
+        return 1.0 - self.num_dead_qubits / topology.num_qubits
+
+
+#: A processor with no fabrication faults.
+PERFECT_YIELD = FaultModel()
+
+
+def random_faults(
+    topology: ChimeraTopology,
+    qubit_fault_rate: float = 0.02,
+    coupler_fault_rate: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> FaultModel:
+    """Draw i.i.d. fabrication faults.
+
+    Parameters
+    ----------
+    qubit_fault_rate:
+        Probability that each qubit is dead (production processors typically
+        lose a few percent of qubits).
+    coupler_fault_rate:
+        Probability that each coupler between two *working* qubits is dead.
+    """
+    if not (0.0 <= qubit_fault_rate <= 1.0 and 0.0 <= coupler_fault_rate <= 1.0):
+        raise HardwareError("fault rates must lie in [0, 1]")
+    gen = as_rng(rng)
+    dead_q = np.flatnonzero(gen.random(topology.num_qubits) < qubit_fault_rate)
+    dead_qubits = frozenset(int(q) for q in dead_q)
+    dead_couplers: set[tuple[int, int]] = set()
+    if coupler_fault_rate > 0.0:
+        for p, q in topology.iter_edges():
+            if p in dead_qubits or q in dead_qubits:
+                continue
+            if gen.random() < coupler_fault_rate:
+                dead_couplers.add((p, q))
+    return FaultModel(dead_qubits, frozenset(dead_couplers))

@@ -1,0 +1,143 @@
+"""Control-precision and parameter-range limits of the physical device.
+
+The paper notes (Sec. 2.2) that "the ability to realize these exact parameter
+values is limited by the bits of precision expressed by the electronic
+control system and the hardware couplers", so "the final, programmed Ising
+model may be substantively different from the intended logical input".  This
+module models that effect: parameters are rescaled into the programmable
+ranges and rounded to a uniform grid determined by the DAC precision,
+returning both the degraded model and a distortion report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import HardwareError, ValidationError
+from ..qubo import IsingModel
+
+__all__ = [
+    "DeviceProperties",
+    "ProgrammingReport",
+    "rescale_to_ranges",
+    "quantize_value",
+    "program_ising",
+    "DW2_PROPERTIES",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Programmable parameter ranges and DAC precision of a QPU.
+
+    Attributes
+    ----------
+    h_range, j_range:
+        Inclusive ``(lo, hi)`` ranges for fields and couplings.
+    precision_bits:
+        Number of bits of the control DAC; programmed values land on a
+        uniform grid of ``2**precision_bits - 1`` levels spanning each range.
+        The odd level count guarantees the midpoint of a symmetric range —
+        in particular 0, the value carried by every unused qubit — is
+        exactly representable.
+    """
+
+    h_range: tuple[float, float] = (-2.0, 2.0)
+    j_range: tuple[float, float] = (-1.0, 1.0)
+    precision_bits: int = 5
+
+    def __post_init__(self) -> None:
+        for name, (lo, hi) in (("h_range", self.h_range), ("j_range", self.j_range)):
+            if not lo < hi:
+                raise HardwareError(f"{name} must satisfy lo < hi, got ({lo}, {hi})")
+        if self.precision_bits < 2:
+            raise HardwareError(f"precision_bits must be >= 2, got {self.precision_bits}")
+
+
+#: Ranges and an effective ~5-bit control precision representative of the DW2.
+DW2_PROPERTIES = DeviceProperties()
+
+
+@dataclass(frozen=True)
+class ProgrammingReport:
+    """Distortion introduced when programming an Ising model onto hardware.
+
+    Attributes
+    ----------
+    scale:
+        Multiplicative factor applied to ``(h, J)`` before quantization
+        (energies of the programmed model are ``scale`` times the logical
+        ones, plus quantization error).
+    max_h_error, max_j_error:
+        Largest absolute deviation between the scaled intended value and the
+        programmed (quantized) value.
+    """
+
+    scale: float
+    max_h_error: float
+    max_j_error: float
+
+
+def rescale_to_ranges(
+    ising: IsingModel,
+    h_range: tuple[float, float] = (-2.0, 2.0),
+    j_range: tuple[float, float] = (-1.0, 1.0),
+) -> tuple[IsingModel, float]:
+    """Uniformly scale ``(h, J)`` so every parameter fits its range.
+
+    A single scale factor ``<= 1`` is used (never scaling *up*), preserving
+    the ground state exactly.  Returns ``(scaled_model, scale)``.
+    """
+    candidates = [1.0]
+    if ising.max_abs_h > 0:
+        candidates.append(min(abs(h_range[0]), abs(h_range[1])) / ising.max_abs_h)
+    if ising.max_abs_j > 0:
+        candidates.append(min(abs(j_range[0]), abs(j_range[1])) / ising.max_abs_j)
+    scale = min(candidates)
+    return ising.scaled(scale), scale
+
+
+def quantize_value(x: np.ndarray | float, lo: float, hi: float, bits: int) -> np.ndarray:
+    """Snap ``x`` to the nearest of ``2**bits - 1`` uniform levels spanning ``[lo, hi]``.
+
+    Values outside the range are clipped first.  The odd level count keeps
+    the range midpoint (0 for symmetric ranges) exactly representable, so
+    quantization never invents parameters on unused qubits.
+    """
+    if not lo < hi:
+        raise ValidationError(f"need lo < hi, got ({lo}, {hi})")
+    if bits < 2:
+        raise ValidationError(f"bits must be >= 2, got {bits}")
+    intervals = (1 << bits) - 2  # 2**bits - 1 grid points
+    arr = np.clip(np.asarray(x, dtype=np.float64), lo, hi)
+    steps = np.rint((arr - lo) / (hi - lo) * intervals)
+    return lo + steps * (hi - lo) / intervals
+
+
+def program_ising(
+    ising: IsingModel,
+    properties: DeviceProperties = DW2_PROPERTIES,
+) -> tuple[IsingModel, ProgrammingReport]:
+    """Rescale and quantize an Ising model as the control electronics would.
+
+    Returns the programmed (degraded) model together with a
+    :class:`ProgrammingReport` describing the distortion.  The offset is
+    scaled consistently so that comparing energies remains meaningful.
+    """
+    scaled, scale = rescale_to_ranges(ising, properties.h_range, properties.j_range)
+    qh = quantize_value(scaled.h, *properties.h_range, properties.precision_bits)
+    rows, cols, vals = scaled.coupling_arrays()
+    qj = quantize_value(vals, *properties.j_range, properties.precision_bits)
+    programmed = IsingModel(
+        qh,
+        {(int(i), int(j)): float(v) for i, j, v in zip(rows, cols, qj)},
+        scaled.offset,
+    )
+    report = ProgrammingReport(
+        scale=scale,
+        max_h_error=float(np.max(np.abs(qh - scaled.h))) if qh.size else 0.0,
+        max_j_error=float(np.max(np.abs(qj - vals))) if qj.size else 0.0,
+    )
+    return programmed, report

@@ -1,0 +1,99 @@
+"""Hardware timing constants of the D-Wave execution pipeline.
+
+All values are the paper's (Figs. 6 and 7): average durations measured on
+the second-generation DW2 "Vesuvius" processor and assumed representative of
+the DW2X.  Times are stored in microseconds (the unit used throughout the
+paper's ASPEN listings) with second-valued conveniences.
+
+The split is:
+
+* **Programming (once per problem, Stage 1):** electronic-control state
+  construction, programmable-magnetic-memory (PMM) software/electronics/
+  chip/thermalization phases, and software/electronics run costs — a
+  near-constant ~0.32 s.
+* **Per-sample cycle (Stage 2):** anneal (``QuOps`` at 20 us each by
+  default), readout (320 us), and post-readout thermalization (5 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..exceptions import ValidationError
+
+__all__ = ["DWaveTimingModel", "DW2_TIMING"]
+
+
+@dataclass(frozen=True)
+class DWaveTimingModel:
+    """Timing constants (microseconds) for a D-Wave-style QPU."""
+
+    # --- Stage-1 initialization constants (Fig. 6) ---
+    state_construction_us: float = 252162.0
+    pmm_software_us: float = 33095.0
+    pmm_electronics_us: float = 0.0
+    pmm_chip_us: float = 11264.0
+    pmm_thermalization_us: float = 10000.0
+    software_run_us: float = 4000.0
+    electronics_run_us: float = 9052.0
+    # --- Stage-2 per-sample constants (Figs. 5 and 7) ---
+    anneal_us: float = 20.0
+    readout_us: float = 320.0
+    thermalization_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValidationError(f"timing constant {name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def processor_initialize_us(self) -> float:
+        """Total one-time programming cost (the listing's ``ProcessorInitialize``).
+
+        With the default constants this is 319 573 us (~0.32 s).
+        """
+        return (
+            self.state_construction_us
+            + self.pmm_software_us
+            + self.pmm_electronics_us
+            + self.pmm_chip_us
+            + self.pmm_thermalization_us
+            + self.software_run_us
+            + self.electronics_run_us
+        )
+
+    @property
+    def processor_initialize_s(self) -> float:
+        """One-time programming cost in seconds."""
+        return self.processor_initialize_us * 1e-6
+
+    def sample_cycle_us(self, num_reads: int = 1) -> float:
+        """Time for ``num_reads`` anneal-read-thermalize cycles (microseconds)."""
+        if num_reads < 0:
+            raise ValidationError(f"num_reads must be non-negative, got {num_reads}")
+        return num_reads * (self.anneal_us + self.readout_us + self.thermalization_us)
+
+    def sample_cycle_s(self, num_reads: int = 1) -> float:
+        """Time for ``num_reads`` anneal-read-thermalize cycles (seconds)."""
+        return self.sample_cycle_us(num_reads) * 1e-6
+
+    def quops_seconds(self, num_anneals: int) -> float:
+        """The machine model's ``QuOps`` resource: ``number * anneal_us / 1e6`` seconds.
+
+        This is the Fig.-5 core resource (``number * 20/1000000`` at the
+        default 20 us anneal duration).
+        """
+        if num_anneals < 0:
+            raise ValidationError(f"num_anneals must be non-negative, got {num_anneals}")
+        return num_anneals * self.anneal_us * 1e-6
+
+    def with_anneal_time(self, anneal_us: float) -> "DWaveTimingModel":
+        """A copy with a different annealing duration (a user program option)."""
+        return replace(self, anneal_us=float(anneal_us))
+
+
+#: The paper's DW2 Vesuvius constants (assumed to carry over to the DW2X).
+DW2_TIMING = DWaveTimingModel()

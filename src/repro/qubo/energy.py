@@ -1,0 +1,134 @@
+"""Exhaustive (brute-force) energy minimization for small QUBO/Ising instances.
+
+These routines enumerate the full configuration space in vectorized chunks
+and are the ground truth the test suite and the annealer validation lean on.
+They are practical up to roughly ``n = 24`` spins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .ising import IsingModel
+from .qubo import Qubo
+
+__all__ = [
+    "iter_binary_states",
+    "brute_force_qubo",
+    "brute_force_ising",
+    "ground_states",
+    "exact_ground_energy",
+]
+
+_MAX_EXHAUSTIVE_N = 26
+_DEFAULT_CHUNK_BITS = 16
+
+
+def iter_binary_states(n: int, chunk_bits: int = _DEFAULT_CHUNK_BITS) -> Iterator[np.ndarray]:
+    """Yield all ``2**n`` binary vectors as ``(chunk, n)`` uint8 arrays.
+
+    States are produced in increasing integer order with bit ``i`` of the
+    integer mapping to variable ``i`` (little-endian).
+    """
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    if n > _MAX_EXHAUSTIVE_N:
+        raise ValidationError(
+            f"exhaustive enumeration over n={n} > {_MAX_EXHAUSTIVE_N} variables refused"
+        )
+    if n == 0:
+        yield np.zeros((1, 0), dtype=np.uint8)
+        return
+    total = 1 << n
+    chunk = 1 << min(chunk_bits, n)
+    bits = np.arange(n, dtype=np.uint64)
+    for start in range(0, total, chunk):
+        idx = np.arange(start, min(start + chunk, total), dtype=np.uint64)
+        yield ((idx[:, None] >> bits) & 1).astype(np.uint8)
+
+
+def brute_force_qubo(qubo: Qubo, num_best: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Exhaustively find the ``num_best`` lowest-energy binary assignments.
+
+    Returns
+    -------
+    (states, energies):
+        ``states`` has shape ``(num_best, n)`` (entries in {0, 1}) and
+        ``energies`` shape ``(num_best,)``, sorted ascending by energy with
+        integer-value tiebreak (deterministic).
+    """
+    if num_best < 1:
+        raise ValidationError(f"num_best must be >= 1, got {num_best}")
+    n = qubo.num_variables
+    best_states: np.ndarray | None = None
+    best_energies: np.ndarray | None = None
+    for batch in iter_binary_states(n):
+        e = qubo.energies(batch)
+        if best_states is None:
+            pool_s, pool_e = batch, e
+        else:
+            pool_s = np.vstack([best_states, batch])
+            pool_e = np.concatenate([best_energies, e])
+        order = np.argsort(pool_e, kind="stable")[:num_best]
+        best_states, best_energies = pool_s[order], pool_e[order]
+    assert best_states is not None and best_energies is not None
+    return best_states, best_energies
+
+
+def brute_force_ising(ising: IsingModel, num_best: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Exhaustively find the ``num_best`` lowest-energy spin configurations.
+
+    Returns ``(states, energies)`` with spin entries in {-1, +1}, sorted
+    ascending by energy (stable order).
+    """
+    if num_best < 1:
+        raise ValidationError(f"num_best must be >= 1, got {num_best}")
+    n = ising.num_spins
+    best_states: np.ndarray | None = None
+    best_energies: np.ndarray | None = None
+    for batch in iter_binary_states(n):
+        spins = batch.astype(np.int8) * 2 - 1
+        e = ising.energies(spins)
+        if best_states is None:
+            pool_s, pool_e = spins, e
+        else:
+            pool_s = np.vstack([best_states, spins])
+            pool_e = np.concatenate([best_energies, e])
+        order = np.argsort(pool_e, kind="stable")[:num_best]
+        best_states, best_energies = pool_s[order], pool_e[order]
+    assert best_states is not None and best_energies is not None
+    return best_states, best_energies
+
+
+def ground_states(ising: IsingModel, atol: float = 1e-9) -> tuple[np.ndarray, float]:
+    """All spin configurations within ``atol`` of the minimum energy.
+
+    Returns ``(states, ground_energy)`` where ``states`` has shape ``(g, n)``.
+    """
+    n = ising.num_spins
+    ground = np.inf
+    collected: list[np.ndarray] = []
+    for batch in iter_binary_states(n):
+        spins = batch.astype(np.int8) * 2 - 1
+        e = ising.energies(spins)
+        lo = float(e.min()) if e.size else np.inf
+        if lo < ground - atol:
+            ground = lo
+            collected = [spins[e <= ground + atol]]
+        elif lo <= ground + atol:
+            collected.append(spins[e <= ground + atol])
+    if not collected:
+        return np.zeros((0, n), dtype=np.int8), ground
+    states = np.vstack(collected)
+    # A later chunk may have lowered `ground`; re-filter the union.
+    keep = ising.energies(states) <= ground + atol
+    return states[keep], ground
+
+
+def exact_ground_energy(ising: IsingModel) -> float:
+    """Minimum energy over all ``2**n`` spin configurations."""
+    _, e = brute_force_ising(ising, num_best=1)
+    return float(e[0])

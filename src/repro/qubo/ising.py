@@ -1,0 +1,259 @@
+"""Ising spin models (paper Eq. (2)) in computational sign convention.
+
+The library stores Ising models with the *computational* energy
+
+    E(s) = sum_i h[i] * s_i  +  sum_{i<j} J[i, j] * s_i * s_j  +  offset,
+
+``s_i`` in {-1, +1}.  The paper's physical Hamiltonian (Eq. (2)) carries
+overall minus signs, ``H = -sum h Z - sum J ZZ``; the two differ only by the
+sign flip ``(h, J) -> (-h, -J)`` exposed via :meth:`IsingModel.negated`.
+Minimizing the computational energy of ``(h, J)`` is identical to finding
+the ground state of the physical Hamiltonian with parameters ``(-h, -J)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["IsingModel"]
+
+
+class IsingModel:
+    """An Ising model over ``n`` spins.
+
+    Parameters
+    ----------
+    h:
+        Length-``n`` array of local fields (biases).
+    J:
+        Mapping ``{(i, j): coupling}`` with ``i != j``; normalized to
+        ``i < j``, duplicates accumulated.
+    offset:
+        Constant energy shift (produced by QUBO conversion, for example).
+
+    Examples
+    --------
+    >>> m = IsingModel([0.5, -0.5], {(0, 1): 1.0})
+    >>> m.energy([-1, 1])
+    -2.0
+    """
+
+    __slots__ = ("_h", "_rows", "_cols", "_vals", "_offset")
+
+    def __init__(
+        self,
+        h: Iterable[float] | np.ndarray,
+        J: Mapping[tuple[int, int], float] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        hv = np.asarray(list(h) if not isinstance(h, np.ndarray) else h, dtype=np.float64)
+        if hv.ndim != 1:
+            raise ValidationError(f"h must be 1-D, got shape {hv.shape}")
+        n = hv.shape[0]
+
+        acc: dict[tuple[int, int], float] = {}
+        if J:
+            for (i, j), v in J.items():
+                i, j = int(i), int(j)
+                if i == j:
+                    raise ValidationError(f"self-coupling ({i}, {i}) is not allowed")
+                if not (0 <= i < n and 0 <= j < n):
+                    raise ValidationError(f"coupling ({i}, {j}) out of range for n={n}")
+                key = (i, j) if i < j else (j, i)
+                acc[key] = acc.get(key, 0.0) + float(v)
+
+        keys = sorted(acc)
+        self._h = hv
+        self._h.setflags(write=False)
+        self._rows = np.fromiter((k[0] for k in keys), dtype=np.intp, count=len(keys))
+        self._cols = np.fromiter((k[1] for k in keys), dtype=np.intp, count=len(keys))
+        self._vals = np.fromiter((acc[k] for k in keys), dtype=np.float64, count=len(keys))
+        for a in (self._rows, self._cols, self._vals):
+            a.setflags(write=False)
+        self._offset = float(offset)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        h: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        offset: float = 0.0,
+    ) -> "IsingModel":
+        """Build directly from coupling arrays (``rows[k] < cols[k]`` required)."""
+        J = {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(np.asarray(rows), np.asarray(cols), np.asarray(vals))
+        }
+        return cls(np.asarray(h, dtype=np.float64).copy(), J, offset)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_spins(self) -> int:
+        """Number of spins ``n``."""
+        return int(self._h.shape[0])
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of nonzero couplings."""
+        return int(self._vals.shape[0])
+
+    @property
+    def h(self) -> np.ndarray:
+        """Read-only view of the local fields."""
+        return self._h
+
+    @property
+    def offset(self) -> float:
+        """Constant energy shift."""
+        return self._offset
+
+    def coupling_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` with ``rows < cols`` element-wise."""
+        return self._rows, self._cols, self._vals
+
+    def coupling_dict(self) -> dict[tuple[int, int], float]:
+        """Return couplings as a fresh ``{(i, j): J_ij}`` dict with ``i < j``."""
+        return {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(self._rows, self._cols, self._vals)
+        }
+
+    def iter_couplings(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over ``(i, j, J_ij)`` triples with ``i < j``."""
+        for i, j, v in zip(self._rows, self._cols, self._vals):
+            yield int(i), int(j), float(v)
+
+    @property
+    def max_abs_h(self) -> float:
+        """Largest magnitude among the local fields (0 for empty models)."""
+        return float(np.max(np.abs(self._h))) if self._h.size else 0.0
+
+    @property
+    def max_abs_j(self) -> float:
+        """Largest magnitude among the couplings (0 when there are none)."""
+        return float(np.max(np.abs(self._vals))) if self._vals.size else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Energies
+    # ------------------------------------------------------------------ #
+    def energy(self, s: Iterable[int] | np.ndarray) -> float:
+        """Energy of a single spin configuration (entries in {-1, +1})."""
+        return float(self.energies(np.asarray(s, dtype=np.float64)[None, :])[0])
+
+    def energies(self, S: np.ndarray) -> np.ndarray:
+        """Vectorized energies of a ``(k, n)`` batch of spin configurations."""
+        S = np.asarray(S, dtype=np.float64)
+        if S.ndim != 2 or S.shape[1] != self.num_spins:
+            raise ValidationError(f"expected batch shape (k, {self.num_spins}), got {S.shape}")
+        e = S @ self._h
+        if self._vals.size:
+            e = e + (S[:, self._rows] * S[:, self._cols]) @ self._vals
+        return e + self._offset
+
+    # ------------------------------------------------------------------ #
+    # Exports / transforms
+    # ------------------------------------------------------------------ #
+    def to_dense_coupling(self) -> np.ndarray:
+        """Symmetric ``(n, n)`` matrix ``M`` with ``M[i, j] = M[j, i] = J_ij``, zero diagonal."""
+        n = self.num_spins
+        M = np.zeros((n, n), dtype=np.float64)
+        M[self._rows, self._cols] = self._vals
+        M[self._cols, self._rows] = self._vals
+        return M
+
+    def adjacency_csr(self):
+        """Symmetric coupling matrix as ``scipy.sparse.csr_array`` (for samplers)."""
+        import scipy.sparse as sp
+
+        n = self.num_spins
+        rows = np.concatenate([self._rows, self._cols])
+        cols = np.concatenate([self._cols, self._rows])
+        vals = np.concatenate([self._vals, self._vals])
+        return sp.csr_array((vals, (rows, cols)), shape=(n, n))
+
+    def to_qubo(self):
+        """Convert to the equivalent :class:`~repro.qubo.qubo.Qubo`."""
+        from .conversions import ising_to_qubo
+
+        return ising_to_qubo(self)
+
+    def graph(self):
+        """Interaction graph: one node per spin, one edge per nonzero coupling."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_spins))
+        g.add_weighted_edges_from(
+            (int(i), int(j), float(v)) for i, j, v in zip(self._rows, self._cols, self._vals)
+        )
+        return g
+
+    def negated(self) -> "IsingModel":
+        """Flip the signs of ``(h, J)``: computational <-> physical convention."""
+        return IsingModel(-self._h, {k: -v for k, v in self.coupling_dict().items()}, self._offset)
+
+    def scaled(self, factor: float) -> "IsingModel":
+        """Return a copy with ``h``, ``J``, and ``offset`` multiplied by ``factor``."""
+        return IsingModel(
+            self._h * factor,
+            {k: v * factor for k, v in self.coupling_dict().items()},
+            self._offset * factor,
+        )
+
+    def relabeled(self, mapping: Mapping[int, int]) -> "IsingModel":
+        """Return a copy with spin ``i`` renamed to ``mapping[i]`` (a permutation)."""
+        n = self.num_spins
+        perm = [mapping.get(i, i) for i in range(n)]
+        if sorted(perm) != list(range(n)):
+            raise ValidationError("relabeling must be a permutation of range(n)")
+        h = np.zeros(n, dtype=np.float64)
+        h[perm] = self._h
+        J = {
+            (perm[int(i)], perm[int(j)]): float(v)
+            for i, j, v in zip(self._rows, self._cols, self._vals)
+        }
+        return IsingModel(h, J, self._offset)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IsingModel):
+            return NotImplemented
+        return (
+            self.num_spins == other.num_spins
+            and self._offset == other._offset
+            and np.array_equal(self._h, other._h)
+            and np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+            and np.array_equal(self._vals, other._vals)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.num_spins,
+                self._offset,
+                self._h.tobytes(),
+                self._rows.tobytes(),
+                self._cols.tobytes(),
+                self._vals.tobytes(),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IsingModel(num_spins={self.num_spins}, "
+            f"num_interactions={self.num_interactions}, offset={self._offset!r})"
+        )

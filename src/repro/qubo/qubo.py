@@ -1,0 +1,307 @@
+"""Quadratic unconstrained binary optimization (QUBO) problems.
+
+A QUBO instance asks for the binary vector ``b`` minimizing ``b^T Q b``
+(paper Eq. (3)).  Because ``b_i^2 = b_i`` for binary variables, any square
+matrix ``Q`` folds losslessly into *coefficient form*::
+
+    E(b) = sum_i linear[i] * b_i  +  sum_{i<j} quadratic[i, j] * b_i * b_j  +  offset
+
+with ``linear[i] = Q[i, i]`` and ``quadratic[i, j] = Q[i, j] + Q[j, i]``.
+This is the convention used throughout the library (and, implicitly, by the
+paper's Eqs. (4)-(5); see :mod:`repro.qubo.conversions`).
+
+The class is immutable: all mutating-style operations return new instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["Qubo"]
+
+
+def _as_index(i: object) -> int:
+    idx = int(i)  # type: ignore[call-overload]
+    if idx < 0:
+        raise ValidationError(f"variable indices must be non-negative, got {idx}")
+    return idx
+
+
+class Qubo:
+    """A QUBO problem in coefficient form.
+
+    Parameters
+    ----------
+    linear:
+        Length-``n`` array of linear coefficients (the folded diagonal of Q).
+    quadratic:
+        Mapping ``{(i, j): coeff}`` with ``i != j``; pairs are normalized to
+        ``i < j`` and duplicate/reversed pairs are accumulated.
+    offset:
+        Constant energy shift carried through conversions.
+
+    Examples
+    --------
+    >>> q = Qubo([1.0, -2.0], {(0, 1): 3.0})
+    >>> q.energy([1, 1])
+    2.0
+    """
+
+    __slots__ = ("_linear", "_rows", "_cols", "_vals", "_offset")
+
+    def __init__(
+        self,
+        linear: Iterable[float] | np.ndarray,
+        quadratic: Mapping[tuple[int, int], float] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        lin = np.asarray(list(linear) if not isinstance(linear, np.ndarray) else linear, dtype=np.float64)
+        if lin.ndim != 1:
+            raise ValidationError(f"linear coefficients must be 1-D, got shape {lin.shape}")
+        n = lin.shape[0]
+
+        acc: dict[tuple[int, int], float] = {}
+        if quadratic:
+            for (i, j), v in quadratic.items():
+                i, j = _as_index(i), _as_index(j)
+                if i == j:
+                    raise ValidationError(
+                        f"quadratic term ({i}, {j}) is diagonal; fold it into linear[{i}]"
+                    )
+                if i >= n or j >= n:
+                    raise ValidationError(
+                        f"quadratic term ({i}, {j}) references a variable >= n={n}"
+                    )
+                key = (i, j) if i < j else (j, i)
+                acc[key] = acc.get(key, 0.0) + float(v)
+
+        keys = sorted(acc)
+        self._linear = lin
+        self._linear.setflags(write=False)
+        self._rows = np.fromiter((k[0] for k in keys), dtype=np.intp, count=len(keys))
+        self._cols = np.fromiter((k[1] for k in keys), dtype=np.intp, count=len(keys))
+        self._vals = np.fromiter((acc[k] for k in keys), dtype=np.float64, count=len(keys))
+        for a in (self._rows, self._cols, self._vals):
+            a.setflags(write=False)
+        self._offset = float(offset)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, Q: np.ndarray, offset: float = 0.0) -> "Qubo":
+        """Build from an arbitrary square matrix ``Q`` with ``E(b) = b^T Q b + offset``.
+
+        The matrix need not be symmetric; ``Q[i, j]`` and ``Q[j, i]`` are
+        accumulated into a single ``i < j`` coefficient (exact for binary
+        variables).
+        """
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise ValidationError(f"Q must be square, got shape {Q.shape}")
+        n = Q.shape[0]
+        folded = Q + Q.T
+        iu, ju = np.triu_indices(n, k=1)
+        vals = folded[iu, ju]
+        nz = vals != 0.0
+        quadratic = {(int(i), int(j)): float(v) for i, j, v in zip(iu[nz], ju[nz], vals[nz])}
+        return cls(np.diag(Q).copy(), quadratic, offset)
+
+    @classmethod
+    def from_dict(
+        cls,
+        coefficients: Mapping[tuple[int, int], float],
+        num_variables: int | None = None,
+        offset: float = 0.0,
+    ) -> "Qubo":
+        """Build from ``{(i, j): coeff}`` where ``(i, i)`` entries are linear terms."""
+        n = num_variables
+        if n is None:
+            n = 1 + max((max(i, j) for (i, j) in coefficients), default=-1)
+        linear = np.zeros(n, dtype=np.float64)
+        quadratic: dict[tuple[int, int], float] = {}
+        for (i, j), v in coefficients.items():
+            i, j = _as_index(i), _as_index(j)
+            if max(i, j) >= n:
+                raise ValidationError(f"index ({i}, {j}) out of range for n={n}")
+            if i == j:
+                linear[i] += float(v)
+            else:
+                key = (min(i, j), max(i, j))
+                quadratic[key] = quadratic.get(key, 0.0) + float(v)
+        return cls(linear, quadratic, offset)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables ``n``."""
+        return int(self._linear.shape[0])
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of nonzero ``i < j`` quadratic coefficients."""
+        return int(self._vals.shape[0])
+
+    @property
+    def linear(self) -> np.ndarray:
+        """Read-only view of the linear coefficients."""
+        return self._linear
+
+    @property
+    def offset(self) -> float:
+        """Constant energy shift."""
+        return self._offset
+
+    def quadratic_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` with ``rows < cols`` element-wise."""
+        return self._rows, self._cols, self._vals
+
+    def quadratic_dict(self) -> dict[tuple[int, int], float]:
+        """Return the quadratic coefficients as a fresh ``{(i, j): coeff}`` dict."""
+        return {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(self._rows, self._cols, self._vals)
+        }
+
+    def iter_quadratic(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over ``(i, j, coeff)`` triples with ``i < j``."""
+        for i, j, v in zip(self._rows, self._cols, self._vals):
+            yield int(i), int(j), float(v)
+
+    # ------------------------------------------------------------------ #
+    # Energies
+    # ------------------------------------------------------------------ #
+    def energy(self, b: Iterable[int] | np.ndarray) -> float:
+        """Energy of a single assignment ``b`` (entries in {0, 1})."""
+        return float(self.energies(np.asarray(b, dtype=np.float64)[None, :])[0])
+
+    def energies(self, B: np.ndarray) -> np.ndarray:
+        """Vectorized energies of a batch of assignments.
+
+        Parameters
+        ----------
+        B:
+            Array of shape ``(k, n)`` with entries in {0, 1}.
+
+        Returns
+        -------
+        numpy.ndarray of shape ``(k,)``.
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[1] != self.num_variables:
+            raise ValidationError(
+                f"expected batch shape (k, {self.num_variables}), got {B.shape}"
+            )
+        e = B @ self._linear
+        if self._vals.size:
+            e = e + (B[:, self._rows] * B[:, self._cols]) @ self._vals
+        return e + self._offset
+
+    # ------------------------------------------------------------------ #
+    # Exports / transforms
+    # ------------------------------------------------------------------ #
+    def to_dense(self, fold: str = "symmetric") -> np.ndarray:
+        """Densify to a matrix ``Q`` with ``b^T Q b + offset == E(b)``.
+
+        Parameters
+        ----------
+        fold:
+            ``"symmetric"`` places half of each quadratic coefficient in each
+            triangle; ``"upper"`` places the full coefficient above the
+            diagonal.  Both reproduce identical energies for binary vectors.
+        """
+        n = self.num_variables
+        Q = np.zeros((n, n), dtype=np.float64)
+        np.fill_diagonal(Q, self._linear)
+        if fold == "symmetric":
+            Q[self._rows, self._cols] += self._vals / 2.0
+            Q[self._cols, self._rows] += self._vals / 2.0
+        elif fold == "upper":
+            Q[self._rows, self._cols] += self._vals
+        else:
+            raise ValidationError(f"fold must be 'symmetric' or 'upper', got {fold!r}")
+        return Q
+
+    def to_ising(self):
+        """Convert to the equivalent :class:`~repro.qubo.ising.IsingModel`.
+
+        See :func:`repro.qubo.conversions.qubo_to_ising` (paper Eqs. (4)-(5)).
+        """
+        from .conversions import qubo_to_ising
+
+        return qubo_to_ising(self)
+
+    def graph(self):
+        """The interaction graph: one node per variable, one edge per quadratic term."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_variables))
+        g.add_weighted_edges_from(
+            (int(i), int(j), float(v)) for i, j, v in zip(self._rows, self._cols, self._vals)
+        )
+        return g
+
+    def scaled(self, factor: float) -> "Qubo":
+        """Return a copy with all coefficients (and offset) multiplied by ``factor``."""
+        return Qubo(
+            self._linear * factor,
+            {
+                (int(i), int(j)): float(v) * factor
+                for i, j, v in zip(self._rows, self._cols, self._vals)
+            },
+            self._offset * factor,
+        )
+
+    def relabeled(self, mapping: Mapping[int, int]) -> "Qubo":
+        """Return a copy with variable ``i`` renamed to ``mapping[i]`` (a permutation)."""
+        n = self.num_variables
+        perm = [mapping.get(i, i) for i in range(n)]
+        if sorted(perm) != list(range(n)):
+            raise ValidationError("relabeling must be a permutation of range(n)")
+        linear = np.zeros(n, dtype=np.float64)
+        linear[perm] = self._linear
+        quadratic = {
+            (perm[int(i)], perm[int(j)]): float(v)
+            for i, j, v in zip(self._rows, self._cols, self._vals)
+        }
+        return Qubo(linear, quadratic, self._offset)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Qubo):
+            return NotImplemented
+        return (
+            self.num_variables == other.num_variables
+            and self._offset == other._offset
+            and np.array_equal(self._linear, other._linear)
+            and np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+            and np.array_equal(self._vals, other._vals)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.num_variables,
+                self._offset,
+                self._linear.tobytes(),
+                self._rows.tobytes(),
+                self._cols.tobytes(),
+                self._vals.tobytes(),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Qubo(num_variables={self.num_variables}, "
+            f"num_interactions={self.num_interactions}, offset={self._offset!r})"
+        )

@@ -1,0 +1,28 @@
+"""Split-execution runtime: discrete-event simulation of Figs. 1 and 2.
+
+A small simpy-like engine (:mod:`repro.runtime.des`), the layered request
+sequence of Fig. 2 (:mod:`repro.runtime.layers`), span traces
+(:mod:`repro.runtime.trace`), and the Fig.-1 architecture comparison
+(:mod:`repro.runtime.architectures`).
+"""
+
+from .architectures import Architecture, ArchitectureResult, simulate_architecture
+from .des import Event, Process, Resource, Simulator, Timeout
+from .layers import RequestProfile, run_single_session, split_execution_session
+from .trace import Span, Trace
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "Trace",
+    "Span",
+    "RequestProfile",
+    "split_execution_session",
+    "run_single_session",
+    "Architecture",
+    "ArchitectureResult",
+    "simulate_architecture",
+]

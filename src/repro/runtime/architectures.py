@@ -1,0 +1,139 @@
+"""The three QPU-integration architectures of paper Fig. 1.
+
+(a) **asymmetric** — a single QPU behind a local-area network; every client
+    request crosses the LAN and contends for the one device.  This is the
+    paper's near-term expectation for the D-Wave QPU and the architecture
+    its performance models assume.
+(b) **shared** — a single QPU attached as a shared resource inside the host
+    (negligible network latency; contention remains).
+(c) **dedicated** — one QPU per node; no contention, no network.
+
+The simulation measures what the paper's single-request models cannot:
+queueing delay under multi-client load, and how much of it each integration
+choice removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+import numpy as np
+
+from .._rng import as_rng
+from ..exceptions import ValidationError
+from .des import Simulator
+from .layers import RequestProfile, split_execution_session
+from .trace import Trace
+
+__all__ = ["Architecture", "ArchitectureResult", "simulate_architecture"]
+
+#: LAN crossing latency for the asymmetric architecture (seconds).
+_LAN_LATENCY_S = 200e-6
+
+
+class Architecture(str, Enum):
+    """Fig. 1 integration models."""
+
+    ASYMMETRIC = "asymmetric"
+    SHARED = "shared"
+    DEDICATED = "dedicated"
+
+
+@dataclass(frozen=True)
+class ArchitectureResult:
+    """Aggregate metrics from one multi-client simulation."""
+
+    architecture: Architecture
+    num_clients: int
+    requests_per_client: int
+    makespan: float
+    mean_latency: float
+    max_latency: float
+    mean_qpu_wait: float
+    trace: Trace
+
+    @property
+    def total_requests(self) -> int:
+        return self.num_clients * self.requests_per_client
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of simulated time."""
+        return self.total_requests / self.makespan if self.makespan > 0 else float("inf")
+
+
+def _profile_for(arch: Architecture, profile: RequestProfile) -> RequestProfile:
+    if arch is Architecture.ASYMMETRIC:
+        return replace(profile, network_latency=max(profile.network_latency, _LAN_LATENCY_S))
+    # Shared and dedicated integrations bypass the LAN.
+    return replace(profile, network_latency=0.0)
+
+
+def simulate_architecture(
+    architecture: Architecture | str,
+    profile: RequestProfile,
+    num_clients: int = 4,
+    requests_per_client: int = 2,
+    mean_think_time: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> ArchitectureResult:
+    """Simulate a closed multi-client workload on one Fig.-1 architecture.
+
+    Parameters
+    ----------
+    profile:
+        Per-request stage durations (network fields are overridden per the
+        architecture's integration model).
+    num_clients:
+        Concurrent client threads.
+    requests_per_client:
+        Requests each client issues back-to-back.
+    mean_think_time:
+        Mean of an exponential think time between a client's requests
+        (0 disables thinking).
+    """
+    arch = Architecture(architecture)
+    if num_clients < 1 or requests_per_client < 1:
+        raise ValidationError("num_clients and requests_per_client must be >= 1")
+    gen = as_rng(rng)
+
+    sim = Simulator()
+    trace = Trace()
+    adj_profile = _profile_for(arch, profile)
+
+    if arch is Architecture.DEDICATED:
+        qpus = [sim.resource(capacity=1, name=f"qpu{i}") for i in range(num_clients)]
+    else:
+        qpus = [sim.resource(capacity=1, name="qpu")] * num_clients
+
+    latencies: list[float] = []
+
+    def client(cid: int):
+        for r in range(requests_per_client):
+            if mean_think_time > 0 and r > 0:
+                yield sim.timeout(float(gen.exponential(mean_think_time)))
+            session = cid * requests_per_client + r
+            latency = yield sim.process(
+                split_execution_session(sim, qpus[cid], adj_profile, trace, session)
+            )
+            latencies.append(float(latency))
+
+    for cid in range(num_clients):
+        sim.process(client(cid))
+    makespan = sim.run()
+
+    unique_qpus = {id(q): q for q in qpus}.values()
+    total_wait = sum(q.total_wait for q in unique_qpus)
+    total_grants = sum(q.total_grants for q in unique_qpus)
+
+    return ArchitectureResult(
+        architecture=arch,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        makespan=float(makespan),
+        mean_latency=float(np.mean(latencies)) if latencies else 0.0,
+        max_latency=float(np.max(latencies)) if latencies else 0.0,
+        mean_qpu_wait=total_wait / total_grants if total_grants else 0.0,
+        trace=trace,
+    )

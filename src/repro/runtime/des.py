@@ -1,0 +1,207 @@
+"""A minimal generator-based discrete-event simulation engine.
+
+The runtime layer needs ordered, time-stamped interaction between the
+calling thread, software, middleware, and quantum hardware layers of the
+paper's Fig. 2 — including queueing when several clients contend for one
+QPU (the Fig. 1 architecture study).  simpy is not available offline, so
+this module implements the small simpy-like core the library needs:
+processes are Python generators yielding :class:`Timeout`, resource
+requests, or other processes; a binary heap orders event delivery with a
+deterministic tiebreak.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any
+
+from ..exceptions import SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "Resource", "Simulator"]
+
+
+class Event:
+    """A one-shot event; processes waiting on it resume when it succeeds."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: list = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, scheduling all waiter callbacks at the current time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self._callbacks:
+            self.sim._schedule(self.sim.now, cb, self)
+        self._callbacks.clear()
+        return self
+
+    def _wait(self, callback) -> None:
+        if self.triggered:
+            self.sim._schedule(self.sim.now, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.triggered = True  # pre-armed; delivery is the scheduled wakeup
+        sim._schedule(sim.now + delay, self._deliver, self)
+
+    def _deliver(self, _evt) -> None:
+        for cb in self._callbacks:
+            cb(self)
+        self._callbacks.clear()
+
+    def _wait(self, callback) -> None:
+        self._callbacks.append(callback)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator may ``yield``:
+
+    * an :class:`Event` (including :class:`Timeout` and resource requests) —
+      the process resumes when it fires;
+    * another :class:`Process` — join semantics;
+    * ``None`` — resume immediately (a scheduling point).
+
+    The generator's ``return`` value becomes the process's event value.
+    """
+
+    __slots__ = ("generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        self.generator = generator
+        sim._schedule(sim.now, self._step, None)
+
+    def _step(self, fired: Event | None) -> None:
+        try:
+            value = fired.value if isinstance(fired, Event) else None
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if target is None:
+            self.sim._schedule(self.sim.now, self._step, None)
+        elif isinstance(target, Event):
+            target._wait(self._step)
+        else:
+            raise SimulationError(
+                f"process yielded {target!r}; expected an Event, Process, or None"
+            )
+
+
+class Resource:
+    """A capacity-limited resource with FIFO queueing.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` frees a slot.  Wait times can be measured by comparing
+    simulation time before the request and after the grant.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: list[Event] = []
+        # Aggregate statistics.
+        self.total_grants = 0
+        self.total_wait = 0.0
+        self._request_times: dict[Event, float] = {}
+
+    def request(self) -> Event:
+        evt = Event(self.sim)
+        self._request_times[evt] = self.sim.now
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self._grant(evt)
+        else:
+            self._waiting.append(evt)
+        return evt
+
+    def _grant(self, evt: Event) -> None:
+        self.total_grants += 1
+        self.total_wait += self.sim.now - self._request_times.pop(evt)
+        evt.succeed(self)
+
+    def release(self) -> None:
+        if self.in_use == 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiting:
+            evt = self._waiting.pop(0)
+            self._grant(evt)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def mean_wait(self) -> float:
+        """Average time between request and grant across all grants so far."""
+        return self.total_wait / self.total_grants if self.total_grants else 0.0
+
+
+class Simulator:
+    """The event loop: a time-ordered heap with deterministic tiebreaks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, object, object]] = []
+        self._seq = 0
+
+    def _schedule(self, time: float, callback, payload) -> None:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback, payload))
+
+    # -- public factory helpers ---------------------------------------- #
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    # -- main loop ------------------------------------------------------ #
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap drains (or simulated ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            time, _, callback, payload = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            callback(payload)
+        return self.now

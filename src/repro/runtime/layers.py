@@ -1,0 +1,118 @@
+"""The split-execution sequence of paper Fig. 2 as a discrete-event process.
+
+A calling thread pushes a problem across the network to the software (SW)
+layer, which parses it; the middleware (MW) layer performs the domain
+translation (minor embedding and parameter setting); the quantum hardware
+(QHW) layer programs the control electronics and runs the anneal-read
+cycles; results flow back through MW post-processing and the SW layer to
+the client.  The QHW layer is a capacity-one resource, so concurrent
+sessions queue — the effect the Fig. 1 architecture study measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .des import Resource, Simulator
+from .trace import Trace
+
+__all__ = ["RequestProfile", "split_execution_session", "run_single_session"]
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """Durations (seconds) of each stage of one split-execution request.
+
+    These are typically produced by the analytical stage models in
+    :mod:`repro.core` (see ``SplitExecutionModel.request_profile``), but any
+    numbers work — the runtime layer is a pure scheduler.
+    """
+
+    ising_generation: float  # SW: build the logical Ising model (Stage 1)
+    embedding: float  # MW: minor embedding + parameter setting (Stage 1)
+    processor_init: float  # QHW: electronic-control initialization (Stage 1)
+    quantum_execution: float  # QHW: anneal/readout/thermalization cycles (Stage 2)
+    postprocessing: float  # MW/SW: sort readouts, return solution (Stage 3)
+    network_latency: float = 0.0  # one-way client <-> server latency
+    payload_transfer: float = 0.0  # problem/readout transfer time per crossing
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"profile duration {name} must be non-negative")
+
+    @property
+    def total_service_time(self) -> float:
+        """Contention-free end-to-end latency of one request."""
+        return (
+            2 * (self.network_latency + self.payload_transfer)
+            + self.ising_generation
+            + self.embedding
+            + self.processor_init
+            + self.quantum_execution
+            + self.postprocessing
+        )
+
+
+def split_execution_session(
+    sim: Simulator,
+    qpu: Resource,
+    profile: RequestProfile,
+    trace: Trace,
+    session: int = 0,
+):
+    """Generator process executing one Fig.-2 request sequence.
+
+    Yields through the DES engine; returns the end-to-end latency.
+    """
+    t0 = sim.now
+
+    hop = profile.network_latency + profile.payload_transfer
+    if hop > 0:
+        start = sim.now
+        yield sim.timeout(hop)
+        trace.record("network", "push_problem", start, sim.now, session)
+
+    start = sim.now
+    yield sim.timeout(profile.ising_generation)
+    trace.record("sw", "generate_ising", start, sim.now, session)
+
+    start = sim.now
+    yield sim.timeout(profile.embedding)
+    trace.record("mw", "minor_embedding", start, sim.now, session)
+
+    start = sim.now
+    yield qpu.request()
+    if sim.now > start:
+        trace.record("qhw", "queue_wait", start, sim.now, session)
+    try:
+        start = sim.now
+        yield sim.timeout(profile.processor_init)
+        trace.record("qhw", "program_processor", start, sim.now, session)
+
+        start = sim.now
+        yield sim.timeout(profile.quantum_execution)
+        trace.record("qhw", "anneal_and_readout", start, sim.now, session)
+    finally:
+        qpu.release()
+
+    start = sim.now
+    yield sim.timeout(profile.postprocessing)
+    trace.record("mw", "postprocess_sort", start, sim.now, session)
+
+    if hop > 0:
+        start = sim.now
+        yield sim.timeout(hop)
+        trace.record("network", "return_solution", start, sim.now, session)
+
+    return sim.now - t0
+
+
+def run_single_session(profile: RequestProfile) -> tuple[float, Trace]:
+    """Convenience: simulate one uncontended request; return (latency, trace)."""
+    sim = Simulator()
+    trace = Trace()
+    qpu = sim.resource(capacity=1, name="qpu")
+    proc = sim.process(split_execution_session(sim, qpu, profile, trace, session=0))
+    sim.run()
+    return float(proc.value), trace

@@ -1,0 +1,106 @@
+"""Execution traces: time-stamped spans across the layer stack.
+
+The paper's Fig. 2 is a sequence diagram; a :class:`Trace` is its machine-
+readable equivalent — an ordered list of ``(layer, operation, start, end)``
+spans recorded while the discrete-event simulation runs, with aggregation
+helpers for per-layer totals and a rendered timeline for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ValidationError
+
+__all__ = ["Span", "Trace"]
+
+#: Canonical layer names, in stack order (paper Fig. 2).
+LAYERS = ("client", "network", "sw", "mw", "qhw")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One operation on one layer."""
+
+    layer: str
+    operation: str
+    start: float
+    end: float
+    session: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValidationError(
+                f"span {self.operation!r} ends before it starts ({self.end} < {self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only collection of spans with aggregation helpers."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def record(
+        self, layer: str, operation: str, start: float, end: float, session: int = 0
+    ) -> Span:
+        span = Span(layer, operation, start, end, session)
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Time from the earliest span start to the latest span end."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def total_by_layer(self) -> dict[str, float]:
+        """Busy time accumulated on each layer."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.layer] = out.get(s.layer, 0.0) + s.duration
+        return out
+
+    def total_by_operation(self) -> dict[str, float]:
+        """Busy time accumulated per operation name."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.operation] = out.get(s.operation, 0.0) + s.duration
+        return out
+
+    def session_latency(self, session: int) -> float:
+        """End-to-end latency of one session's spans."""
+        spans = [s for s in self.spans if s.session == session]
+        if not spans:
+            raise ValidationError(f"no spans recorded for session {session}")
+        return max(s.end for s in spans) - min(s.start for s in spans)
+
+    def sessions(self) -> list[int]:
+        return sorted({s.session for s in self.spans})
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_table(self, time_unit: str = "s") -> str:
+        """Render the trace as a fixed-width text timeline (Fig.-2 style)."""
+        scale = {"s": 1.0, "ms": 1e3, "us": 1e6}.get(time_unit)
+        if scale is None:
+            raise ValidationError(f"time_unit must be s/ms/us, got {time_unit!r}")
+        lines = [
+            f"{'session':>7}  {'layer':<8} {'operation':<28} "
+            f"{'start [' + time_unit + ']':>14} {'end [' + time_unit + ']':>14}"
+        ]
+        for s in sorted(self.spans, key=lambda x: (x.start, x.session)):
+            lines.append(
+                f"{s.session:>7}  {s.layer:<8} {s.operation:<28} "
+                f"{s.start * scale:>14.3f} {s.end * scale:>14.3f}"
+            )
+        return "\n".join(lines)

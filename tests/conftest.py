@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import ChimeraTopology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def cell() -> ChimeraTopology:
+    """A single Chimera unit cell, C(1, 1, 4)."""
+    return ChimeraTopology(1, 1, 4)
+
+
+@pytest.fixture(scope="session")
+def small_chimera() -> ChimeraTopology:
+    """A small lattice big enough for interesting embeddings, C(3, 3, 4)."""
+    return ChimeraTopology(3, 3, 4)

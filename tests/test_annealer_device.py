@@ -1,0 +1,116 @@
+"""Tests for the DWaveDevice facade (embedding + programming + sampling + timing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annealer import DWaveDevice, ExactSolver, geometric_schedule
+from repro.annealer.sa import SimulatedAnnealingSampler
+from repro.exceptions import SamplerError
+from repro.hardware import ChimeraTopology, DW2_TIMING, FaultModel, random_faults
+from repro.qubo import random_ising
+
+
+@pytest.fixture(scope="module")
+def device() -> DWaveDevice:
+    return DWaveDevice(
+        topology=ChimeraTopology(3, 3, 4),
+        sampler=SimulatedAnnealingSampler(geometric_schedule(250)),
+    )
+
+
+class TestSolve:
+    def test_end_to_end_finds_ground_state(self, device):
+        m = random_ising(6, rng=0)
+        result = device.solve_ising(m, num_reads=40, rng=0)
+        assert result.best_energy == pytest.approx(
+            ExactSolver().ground_energy(m), abs=1e-9
+        )
+
+    def test_logical_energies_use_logical_model(self, device):
+        m = random_ising(5, rng=1)
+        result = device.solve_ising(m, num_reads=10, rng=1)
+        for row, e in zip(result.logical.samples, result.logical.energies):
+            assert m.energy(row) == pytest.approx(e)
+
+    def test_solve_qubo(self, device):
+        from repro.qubo import brute_force_qubo, random_qubo
+
+        q = random_qubo(5, rng=2)
+        result = device.solve_qubo(q, num_reads=40, rng=2)
+        _, e = brute_force_qubo(q)
+        assert result.best_energy == pytest.approx(e[0], abs=1e-9)
+
+    def test_precomputed_embedding_used(self, device):
+        from repro.embedding import clique_embedding
+
+        m = random_ising(4, rng=3)
+        emb = clique_embedding(4, device.topology)
+        result = device.solve_ising(m, num_reads=5, embedding=emb, rng=0)
+        assert result.embedded.embedding == emb
+
+    def test_num_reads_guard(self, device):
+        with pytest.raises(SamplerError):
+            device.solve_ising(random_ising(3, rng=0), num_reads=0)
+
+    def test_chain_break_fraction_reported(self, device):
+        m = random_ising(5, rng=4)
+        result = device.solve_ising(m, num_reads=20, rng=4)
+        assert 0.0 <= result.chain_break_fraction <= 1.0
+
+
+class TestTiming:
+    def test_programming_constant(self, device):
+        m = random_ising(4, rng=5)
+        result = device.solve_ising(m, num_reads=10, rng=0)
+        assert result.timing.programming_us == pytest.approx(
+            DW2_TIMING.processor_initialize_us
+        )
+
+    def test_sampling_scales_with_reads(self, device):
+        m = random_ising(4, rng=5)
+        from repro.embedding import clique_embedding
+
+        emb = clique_embedding(4, device.topology)
+        r10 = device.solve_ising(m, num_reads=10, embedding=emb, rng=0)
+        r20 = device.solve_ising(m, num_reads=20, embedding=emb, rng=0)
+        assert r20.timing.sampling_us == pytest.approx(2 * r10.timing.sampling_us)
+        assert r10.timing.anneal_us == pytest.approx(10 * DW2_TIMING.anneal_us)
+
+    def test_total_is_programming_plus_sampling(self, device):
+        m = random_ising(4, rng=6)
+        result = device.solve_ising(m, num_reads=7, rng=0)
+        t = result.timing
+        assert t.total_us == pytest.approx(t.programming_us + t.sampling_us)
+        assert t.total_s == pytest.approx(t.total_us * 1e-6)
+
+
+class TestFaults:
+    def test_faulty_device_avoids_dead_qubits(self):
+        topo = ChimeraTopology(3, 3, 4)
+        faults = random_faults(topo, qubit_fault_rate=0.05, rng=1)
+        device = DWaveDevice(
+            topology=topo,
+            faults=faults,
+            sampler=SimulatedAnnealingSampler(geometric_schedule(100)),
+        )
+        assert device.num_working_qubits == topo.num_qubits - faults.num_dead_qubits
+        m = random_ising(4, rng=7)
+        result = device.solve_ising(m, num_reads=5, rng=0)
+        dead = set(faults.dead_qubits)
+        for chain in result.embedded.embedding.chains:
+            assert not (set(chain) & dead)
+
+    def test_explicit_fault_model(self):
+        topo = ChimeraTopology(2, 2, 4)
+        device = DWaveDevice(topology=topo, faults=FaultModel({0, 1}))
+        assert device.num_working_qubits == topo.num_qubits - 2
+
+
+class TestCharacterization:
+    def test_success_probability_estimation(self, device):
+        m = random_ising(6, rng=8)
+        ground = ExactSolver().ground_energy(m)
+        ps = device.estimate_success_probability(m, ground, num_reads=50, rng=0)
+        assert 0.0 <= ps <= 1.0
+        assert ps > 0.1  # SA with 250 sweeps solves n=6 most of the time

@@ -1,0 +1,57 @@
+"""Tests for the exact enumeration sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer import ExactSolver
+from repro.exceptions import SamplerError
+from repro.qubo import IsingModel, brute_force_ising, random_ising
+
+
+class TestExactSolver:
+    def test_returns_true_minimum(self):
+        m = random_ising(8, rng=0)
+        ss = ExactSolver().sample(m)
+        assert ss.lowest_energy == pytest.approx(brute_force_ising(m)[1][0])
+
+    def test_num_reads_returns_k_best(self):
+        m = random_ising(6, rng=1)
+        ss = ExactSolver().sample(m, num_reads=5)
+        _, expected = brute_force_ising(m, num_best=5)
+        assert np.allclose(ss.energies, expected)
+
+    def test_more_reads_than_states_pads(self):
+        m = IsingModel([1.0], {})
+        ss = ExactSolver().sample(m, num_reads=5)
+        assert ss.num_rows == 5
+        assert ss.energies[-1] == ss.energies[1]  # padded with the worst state
+
+    def test_spin_limit_enforced(self):
+        m = random_ising(30, density=0.1, rng=2)
+        with pytest.raises(SamplerError, match="exceeds"):
+            ExactSolver().sample(m)
+        with pytest.raises(SamplerError, match="exceeds"):
+            ExactSolver().ground_energy(m)
+
+    def test_custom_limit(self):
+        solver = ExactSolver(max_spins=4)
+        with pytest.raises(SamplerError):
+            solver.sample(random_ising(5, rng=0))
+
+    def test_bad_limit(self):
+        with pytest.raises(SamplerError):
+            ExactSolver(max_spins=0)
+
+    def test_unexpected_kwargs_rejected(self):
+        with pytest.raises(SamplerError, match="unexpected"):
+            ExactSolver().sample(random_ising(3, rng=0), schedule=None)
+
+    def test_deterministic_perfect_annealer(self):
+        """ExactSolver is the p_s = 1 reference device for Eq. 6 validation."""
+        m = random_ising(7, rng=3)
+        ss = ExactSolver().sample(m, num_reads=3)
+        ground = ss.lowest_energy
+        assert ss.ground_state_probability(ground) > 0.0
+        assert ss.energies[0] == pytest.approx(ground)

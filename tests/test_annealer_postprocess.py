@@ -1,0 +1,126 @@
+"""Tests for greedy-descent post-processing of readout samples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealer import (
+    ExactSolver,
+    SampleSet,
+    SimulatedAnnealingSampler,
+    geometric_schedule,
+    greedy_descent,
+    refine_sampleset,
+)
+from repro.exceptions import ValidationError
+from repro.qubo import IsingModel, random_ising
+
+
+class TestGreedyDescent:
+    def test_never_increases_energy(self, rng):
+        m = random_ising(10, density=0.5, rng=0)
+        S = (rng.integers(0, 2, size=(30, 10)) * 2 - 1).astype(np.int8)
+        refined = greedy_descent(m, S)
+        assert np.all(m.energies(refined) <= m.energies(S) + 1e-12)
+
+    def test_reaches_local_minimum(self, rng):
+        m = random_ising(8, density=0.6, rng=1)
+        S = (rng.integers(0, 2, size=(20, 8)) * 2 - 1).astype(np.int8)
+        refined = greedy_descent(m, S)
+        # No single flip improves any refined sample.
+        base = m.energies(refined)
+        for i in range(8):
+            flipped = refined.copy()
+            flipped[:, i] = -flipped[:, i]
+            assert np.all(m.energies(flipped) >= base - 1e-9)
+
+    def test_ground_state_fixed_point(self):
+        m = random_ising(8, rng=2)
+        states, _ = __import__("repro.qubo", fromlist=["brute_force_ising"]).brute_force_ising(m)
+        refined = greedy_descent(m, states[:1])
+        assert np.array_equal(refined, states[:1])
+
+    def test_ferromagnet_from_near_aligned(self):
+        n = 6
+        m = IsingModel(np.zeros(n), {(i, j): -1.0 for i in range(n) for j in range(i + 1, n)})
+        start = np.ones((1, n), dtype=np.int8)
+        start[0, 0] = -1  # one spin off
+        refined = greedy_descent(m, start)
+        assert np.all(refined == 1)
+
+    def test_fields_only_model(self):
+        m = IsingModel([2.0, -3.0], {})
+        refined = greedy_descent(m, np.array([[1, -1]], dtype=np.int8))
+        assert refined.tolist() == [[-1, 1]]
+
+    def test_empty_batch(self):
+        m = random_ising(4, rng=3)
+        out = greedy_descent(m, np.zeros((0, 4), dtype=np.int8))
+        assert out.shape == (0, 4)
+
+    def test_validation(self):
+        m = random_ising(4, rng=3)
+        with pytest.raises(ValidationError):
+            greedy_descent(m, np.ones((2, 3), dtype=np.int8))
+        with pytest.raises(ValidationError):
+            greedy_descent(m, np.zeros((2, 4), dtype=np.int8))
+        with pytest.raises(ValidationError):
+            greedy_descent(m, np.ones((2, 4), dtype=np.int8), max_sweeps=0)
+
+
+class TestRefineSampleset:
+    def test_improves_weak_anneal(self):
+        m = random_ising(12, density=0.6, rng=4)
+        weak = SimulatedAnnealingSampler(geometric_schedule(4))
+        raw = weak.sample(m, num_reads=40, rng=0)
+        refined = refine_sampleset(m, raw)
+        assert refined.lowest_energy <= raw.lowest_energy
+        assert float(refined.energies.mean()) < float(raw.energies.mean())
+
+    def test_reaches_ground_state_often(self):
+        m = random_ising(10, density=0.6, rng=5)
+        ground = ExactSolver().ground_energy(m)
+        weak = SimulatedAnnealingSampler(geometric_schedule(6))
+        raw = weak.sample(m, num_reads=60, rng=1)
+        refined = refine_sampleset(m, raw)
+        assert refined.ground_state_probability(ground) >= raw.ground_state_probability(ground)
+
+    def test_multiplicities_preserved(self):
+        m = random_ising(6, rng=6)
+        ss = SampleSet(
+            np.ones((2, 6), dtype=np.int8),
+            m.energies(np.ones((2, 6))),
+            np.array([3, 7], dtype=np.int64),
+        )
+        refined = refine_sampleset(m, ss)
+        assert refined.num_reads == 10
+
+    def test_empty_passthrough(self):
+        m = random_ising(3, rng=7)
+        ss = SampleSet.empty(3)
+        assert refine_sampleset(m, ss) is ss
+
+    def test_sorted_output(self):
+        m = random_ising(9, density=0.5, rng=8)
+        raw = SimulatedAnnealingSampler(geometric_schedule(3)).sample(m, num_reads=25, rng=2)
+        refined = refine_sampleset(m, raw)
+        assert np.all(np.diff(refined.energies) >= 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_descent_monotone_and_idempotent(n, k, seed):
+    gen = np.random.default_rng(seed)
+    m = random_ising(n, density=0.7, rng=seed)
+    S = (gen.integers(0, 2, size=(k, n)) * 2 - 1).astype(np.int8)
+    once = greedy_descent(m, S)
+    twice = greedy_descent(m, once)
+    assert np.all(m.energies(once) <= m.energies(S) + 1e-12)
+    assert np.array_equal(once, twice)  # local minima are fixed points

@@ -1,0 +1,160 @@
+"""Tests for the vectorized simulated-annealing sampler."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealer import (
+    ExactSolver,
+    SimulatedAnnealingSampler,
+    color_classes,
+    geometric_schedule,
+)
+from repro.exceptions import SamplerError
+from repro.qubo import IsingModel, random_ising, random_qubo
+
+
+class TestColorClasses:
+    def test_partition_covers_all_spins(self):
+        m = random_ising(10, density=0.4, rng=0)
+        classes = color_classes(m)
+        all_spins = sorted(int(s) for c in classes for s in c)
+        assert all_spins == list(range(10))
+
+    def test_no_intra_class_couplings(self):
+        m = random_ising(12, density=0.5, rng=1)
+        couplings = set(m.coupling_dict())
+        for cls in color_classes(m):
+            cls_set = set(cls.tolist())
+            for i, j in couplings:
+                assert not (i in cls_set and j in cls_set)
+
+    def test_chimera_bipartite_two_classes(self):
+        from repro.embedding import clique_embedding, embed_ising, minimal_clique_topology
+
+        logical = random_ising(4, rng=2)
+        topo = minimal_clique_topology(4)
+        ei = embed_ising(logical, clique_embedding(4, topo), topo.working_graph())
+        assert len(color_classes(ei.physical)) <= 2
+
+    def test_no_couplings_single_class(self):
+        m = IsingModel([1.0, -1.0], {})
+        assert len(color_classes(m)) == 1
+
+
+class TestSampling:
+    def test_finds_ground_state_small(self):
+        sa = SimulatedAnnealingSampler(geometric_schedule(200))
+        ex = ExactSolver()
+        for seed in range(5):
+            m = random_ising(10, density=0.6, rng=seed)
+            ss = sa.sample(m, num_reads=20, rng=seed)
+            assert ss.lowest_energy == pytest.approx(ex.ground_energy(m), abs=1e-9)
+
+    def test_ferromagnet_aligns(self):
+        n = 8
+        m = IsingModel(np.zeros(n), {(i, i + 1): -1.0 for i in range(n - 1)})
+        sa = SimulatedAnnealingSampler(geometric_schedule(150))
+        ss = sa.sample(m, num_reads=10, rng=0)
+        best = ss.first[0]
+        assert abs(int(best.sum())) == n  # all aligned
+
+    def test_reproducible(self):
+        m = random_ising(8, rng=3)
+        sa = SimulatedAnnealingSampler()
+        a = sa.sample(m, num_reads=5, rng=11)
+        b = sa.sample(m, num_reads=5, rng=11)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_read_count(self):
+        m = random_ising(5, rng=4)
+        ss = SimulatedAnnealingSampler().sample(m, num_reads=17, rng=0)
+        assert ss.num_reads == 17
+
+    def test_aggregate_option(self):
+        m = IsingModel(np.zeros(2), {(0, 1): -5.0})
+        ss = SimulatedAnnealingSampler().sample(m, num_reads=50, rng=0, aggregate=True)
+        assert ss.num_reads == 50
+        assert ss.num_rows < 50  # duplicates collapsed
+
+    def test_initial_states_respected_at_zero_temperature(self):
+        # With an all-zero model every flip has dE = 0 and is accepted, so
+        # use a strong ferromagnet and beta -> inf: aligned starts stay put.
+        from repro.annealer import AnnealSchedule
+
+        m = IsingModel(np.zeros(4), {(i, j): -1.0 for i in range(4) for j in range(i + 1, 4)})
+        init = np.ones((3, 4), dtype=np.int8)
+        sched = AnnealSchedule(np.array([50.0]))
+        ss = SimulatedAnnealingSampler().sample(
+            m, num_reads=3, rng=0, schedule=sched, initial_states=init
+        )
+        assert ss.lowest_energy == pytest.approx(-6.0)
+
+    def test_energy_conservation_with_model(self):
+        m = random_ising(9, density=0.5, rng=6)
+        ss = SimulatedAnnealingSampler().sample(m, num_reads=8, rng=1)
+        assert np.allclose(ss.energies, m.energies(ss.samples))
+
+    def test_sample_qubo_wrapper(self):
+        q = random_qubo(6, rng=7)
+        ss = SimulatedAnnealingSampler().sample_qubo(q, num_reads=30, rng=2)
+        b = ((ss.first[0] + 1) // 2).astype(float)
+        assert q.energy(b) == pytest.approx(ss.first[1])
+
+    def test_fields_only_model(self):
+        m = IsingModel([5.0, -5.0], {})
+        ss = SimulatedAnnealingSampler().sample(m, num_reads=5, rng=0)
+        assert ss.first[0].tolist() == [-1, 1]
+
+
+class TestValidation:
+    def test_zero_reads_rejected(self):
+        with pytest.raises(SamplerError):
+            SimulatedAnnealingSampler().sample(random_ising(3, rng=0), num_reads=0)
+
+    def test_zero_spins_rejected(self):
+        with pytest.raises(SamplerError):
+            SimulatedAnnealingSampler().sample(IsingModel([], {}), num_reads=1)
+
+    def test_bad_initial_shape(self):
+        m = random_ising(4, rng=0)
+        with pytest.raises(SamplerError, match="shape"):
+            SimulatedAnnealingSampler().sample(
+                m, num_reads=2, initial_states=np.ones((3, 4), dtype=np.int8)
+            )
+
+    def test_bad_initial_values(self):
+        m = random_ising(4, rng=0)
+        with pytest.raises(SamplerError, match="-1/\\+1"):
+            SimulatedAnnealingSampler().sample(
+                m, num_reads=1, initial_states=np.zeros((1, 4), dtype=np.int8)
+            )
+
+
+class TestStatisticalBehavior:
+    def test_success_probability_increases_with_sweeps(self):
+        """Longer anneals find the ground state more often (the paper's p_s
+        depends on the evolution time)."""
+        m = random_ising(12, density=0.8, rng=9)
+        ground = ExactSolver().ground_energy(m)
+        short = SimulatedAnnealingSampler(geometric_schedule(5))
+        long = SimulatedAnnealingSampler(geometric_schedule(400))
+        ps_short = short.sample(m, num_reads=60, rng=0).ground_state_probability(ground)
+        ps_long = long.sample(m, num_reads=60, rng=0).ground_state_probability(ground)
+        assert ps_long >= ps_short
+        assert ps_long > 0.5
+
+    def test_embedded_chimera_problem(self):
+        """End-to-end: logical -> embedded physical -> SA -> decode -> ground."""
+        from repro.embedding import clique_embedding, embed_ising, minimal_clique_topology
+
+        logical = random_ising(5, rng=10)
+        topo = minimal_clique_topology(5)
+        ei = embed_ising(logical, clique_embedding(5, topo), topo.working_graph())
+        sa = SimulatedAnnealingSampler(geometric_schedule(300))
+        phys = sa.sample(ei.physical, num_reads=30, rng=3)
+        decoded = ei.unembed(phys.samples)
+        best = min(logical.energy(s) for s in decoded)
+        assert best == pytest.approx(ExactSolver().ground_energy(logical), abs=1e-9)

@@ -1,0 +1,75 @@
+"""Tests for annealing schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annealer import AnnealSchedule, geometric_schedule, linear_schedule
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_linear(self):
+        s = linear_schedule(10, 0.1, 1.0)
+        assert s.num_sweeps == 10
+        assert s.betas[0] == pytest.approx(0.1)
+        assert s.betas[-1] == pytest.approx(1.0)
+
+    def test_geometric(self):
+        s = geometric_schedule(5, 0.1, 10.0)
+        ratios = s.betas[1:] / s.betas[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_monotone_enforced(self):
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            AnnealSchedule(np.array([1.0, 0.5]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            AnnealSchedule(np.array([-1.0, 0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            AnnealSchedule(np.array([]))
+
+    def test_bad_factory_args(self):
+        with pytest.raises(ValidationError):
+            linear_schedule(0)
+        with pytest.raises(ValidationError):
+            linear_schedule(5, 2.0, 1.0)
+        with pytest.raises(ValidationError):
+            geometric_schedule(5, 0.0, 1.0)
+
+    def test_betas_read_only(self):
+        s = linear_schedule(4)
+        with pytest.raises(ValueError):
+            s.betas[0] = 99.0
+
+
+class TestStretch:
+    def test_stretch_doubles_sweeps(self):
+        s = linear_schedule(100, 0.1, 5.0)
+        s2 = s.stretched(2.0)
+        assert s2.num_sweeps == 200
+        assert s2.betas[0] == pytest.approx(0.1)
+        assert s2.betas[-1] == pytest.approx(5.0)
+
+    def test_stretch_shrinks(self):
+        s = linear_schedule(100)
+        assert s.stretched(0.5).num_sweeps == 50
+
+    def test_stretch_preserves_waveform(self):
+        s = geometric_schedule(64, 0.1, 8.0)
+        s2 = s.stretched(4.0)
+        # Still monotone, same endpoints.
+        assert s2.betas[0] == pytest.approx(0.1)
+        assert s2.betas[-1] == pytest.approx(8.0)
+        assert np.all(np.diff(s2.betas) >= 0)
+
+    def test_stretch_minimum_one(self):
+        assert linear_schedule(3).stretched(0.01).num_sweeps == 1
+
+    def test_bad_factor(self):
+        with pytest.raises(ValidationError):
+            linear_schedule(3).stretched(0.0)

@@ -1,0 +1,144 @@
+"""Tests for ASPEN expression evaluation and the parameter environment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aspen import Environment, evaluate_expr, parse_expression
+from repro.exceptions import AspenEvaluationError, AspenNameError
+
+
+def ev(text: str, **params: float) -> float:
+    return evaluate_expr(parse_expression(text), Environment(overrides=params))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7.0),
+            ("(1 + 2) * 3", 9.0),
+            ("2 ^ 10", 1024.0),
+            ("2 ^ 3 ^ 2", 512.0),  # right associative
+            ("-4 + 1", -3.0),
+            ("10 / 4", 2.5),
+            ("1e3 + 1", 1001.0),
+            ("7 - 2 - 1", 4.0),  # left associative
+        ],
+    )
+    def test_values(self, text, expected):
+        assert ev(text) == pytest.approx(expected)
+
+    def test_division_by_zero(self):
+        with pytest.raises(AspenEvaluationError, match="zero"):
+            ev("1 / 0")
+
+    def test_params(self):
+        assert ev("LPS^2 + 1", LPS=10) == 101.0
+
+    def test_undefined_param(self):
+        with pytest.raises(AspenNameError, match="undefined"):
+            ev("missing + 1")
+
+
+class TestFunctions:
+    def test_log_is_natural(self):
+        assert ev("log(2.718281828459045)") == pytest.approx(1.0)
+
+    def test_log_bases(self):
+        assert ev("log2(8)") == pytest.approx(3.0)
+        assert ev("log10(1000)") == pytest.approx(3.0)
+
+    def test_log_of_nonpositive(self):
+        with pytest.raises(AspenEvaluationError, match="log"):
+            ev("log(0)")
+
+    def test_ceil_floor_sqrt_abs(self):
+        assert ev("ceil(1.2)") == 2.0
+        assert ev("floor(1.8)") == 1.0
+        assert ev("sqrt(16)") == 4.0
+        assert ev("abs(0 - 5)") == 5.0
+
+    def test_min_max(self):
+        assert ev("min(3, 1, 2)") == 1.0
+        assert ev("max(3, 1, 2)") == 3.0
+
+    def test_eq6_repetition_expression(self):
+        """The paper's Stage-2 QuOps amount."""
+        got = ev("ceil(log(1-(Accuracy/100))/log(1-Success))", Accuracy=99.0, Success=0.7)
+        expected = math.ceil(math.log(0.01) / math.log(0.3))
+        assert got == expected == 4
+
+    def test_unknown_function(self):
+        with pytest.raises(AspenNameError, match="unknown function"):
+            ev("sin(1)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AspenEvaluationError, match="argument"):
+            ev("log(1, 2)")
+
+
+class TestEnvironment:
+    def test_lazy_interdependent_params(self):
+        env = Environment(
+            declarations={
+                "A": parse_expression("B + 1"),
+                "B": parse_expression("2"),
+            }
+        )
+        assert env.lookup("A") == 3.0
+
+    def test_override_shadows_declaration(self):
+        env = Environment(
+            declarations={"A": parse_expression("1")}, overrides={"A": 42.0}
+        )
+        assert env.lookup("A") == 42.0
+
+    def test_override_as_expression(self):
+        env = Environment(overrides={"A": parse_expression("2 * 3")})
+        assert env.lookup("A") == 6.0
+
+    def test_cycle_detected(self):
+        env = Environment(
+            declarations={
+                "A": parse_expression("B"),
+                "B": parse_expression("A"),
+            }
+        )
+        with pytest.raises(AspenEvaluationError, match="cyclic"):
+            env.lookup("A")
+
+    def test_child_scope_fallback(self):
+        parent = Environment(overrides={"X": 5.0})
+        child = parent.child(overrides={"Y": 1.0})
+        assert child.lookup("X") == 5.0
+        assert child.lookup("Y") == 1.0
+        assert child.defines("X") and not parent.defines("Y")
+
+    def test_memoization_consistency(self):
+        env = Environment(declarations={"A": parse_expression("2^20")})
+        assert env.lookup("A") == env.lookup("A") == 2.0**20
+
+    def test_resolved_snapshot(self):
+        env = Environment(
+            declarations={"A": parse_expression("1"), "B": parse_expression("A*2")}
+        )
+        assert env.resolved() == {"A": 1.0, "B": 2.0}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    b=st.floats(min_value=0.1, max_value=100, allow_nan=False),
+)
+def test_property_expression_matches_python(a, b):
+    """Random (a op b) expressions agree with Python arithmetic."""
+    env = Environment(overrides={"a": a, "b": b})
+    assert evaluate_expr(parse_expression("a + b"), env) == pytest.approx(a + b)
+    assert evaluate_expr(parse_expression("a - b"), env) == pytest.approx(a - b)
+    assert evaluate_expr(parse_expression("a * b"), env) == pytest.approx(a * b)
+    assert evaluate_expr(parse_expression("a / b"), env) == pytest.approx(a / b)

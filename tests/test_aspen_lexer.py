@@ -1,0 +1,133 @@
+"""Tests for the ASPEN tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aspen.lexer import Token, TokenType, tokenize
+from repro.exceptions import AspenSyntaxError
+
+
+def kinds(source: str) -> list[TokenType]:
+    return [t.type for t in tokenize(source)]
+
+
+def values(source: str) -> list[str]:
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].type is TokenType.EOF
+
+    def test_punctuation(self):
+        assert kinds("{ } [ ] ( ) , =")[:-1] == [
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.EQUALS,
+        ]
+
+    def test_operators(self):
+        assert kinds("+ - * / ^")[:-1] == [
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.CARET,
+        ]
+
+    def test_identifiers(self):
+        assert values("param LPS _x a1b") == ["param", "LPS", "_x", "a1b"]
+
+    def test_dotted_identifier_for_include_paths(self):
+        assert values("ddr3_1066.aspen") == ["ddr3_1066.aspen"]
+
+    def test_unicode_caret_alias(self):
+        """The paper PDF renders '^' as a modifier circumflex."""
+        toks = tokenize("LPSˆ2")
+        assert [t.type for t in toks[:-1]] == [
+            TokenType.IDENT,
+            TokenType.CARET,
+            TokenType.NUMBER,
+        ]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("0", 0.0), ("42", 42.0), ("3.14", 3.14), ("1e6", 1e6), ("2.5e-3", 2.5e-3), (".5", 0.5)],
+    )
+    def test_literals(self, text, expected):
+        tok = tokenize(text)[0]
+        assert tok.type is TokenType.NUMBER
+        assert float(tok.value) == expected
+
+    def test_number_then_ident(self):
+        toks = tokenize("4x")
+        assert toks[0].value == "4" and toks[1].value == "x"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(AspenSyntaxError, match="unterminated"):
+            tokenize("/* never closed")
+
+    def test_comment_at_eof(self):
+        assert values("a // trailing") == ["a"]
+
+
+class TestStrings:
+    def test_string(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].type is TokenType.STRING
+        assert toks[0].value == "hello world"
+
+    def test_unterminated(self):
+        with pytest.raises(AspenSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_has_position(self):
+        with pytest.raises(AspenSyntaxError, match="line 2"):
+            tokenize("ok\n  @")
+
+    def test_unexpected_character(self):
+        with pytest.raises(AspenSyntaxError, match="unexpected"):
+            tokenize("$")
+
+    def test_token_repr(self):
+        assert "IDENT" in repr(Token(TokenType.IDENT, "x", 1, 1))
+
+
+class TestPaperListing:
+    def test_fig5_core_line(self):
+        src = "resource QuOps(number) [number * 20/1000000]"
+        vals = values(src)
+        assert vals == [
+            "resource", "QuOps", "(", "number", ")", "[",
+            "number", "*", "20", "/", "1000000", "]",
+        ]
+
+    def test_fig6_embedding_ops_line(self):
+        src = "param EmbeddingOps = (EG+NG*log(NG))*(2*EH)*NH*NG"
+        toks = tokenize(src)
+        assert toks[0].value == "param"
+        assert sum(1 for t in toks if t.type is TokenType.STAR) == 5

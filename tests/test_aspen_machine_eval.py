@@ -1,0 +1,233 @@
+"""Tests for machine-model semantics and the evaluator on synthetic models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aspen import ApplicationModel, AspenEvaluator, MachineModel, ModelRegistry, parse_source
+from repro.exceptions import AspenEvaluationError, AspenNameError
+
+MACHINE_SRC = """
+machine TestBox { [1] N nodes }
+node N { [1] S sockets }
+socket S {
+  [2] C cores
+  M memory
+  linked with L
+}
+core C {
+  param hz = 1e9
+  resource flops(number) [number / hz]
+    with sp [ base ], dp [ base * 2 ], simd [ base / 4 ], fmad [ base / 2 ]
+}
+memory M {
+  param bw = 1e9
+  property capacity [100]
+  resource loads(bytes) [bytes / bw]
+  resource stores(bytes) [bytes / bw]
+}
+interconnect L {
+  resource intracomm(bytes) [1e-6 + bytes / 2e9]
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def machine() -> MachineModel:
+    reg = ModelRegistry()
+    reg.load_text(MACHINE_SRC)
+    return reg.machine("TestBox")
+
+
+def app_from(src: str) -> ApplicationModel:
+    return ApplicationModel(parse_source(src).models[0])
+
+
+class TestMachineModel:
+    def test_socket_discovery(self, machine):
+        assert machine.socket_names() == ["S"]
+
+    def test_socket_view_components(self, machine):
+        view = machine.socket("S")
+        assert view.cores[0][0] == 2.0
+        assert view.memory.name == "M"
+        assert view.link.name == "L"
+
+    def test_unknown_socket(self, machine):
+        with pytest.raises(AspenNameError, match="no socket"):
+            machine.socket("nope")
+
+    def test_resource_lookup_order(self, machine):
+        view = machine.socket("S")
+        assert view.find_resource("flops").component.name == "C"
+        assert view.find_resource("loads").component.name == "M"
+        assert view.find_resource("intracomm").component.name == "L"
+        assert view.find_resource("bogus") is None
+
+    def test_resource_cost_with_traits(self, machine):
+        view = machine.socket("S")
+        lookup = view.find_resource("flops")
+        base, unmatched = lookup.time_seconds(1e9, [])
+        assert base == pytest.approx(1.0)
+        assert unmatched == set()
+        simd, _ = lookup.time_seconds(1e9, ["sp", "simd"])
+        assert simd == pytest.approx(0.25)
+        both, _ = lookup.time_seconds(1e9, ["simd", "fmad"])
+        assert both == pytest.approx(0.125)
+        dp, _ = lookup.time_seconds(1e9, ["dp"])
+        assert dp == pytest.approx(2.0)
+
+    def test_unmatched_trait_reported(self, machine):
+        view = machine.socket("S")
+        _, unmatched = view.find_resource("flops").time_seconds(1.0, ["vectorish"])
+        assert unmatched == {"vectorish"}
+
+    def test_property_value(self, machine):
+        view = machine.socket("S")
+        assert view.property_value(view.memory, "capacity") == 100.0
+        assert view.property_value(view.memory, "nope") is None
+
+
+class TestEvaluator:
+    def test_simple_block(self, machine):
+        app = app_from(
+            "model A { kernel main { execute [1] { flops [2e9] } } }"
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert r.total_seconds == pytest.approx(2.0)
+
+    def test_count_multiplier(self, machine):
+        app = app_from(
+            "model A { kernel main { execute [3] { flops [1e9] } } }"
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert r.total_seconds == pytest.approx(3.0)
+
+    def test_time_units(self, machine):
+        app = app_from(
+            "model A { kernel main { execute [1] "
+            "{ microseconds [5] milliseconds [2] seconds [1] } } }"
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert r.total_seconds == pytest.approx(1.002005)
+
+    def test_conflict_policies(self, machine):
+        src = "model A { kernel main { execute [1] { flops [1e9] loads [5e8] } } }"
+        app = app_from(src)
+        assert AspenEvaluator(machine, conflict="sum").evaluate(
+            app, socket="S"
+        ).total_seconds == pytest.approx(1.5)
+        assert AspenEvaluator(machine, conflict="max").evaluate(
+            app, socket="S"
+        ).total_seconds == pytest.approx(1.0)
+
+    def test_bad_conflict_policy(self, machine):
+        with pytest.raises(AspenEvaluationError):
+            AspenEvaluator(machine, conflict="mean")
+
+    def test_kernel_calls_and_iterate(self, machine):
+        app = app_from(
+            """
+            model A {
+              kernel work { execute [1] { seconds [2] } }
+              kernel main { work iterate [3] { work } }
+            }
+            """
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert r.total_seconds == pytest.approx(8.0)
+
+    def test_par_takes_max_seq_takes_sum(self, machine):
+        app = app_from(
+            """
+            model A {
+              kernel fast { execute [1] { seconds [1] } }
+              kernel slow { execute [1] { seconds [5] } }
+              kernel main { par { fast slow } seq { fast slow } }
+            }
+            """
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert r.total_seconds == pytest.approx(5.0 + 6.0)
+
+    def test_recursion_detected(self, machine):
+        app = app_from(
+            "model A { kernel main { main } }"
+        )
+        with pytest.raises(AspenEvaluationError, match="recursive"):
+            AspenEvaluator(machine).evaluate(app, socket="S")
+
+    def test_unknown_resource(self, machine):
+        app = app_from("model A { kernel main { execute [1] { teraflops [1] } } }")
+        with pytest.raises(AspenNameError, match="teraflops"):
+            AspenEvaluator(machine).evaluate(app, socket="S")
+
+    def test_unknown_data_target(self, machine):
+        app = app_from(
+            "model A { kernel main { execute [1] { loads [4] from Nope } } }"
+        )
+        with pytest.raises(AspenNameError, match="Nope"):
+            AspenEvaluator(machine).evaluate(app, socket="S")
+
+    def test_of_size_multiplies(self, machine):
+        app = app_from(
+            """
+            model A {
+              data D as Array(10, 4)
+              kernel main { execute [1] { loads [10] from D of size [4] } }
+            }
+            """
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert r.total_seconds == pytest.approx(40 / 1e9)
+
+    def test_param_overrides(self, machine):
+        app = app_from(
+            "model A { param X = 1 kernel main { execute [1] { flops [X * 1e9] } } }"
+        )
+        ev = AspenEvaluator(machine)
+        assert ev.evaluate(app, socket="S").total_seconds == pytest.approx(1.0)
+        assert ev.evaluate(app, socket="S", params={"X": 4}).total_seconds == pytest.approx(4.0)
+
+    def test_capacity_warning(self, machine):
+        app = app_from(
+            """
+            model A {
+              data Big as Array(1000, 8)
+              kernel main { execute [1] { flops [1] } }
+            }
+            """
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert any("capacity" in w for w in r.warnings)
+
+    def test_unmatched_trait_warning(self, machine):
+        app = app_from(
+            "model A { kernel main { execute [1] { flops [1] as turbo } } }"
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        assert any("turbo" in w for w in r.warnings)
+
+    def test_report_breakdowns(self, machine):
+        app = app_from(
+            """
+            model A {
+              kernel k1 { execute [1] { flops [1e9] } }
+              kernel k2 { execute [1] { loads [2e9] } }
+              kernel main { k1 k2 }
+            }
+            """
+        )
+        r = AspenEvaluator(machine).evaluate(app, socket="S")
+        per_kernel = r.per_kernel()
+        assert per_kernel["k1"] == pytest.approx(1.0)
+        assert per_kernel["k2"] == pytest.approx(2.0)
+        assert r.per_resource()["loads"] == pytest.approx(2.0)
+        assert r.dominant_resource() == "loads"
+
+    def test_negative_iterate_rejected(self, machine):
+        app = app_from(
+            "model A { kernel main { iterate [0-5] { execute [1] { seconds [1] } } } }"
+        )
+        with pytest.raises(AspenEvaluationError, match="negative"):
+            AspenEvaluator(machine).evaluate(app, socket="S")

@@ -1,0 +1,168 @@
+"""Regression tests for the paper's bundled listings (Figs. 5-8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.aspen import AspenEvaluator, load_paper_models
+
+
+@pytest.fixture(scope="module")
+def setup():
+    reg = load_paper_models()
+    machine = reg.machine("SimpleNode")
+    return reg, machine, AspenEvaluator(machine)
+
+
+class TestFig5Machine:
+    def test_all_sockets_present(self, setup):
+        _, machine, _ = setup
+        assert machine.socket_names() == [
+            "dwave_vesuvius_20",
+            "intel_xeon_e5_2680",
+            "nvidia_m2090",
+        ]
+
+    def test_quops_is_20us(self, setup):
+        """Fig. 5: resource QuOps(number) [number * 20/1000000]."""
+        _, machine, _ = setup
+        view = machine.socket("dwave_vesuvius_20")
+        lookup = view.find_resource("QuOps")
+        seconds, _ = lookup.time_seconds(1, [])
+        assert seconds == pytest.approx(20e-6)
+        seconds, _ = lookup.time_seconds(1000, [])
+        assert seconds == pytest.approx(0.02)
+
+    def test_qpu_socket_has_memory_and_link(self, setup):
+        """The ASPEN syntax requires a memory element and PCIe link (Fig. 5)."""
+        _, machine, _ = setup
+        view = machine.socket("dwave_vesuvius_20")
+        assert view.memory is not None
+        assert view.link is not None
+
+    def test_cpu_resources(self, setup):
+        _, machine, _ = setup
+        view = machine.socket("intel_xeon_e5_2680")
+        for resource in ("flops", "loads", "stores", "intracomm"):
+            assert view.find_resource(resource) is not None
+
+
+class TestFig6Stage1:
+    def test_parameters_resolve(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage1"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 30})
+        p = r.parameters
+        assert p["NH"] == 30
+        assert p["EH"] == 435
+        assert p["NG"] == 1152
+        assert p["EG"] == 3360
+        assert p["Ising"] == 900
+        assert p["ParameterSetting"] == 27000
+        assert p["ProcessorInitialize"] == 319573
+
+    def test_embedding_ops_formula(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage1"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 30})
+        expected = (3360 + 1152 * math.log(1152)) * (2 * 435) * 30 * 1152
+        assert r.parameters["EmbeddingOps"] == pytest.approx(expected)
+
+    def test_flops_dominate_at_large_sizes(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage1"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 100})
+        assert r.dominant_resource() == "flops"
+
+    def test_init_constant_dominates_small_sizes(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage1"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 1})
+        assert r.per_resource()["microseconds"] == pytest.approx(0.319573)
+        assert r.total_seconds < 0.35
+
+    def test_monotone_in_lps(self, setup):
+        reg, _, ev = setup
+        app = reg.application("Stage1")
+        times = [
+            ev.evaluate(app, socket="intel_xeon_e5_2680", params={"LPS": n}).total_seconds
+            for n in (1, 10, 30, 50, 100)
+        ]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_three_kernels_executed(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage1"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 10})
+        assert set(r.per_kernel()) == {"InitializeData", "EmbedData", "InitializeProcessor"}
+
+
+class TestFig7Stage2:
+    def test_quops_count_eq6(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage2"), socket="dwave_vesuvius_20",
+                        params={"Accuracy": 99.0, "Success": 0.7})
+        quops = [c for c in r.clauses if c.resource == "QuOps"]
+        assert quops[0].amount == 4  # ceil(log(0.01)/log(0.3))
+
+    def test_total_time(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage2"), socket="dwave_vesuvius_20",
+                        params={"Accuracy": 99.0, "Success": 0.7})
+        # 4 anneals at 20us + 320us readout + 5us thermalization.
+        assert r.total_seconds == pytest.approx((4 * 20 + 320 + 5) * 1e-6)
+
+    def test_default_success_listing_value(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage2"), socket="dwave_vesuvius_20",
+                        params={"Accuracy": 99.0})
+        assert r.parameters["Success"] == 0.9999
+
+    def test_flat_in_accuracy(self, setup):
+        """Fig. 9(b): stage 2 is nearly flat across target accuracies."""
+        reg, _, ev = setup
+        app = reg.application("Stage2")
+        t_low = ev.evaluate(app, socket="dwave_vesuvius_20",
+                            params={"Accuracy": 50.0, "Success": 0.7}).total_seconds
+        t_high = ev.evaluate(app, socket="dwave_vesuvius_20",
+                             params={"Accuracy": 99.99, "Success": 0.7}).total_seconds
+        assert t_high / t_low < 2.0
+
+
+class TestFig8Stage3:
+    def test_results_count(self, setup):
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage3"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 50})
+        # ceil(log(0.01)/log(0.25)) = 4 with the listing defaults.
+        assert r.parameters["Results"] == 4
+
+    def test_nearly_linear_in_lps(self, setup):
+        reg, _, ev = setup
+        app = reg.application("Stage3")
+        t50 = ev.evaluate(app, socket="intel_xeon_e5_2680", params={"LPS": 50}).total_seconds
+        t100 = ev.evaluate(app, socket="intel_xeon_e5_2680", params={"LPS": 100}).total_seconds
+        assert t100 / t50 == pytest.approx(2.0, rel=0.3)
+
+    def test_tiny_magnitude(self, setup):
+        """Fig. 9(c): nanosecond scale, negligible next to stage 1."""
+        reg, _, ev = setup
+        r = ev.evaluate(reg.application("Stage3"), socket="intel_xeon_e5_2680",
+                        params={"LPS": 100})
+        assert r.total_seconds < 1e-6
+
+
+class TestStageOrdering:
+    def test_stage1_dominates_stage2_dominates_stage3(self, setup):
+        """The paper's central conclusion, via the ASPEN artifacts alone."""
+        reg, _, ev = setup
+        t1 = ev.evaluate(reg.application("Stage1"), socket="intel_xeon_e5_2680",
+                         params={"LPS": 50}).total_seconds
+        t2 = ev.evaluate(reg.application("Stage2"), socket="dwave_vesuvius_20",
+                         params={"Accuracy": 99.0, "Success": 0.7}).total_seconds
+        t3 = ev.evaluate(reg.application("Stage3"), socket="intel_xeon_e5_2680",
+                         params={"LPS": 50}).total_seconds
+        assert t1 > 1000 * t2
+        assert t2 > 1000 * t3

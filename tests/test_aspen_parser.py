@@ -1,0 +1,234 @@
+"""Tests for the ASPEN parser (AST construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aspen import parse_expression, parse_source
+from repro.aspen.ast_nodes import (
+    BinOp,
+    Call,
+    Clause,
+    ExecuteBlock,
+    Iterate,
+    KernelCall,
+    Num,
+    ParamRef,
+    ParBlock,
+    SeqBlock,
+    UnaryOp,
+)
+from repro.exceptions import AspenSyntaxError
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "*"
+
+    def test_power_right_associative(self):
+        e = parse_expression("2 ^ 3 ^ 2")
+        assert isinstance(e, BinOp) and e.op == "^"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "^"
+        assert isinstance(e.lhs, Num)
+
+    def test_power_binds_tighter_than_mul(self):
+        e = parse_expression("2 * x ^ 3")
+        assert e.op == "*"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "^"
+
+    def test_unary_minus(self):
+        e = parse_expression("-x + 1")
+        assert isinstance(e, BinOp)
+        assert isinstance(e.lhs, UnaryOp) and e.lhs.op == "-"
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "+"
+
+    def test_function_call(self):
+        e = parse_expression("ceil(log(1-x)/log(1-y))")
+        assert isinstance(e, Call) and e.name == "ceil"
+        inner = e.args[0]
+        assert isinstance(inner, BinOp) and inner.op == "/"
+
+    def test_multi_arg_call(self):
+        e = parse_expression("max(a, b, 3)")
+        assert isinstance(e, Call) and len(e.args) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(AspenSyntaxError, match="trailing"):
+            parse_expression("1 + 2 extra")
+
+    def test_missing_operand(self):
+        with pytest.raises(AspenSyntaxError):
+            parse_expression("1 +")
+
+
+class TestModelParsing:
+    SRC = """
+    model Tiny {
+      param A = 2
+      param B = A^2
+      data D as Array((A*A), 4)
+      kernel main {
+        execute work [1] {
+          flops [B] as sp, simd
+          loads [A*4] from D
+          stores [A] to D of size [8]
+          microseconds [5]
+        }
+      }
+    }
+    """
+
+    def test_structure(self):
+        src = parse_source(self.SRC)
+        assert len(src.models) == 1
+        m = src.models[0]
+        assert m.name == "Tiny"
+        assert [p.name for p in m.params] == ["A", "B"]
+        assert m.data[0].name == "D"
+        assert m.kernels[0].name == "main"
+
+    def test_execute_block(self):
+        m = parse_source(self.SRC).models[0]
+        block = m.kernels[0].body[0]
+        assert isinstance(block, ExecuteBlock)
+        assert block.label == "work"
+        assert len(block.clauses) == 4
+
+    def test_clause_details(self):
+        m = parse_source(self.SRC).models[0]
+        flops, loads, stores, micro = m.kernels[0].body[0].clauses
+        assert flops.resource == "flops" and flops.traits == ("sp", "simd")
+        assert loads.resource == "loads" and loads.target == "D"
+        assert stores.of_size is not None and stores.target == "D"
+        assert micro.resource == "microseconds" and micro.traits == ()
+
+    def test_kernel_calls_and_controls(self):
+        src = parse_source(
+            """
+            model M {
+              kernel a { execute [1] { seconds [1] } }
+              kernel main {
+                a
+                iterate [3] { a }
+                par { a a }
+                seq { a }
+              }
+            }
+            """
+        )
+        body = src.models[0].kernels[1].body
+        assert isinstance(body[0], KernelCall)
+        assert isinstance(body[1], Iterate)
+        assert isinstance(body[2], ParBlock) and len(body[2].body) == 2
+        assert isinstance(body[3], SeqBlock)
+
+    def test_anonymous_execute_with_attached_bracket(self):
+        # The paper writes `execute mainblock2[1]` without a space.
+        src = parse_source(
+            "model M { kernel main { execute mainblock2[1] { seconds [1] } } }"
+        )
+        block = src.models[0].kernels[0].body[0]
+        assert block.label == "mainblock2"
+
+    def test_bad_model_item(self):
+        with pytest.raises(AspenSyntaxError, match="param"):
+            parse_source("model M { bogus }")
+
+    def test_bad_data_constructor(self):
+        with pytest.raises(AspenSyntaxError, match="Array"):
+            parse_source("model M { data D as Matrix(2, 2) }")
+
+
+class TestMachineParsing:
+    SRC = """
+    include memory/fake.aspen
+    machine Node { [2] SIMPLE nodes }
+    node SIMPLE { [1] sock sockets }
+    socket sock {
+      param f = 2
+      [4] c cores
+      mem memory
+      linked with net
+    }
+    core c {
+      resource flops(n) [n / f] with sp [ base ], simd [ base / 8 ]
+    }
+    memory mem {
+      property capacity [1e9]
+      resource loads(bytes) [bytes / 1e9]
+    }
+    interconnect net {
+      resource intracomm(bytes) [bytes / 5e9]
+    }
+    """
+
+    def test_include_path(self):
+        src = parse_source(self.SRC)
+        assert src.includes[0].path == "memory/fake.aspen"
+
+    def test_machine_and_components(self):
+        src = parse_source(self.SRC)
+        assert src.machines[0].name == "Node"
+        kinds = {c.name: c.kind for c in src.components}
+        assert kinds == {
+            "SIMPLE": "node",
+            "sock": "socket",
+            "c": "core",
+            "mem": "memory",
+            "net": "interconnect",
+        }
+
+    def test_socket_components(self):
+        src = parse_source(self.SRC)
+        sock = next(c for c in src.components if c.name == "sock")
+        roles = [(r.name, r.role) for r in sock.components]
+        assert ("c", "cores") in roles
+        assert ("mem", "memory") in roles
+        assert ("net", "link") in roles
+
+    def test_resource_traits(self):
+        src = parse_source(self.SRC)
+        core = next(c for c in src.components if c.kind == "core")
+        res = core.resources[0]
+        assert res.name == "flops" and res.arg == "n"
+        assert [t[0] for t in res.traits] == ["sp", "simd"]
+
+    def test_property(self):
+        src = parse_source(self.SRC)
+        mem = next(c for c in src.components if c.kind == "memory")
+        assert mem.properties[0].name == "capacity"
+
+    def test_top_level_garbage(self):
+        with pytest.raises(AspenSyntaxError, match="include"):
+            parse_source("bogus stuff")
+
+
+class TestClauseParsing:
+    def test_paper_stage3_load_clause(self):
+        src = parse_source(
+            "model M { kernel main { execute s [1] { loads [Results] of size [4*Length] } } }"
+        )
+        clause = src.models[0].kernels[0].body[0].clauses[0]
+        assert isinstance(clause, Clause)
+        assert clause.of_size is not None
+        assert clause.target is None
+
+    def test_quops_clause(self):
+        src = parse_source(
+            "model M { kernel main { execute [1] "
+            "{ QuOps [ceil(log(1-(A/100))/log(1-S))] } } }"
+        )
+        clause = src.models[0].kernels[0].body[0].clauses[0]
+        assert clause.resource == "QuOps"
+        assert isinstance(clause.amount, Call)
+
+    def test_default_count_is_one(self):
+        src = parse_source("model M { kernel main { execute { seconds [2] } } }")
+        block = src.models[0].kernels[0].body[0]
+        assert isinstance(block.count, Num) and block.count.value == 1.0

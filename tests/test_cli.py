@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.lps == 50 and args.accuracy == 0.99 and args.success == 0.7
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp"])
+
+
+class TestCommands:
+    def test_predict(self, capsys):
+        assert main(["predict", "--lps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 1" in out and "dominant stage" in out and "stage1" in out
+
+    def test_predict_offline(self, capsys):
+        assert main(["predict", "--lps", "30", "--embedding-mode", "offline"]) == 0
+        out = capsys.readouterr().out
+        assert "offline" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--spins", "5", "--reads", "20", "--cells", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best energy" in out and "exact ground" in out
+
+    def test_embed(self, capsys):
+        assert main([
+            "embed", "--vertices", "8", "--density", "0.3", "--cells", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "physical qubits" in out and "max chain" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9", "--max-lps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9(a)" in out and "Fig. 9(b)" in out

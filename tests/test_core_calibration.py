@@ -1,0 +1,105 @@
+"""Tests for calibration of the Stage-1 model against measured CMR timings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Stage1Model,
+    calibrate_embed_rate,
+    measure_cmr_timings,
+    model_measured_ratios,
+)
+from repro.embedding.cmr import CmrParams
+from repro.exceptions import ValidationError
+from repro.hardware import ChimeraTopology
+
+
+class TestMeasure:
+    def test_measures_small_sizes(self):
+        timings = measure_cmr_timings(
+            [2, 4, 6],
+            topology=ChimeraTopology(4, 4, 4),
+            params=CmrParams(max_tries=4),
+            rng=0,
+        )
+        assert sorted(timings) == [2, 4, 6]
+        assert all(t > 0 for t in timings.values())
+
+    def test_repeats_guard(self):
+        with pytest.raises(ValidationError):
+            measure_cmr_timings([2], repeats=0)
+
+
+class TestCalibrate:
+    def test_fit_recovers_synthetic_rate(self):
+        """If measurements exactly follow the model at rate R, the fit finds R."""
+        base = Stage1Model()
+        true_rate = 5e9
+        measured = {n: base.embedding_ops(n) / true_rate for n in (10, 15, 20, 25, 30)}
+        fitted = calibrate_embed_rate(measured, base)
+        assert fitted.embed_rate_scale * base.host.flops_sp_simd == pytest.approx(
+            true_rate, rel=1e-9
+        )
+
+    def test_fit_is_exact_in_log_space(self):
+        base = Stage1Model()
+        measured = {
+            10: base.embedding_ops(10) / 1e9,
+            20: base.embedding_ops(20) / 4e9,  # geometric mean = 2e9
+        }
+        fitted = calibrate_embed_rate(measured, base)
+        assert fitted.embed_rate_scale * base.host.flops_sp_simd == pytest.approx(
+            2e9, rel=1e-9
+        )
+
+    def test_min_size_excludes_small_n(self):
+        base = Stage1Model()
+        measured = {5: 1e9, 20: base.embedding_ops(20) / 3e9}  # junk small-n point
+        fitted = calibrate_embed_rate(measured, base, min_size=10)
+        assert fitted.embed_rate_scale * base.host.flops_sp_simd == pytest.approx(
+            3e9, rel=1e-9
+        )
+
+    def test_no_usable_sizes(self):
+        with pytest.raises(ValidationError):
+            calibrate_embed_rate({5: 1.0}, min_size=10)
+
+
+class TestRatios:
+    def test_perfect_model_gives_unit_ratios(self):
+        base = Stage1Model()
+        rate = base.host.flops_sp_simd
+        measured = {n: base.embedding_ops(n) / rate for n in (10, 20, 30)}
+        ratios = model_measured_ratios(measured, base)
+        for r in ratios.values():
+            assert r == pytest.approx(1.0, rel=1e-9)
+
+    def test_overestimation_shows_up(self):
+        base = Stage1Model()
+        rate = base.host.flops_sp_simd
+        measured = {10: base.embedding_ops(10) / rate / 4.0}  # 4x faster than model
+        ratios = model_measured_ratios(measured, base)
+        assert ratios[10] == pytest.approx(4.0, rel=1e-9)
+
+    def test_full_stage_option(self):
+        base = Stage1Model()
+        measured = {20: 1.0}
+        emb_only = model_measured_ratios(measured, base, embedding_only=True)
+        full = model_measured_ratios(measured, base, embedding_only=False)
+        assert full[20] > emb_only[20]  # total includes the 0.32 s constant
+
+
+class TestEndToEnd:
+    def test_calibrated_model_within_factor_of_measurement(self):
+        """The Fig.-9(a) style comparison on a small, fast configuration."""
+        topo = ChimeraTopology(5, 5, 4)
+        sizes = [4, 6, 8]
+        measured = measure_cmr_timings(
+            sizes, topology=topo, params=CmrParams(max_tries=12), rng=1
+        )
+        model = Stage1Model(m=5, n=5, l=4)
+        fitted = calibrate_embed_rate(measured, model, min_size=4)
+        ratios = model_measured_ratios(measured, fitted)
+        for n, r in ratios.items():
+            assert 1 / 25 < r < 25, f"n={n}: ratio {r} outside sanity band"

@@ -1,0 +1,80 @@
+"""Cross-validation: closed-form stage models == ASPEN-evaluated listings.
+
+The strongest correctness pin in the suite: two independent implementations
+of the paper's performance models (direct closed forms and the parsed ASPEN
+artifacts of Figs. 6-8 evaluated on the Fig.-5 machine) must agree to
+floating-point precision across the full parameter ranges of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AspenStageModels, Stage1Model, Stage2Model, Stage3Model
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def aspen() -> AspenStageModels:
+    return AspenStageModels()
+
+
+class TestStage1Agreement:
+    @pytest.mark.parametrize("lps", [0, 1, 2, 5, 10, 20, 30, 50, 75, 100])
+    def test_total_matches(self, aspen, lps):
+        closed = Stage1Model().seconds(lps)
+        evaluated = aspen.stage1_seconds(lps)
+        assert closed == pytest.approx(evaluated, rel=1e-12)
+
+    def test_breakdown_matches_per_resource(self, aspen):
+        lps = 40
+        b = Stage1Model().breakdown(lps)
+        report = aspen.stage1_report(lps)
+        per = report.per_resource()
+        assert per["flops"] == pytest.approx(
+            b.ising_generation + b.parameter_setting + b.embedding_flops, rel=1e-12
+        )
+        assert per["loads"] == pytest.approx(b.input_loads, rel=1e-12)
+        assert per["stores"] == pytest.approx(b.output_stores, rel=1e-12)
+        assert per["intracomm"] == pytest.approx(b.intracomm, rel=1e-12)
+        assert per["microseconds"] == pytest.approx(b.processor_initialize, rel=1e-12)
+
+
+class TestStage2Agreement:
+    @pytest.mark.parametrize(
+        "accuracy_pct,success",
+        [(50.0, 0.7), (90.0, 0.7), (99.0, 0.7), (99.9, 0.7), (99.99, 0.7),
+         (99.0, 0.61), (99.0, 0.9), (99.99, 0.9999)],
+    )
+    def test_total_matches(self, aspen, accuracy_pct, success):
+        closed = Stage2Model().seconds(accuracy_pct / 100.0, success)
+        evaluated = aspen.stage2_seconds(accuracy_pct, success)
+        assert closed == pytest.approx(evaluated, rel=1e-12)
+
+    def test_repetition_counts_match(self, aspen):
+        report = aspen.stage2_report(99.0, 0.7)
+        quops = next(c for c in report.clauses if c.resource == "QuOps")
+        assert quops.amount == Stage2Model().repetitions(0.99, 0.7)
+
+    def test_accuracy_domain_guard(self, aspen):
+        with pytest.raises(ValidationError):
+            aspen.stage2_seconds(100.0, 0.7)
+        with pytest.raises(ValidationError):
+            aspen.stage2_seconds(50.0, 1.5)
+
+
+class TestStage3Agreement:
+    @pytest.mark.parametrize("lps", [0, 1, 10, 25, 50, 100])
+    def test_total_matches(self, aspen, lps):
+        closed = Stage3Model().seconds(lps)
+        evaluated = aspen.stage3_seconds(lps)
+        assert closed == pytest.approx(evaluated, rel=1e-12)
+
+    def test_custom_probabilities_match(self, aspen):
+        closed = Stage3Model().seconds(30, accuracy=0.999, success=0.5)
+        evaluated = aspen.stage3_seconds(30, accuracy=0.999, success=0.5)
+        assert closed == pytest.approx(evaluated, rel=1e-12)
+
+    def test_size_guard(self, aspen):
+        with pytest.raises(ValidationError):
+            aspen.stage3_seconds(-1)

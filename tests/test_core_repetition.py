@@ -1,0 +1,140 @@
+"""Tests for Eq. (6): the repetition planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    achieved_accuracy,
+    required_repetitions,
+    required_success_probability,
+)
+from repro.exceptions import ValidationError
+
+probs_open = st.floats(min_value=0.01, max_value=0.99)
+
+
+class TestRequiredRepetitions:
+    def test_paper_example(self):
+        """ps = 0.7, pa = 0.99 -> 4 runs (the Fig. 9(b) regime)."""
+        assert required_repetitions(0.99, 0.7) == 4
+
+    def test_stage3_listing_values(self):
+        """Fig. 8 defaults: Success = 0.75, Accuracy = 0.99 -> Results = 4."""
+        assert required_repetitions(0.99, 0.75) == 4
+
+    def test_formula(self):
+        for pa, ps in [(0.9, 0.5), (0.999, 0.6), (0.5, 0.1)]:
+            expected = math.ceil(math.log(1 - pa) / math.log(1 - ps))
+            assert required_repetitions(pa, ps) == expected
+
+    def test_zero_accuracy(self):
+        assert required_repetitions(0.0, 0.5) == 0
+
+    def test_perfect_device(self):
+        assert required_repetitions(0.99, 1.0) == 1
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            required_repetitions(1.0, 0.5)  # pa must be < 1
+        with pytest.raises(ValidationError):
+            required_repetitions(0.5, 0.0)  # ps must be > 0
+        with pytest.raises(ValidationError):
+            required_repetitions(-0.1, 0.5)
+
+    def test_few_iterations_above_ps_06(self):
+        """Paper Sec. 3.3: for ps > 0.6, pa > 0.99 needs only a few runs."""
+        for ps in (0.61, 0.7, 0.8, 0.9):
+            assert required_repetitions(0.99, ps) <= 5
+
+    def test_insensitive_above_06(self):
+        """The Fig. 9(b) observation: the curve is ~the same for all ps > 0.6."""
+        reps = {ps: required_repetitions(0.99, ps) for ps in (0.62, 0.7, 0.8)}
+        assert max(reps.values()) - min(reps.values()) <= 2
+
+
+class TestAchievedAccuracy:
+    def test_inverse_relationship(self):
+        s = required_repetitions(0.99, 0.7)
+        assert achieved_accuracy(s, 0.7) >= 0.99
+        if s > 1:
+            assert achieved_accuracy(s - 1, 0.7) < 0.99
+
+    def test_zero_runs(self):
+        assert achieved_accuracy(0, 0.7) == 0.0
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            achieved_accuracy(-1, 0.5)
+
+
+class TestRequiredSuccess:
+    def test_round_trip(self):
+        ps = required_success_probability(0.99, 4)
+        assert achieved_accuracy(4, ps) == pytest.approx(0.99)
+
+    def test_single_run(self):
+        assert required_success_probability(0.9, 1) == pytest.approx(0.9)
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            required_success_probability(0.5, 0)
+        assert required_success_probability(0.0, 0) == 0.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(pa=probs_open, ps=probs_open)
+def test_property_repetitions_sufficient_and_tight(pa, ps):
+    """s runs reach pa; s-1 runs do not (up to the ceiling)."""
+    s = required_repetitions(pa, ps)
+    assert achieved_accuracy(s, ps) >= pa - 1e-12
+    if s > 0:
+        assert achieved_accuracy(s - 1, ps) < pa + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(pa=probs_open, ps1=probs_open, ps2=probs_open)
+def test_property_monotone_in_success(pa, ps1, ps2):
+    lo, hi = sorted((ps1, ps2))
+    assert required_repetitions(pa, hi) <= required_repetitions(pa, lo)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pa1=probs_open, pa2=probs_open, ps=probs_open)
+def test_property_monotone_in_accuracy(pa1, pa2, ps):
+    lo, hi = sorted((pa1, pa2))
+    assert required_repetitions(lo, ps) <= required_repetitions(hi, ps)
+
+
+def test_monte_carlo_validation():
+    """Eq. 6 against the simulated annealer: s repetitions reach the target
+    accuracy within statistical tolerance."""
+    import numpy as np
+
+    from repro.annealer import ExactSolver, SimulatedAnnealingSampler, geometric_schedule
+    from repro.qubo import random_ising
+
+    m = random_ising(10, density=0.6, rng=42)
+    ground = ExactSolver().ground_energy(m)
+    sa = SimulatedAnnealingSampler(geometric_schedule(60))
+
+    # Estimate ps empirically.
+    big = sa.sample(m, num_reads=400, rng=0)
+    ps = big.ground_state_probability(ground)
+    assert 0.05 < ps < 0.999  # informative regime
+
+    pa = 0.9
+    s = required_repetitions(pa, ps)
+    # Run many batches of s reads; the fraction containing the ground state
+    # should be ~>= pa.
+    batches, hits = 200, 0
+    rng = np.random.default_rng(1)
+    for _ in range(batches):
+        ss = sa.sample(m, num_reads=s, rng=rng)
+        hits += ss.lowest_energy <= ground + 1e-9
+    observed = hits / batches
+    assert observed >= pa - 0.07  # 3-sigma-ish slack for 200 batches

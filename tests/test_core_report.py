@@ -1,0 +1,65 @@
+"""Tests for report formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import format_seconds, format_series, format_table
+from repro.exceptions import ValidationError
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0 s"),
+            (1.5, "1.5 s"),
+            (0.0025, "2.5 ms"),
+            (5e-6, "5 us"),
+            (3e-9, "3 ns"),
+            (1234.0, "1.23e+03 s"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_sub_nanosecond(self):
+        assert "ns" in format_seconds(1e-12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_seconds(-1.0)
+
+    def test_infinity(self):
+        assert format_seconds(float("inf")) == "inf"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # fixed width
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_renders_pairs(self):
+        out = format_series([1, 2], [0.5, 0.001], "n", "time")
+        assert "n" in out and "time" in out
+        assert "500 ms" in out and "1 ms" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_series([1], [1.0, 2.0], "x", "y")

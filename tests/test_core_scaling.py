@@ -1,0 +1,95 @@
+"""Tests for scaling studies (series, slopes, crossovers, dominance table)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SplitExecutionModel,
+    Stage1Model,
+    crossover_point,
+    loglog_slope,
+    series,
+    stage_dominance_table,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSeries:
+    def test_series_evaluates(self):
+        out = series(lambda n: float(n * n), [1, 2, 3])
+        assert np.allclose(out, [1.0, 4.0, 9.0])
+
+
+class TestLogLogSlope:
+    def test_pure_power_law(self):
+        xs = np.arange(1, 50)
+        assert loglog_slope(xs, xs**3.0) == pytest.approx(3.0)
+
+    def test_embedding_term_is_cubic(self):
+        """EmbeddingOps ~ n^3 asymptotically (EH*NH = n^3/2 for cliques)."""
+        m = Stage1Model()
+        xs = np.arange(50, 200, 10)
+        ys = [m.embedding_ops(int(n)) for n in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(3.0, abs=0.05)
+
+    def test_stage1_total_slope_large_n(self):
+        m = Stage1Model()
+        xs = np.arange(100, 400, 25)
+        ys = [m.seconds(int(n)) for n in xs]
+        assert 2.8 < loglog_slope(xs, ys) < 3.2
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            loglog_slope([1.0], [1.0])
+        with pytest.raises(ValidationError):
+            loglog_slope([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValidationError):
+            loglog_slope([1.0, 2.0], [1.0])
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        k = crossover_point(lambda x: float(x), lambda x: 10.0, lo=1, hi=100)
+        assert k == 10
+
+    def test_at_lower_bound(self):
+        assert crossover_point(lambda x: 5.0, lambda x: 1.0, lo=3, hi=10) == 3
+
+    def test_none_when_no_crossover(self):
+        assert crossover_point(lambda x: 0.0, lambda x: 1.0, lo=1, hi=50) is None
+
+    def test_stage1_embedding_vs_constant(self):
+        """Where embedding flops overtake the 0.32 s programming constant."""
+        m = Stage1Model()
+        k = crossover_point(
+            lambda n: m.breakdown(n).embedding_flops,
+            lambda n: m.breakdown(n).processor_initialize,
+            lo=1,
+            hi=200,
+        )
+        assert k == m.crossover_size()
+        assert 2 <= k <= 60
+
+    def test_empty_range(self):
+        with pytest.raises(ValidationError):
+            crossover_point(lambda x: 1.0, lambda x: 0.0, lo=5, hi=4)
+
+
+class TestDominanceTable:
+    def test_rows(self):
+        rows = stage_dominance_table(SplitExecutionModel(), [10, 50])
+        assert len(rows) == 2
+        assert rows[0]["lps"] == 10
+        for row in rows:
+            assert row["dominant"] == "stage1"
+            assert row["stage1_over_stage2"] > 1.0
+            assert row["total_s"] == pytest.approx(
+                row["stage1_s"] + row["stage2_s"] + row["stage3_s"]
+            )
+
+    def test_quantum_fraction_decreases(self):
+        rows = stage_dominance_table(SplitExecutionModel(), [10, 30, 100])
+        fracs = [row["quantum_fraction"] for row in rows]
+        assert fracs == sorted(fracs, reverse=True)

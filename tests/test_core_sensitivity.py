@@ -1,0 +1,49 @@
+"""Tests for the parameter-sensitivity (elasticity) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SplitExecutionModel, elasticity, model_elasticities
+from repro.exceptions import ValidationError
+
+
+class TestElasticity:
+    def test_power_laws(self):
+        assert elasticity(lambda x: x**2, 3.0) == pytest.approx(2.0, abs=1e-6)
+        assert elasticity(lambda x: 5.0 / x, 2.0) == pytest.approx(-1.0, abs=1e-6)
+        assert elasticity(lambda x: 7.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            elasticity(lambda x: x, 0.0)
+        with pytest.raises(ValidationError):
+            elasticity(lambda x: x, 1.0, rel_step=1.5)
+        with pytest.raises(ValidationError):
+            elasticity(lambda x: x - 10.0, 1.0)  # negative values
+
+
+class TestModelElasticities:
+    @pytest.fixture(scope="class")
+    def elasticities(self) -> dict[str, float]:
+        return model_elasticities(lps=50)
+
+    def test_cpu_clock_is_the_lever(self, elasticities):
+        """Doubling the CPU clock ~halves the total (embedding is compute-bound)."""
+        assert elasticities["cpu_clock_hz"] == pytest.approx(-1.0, abs=0.02)
+
+    def test_qpu_parameters_are_irrelevant(self, elasticities):
+        """The paper's abstract: 'the primary time cost is independent of
+        quantum processor behavior'."""
+        assert abs(elasticities["anneal_duration_us"]) < 1e-3
+        assert abs(elasticities["success_probability"]) < 1e-3
+
+    def test_data_movement_is_negligible(self, elasticities):
+        assert abs(elasticities["memory_bandwidth"]) < 1e-3
+        assert abs(elasticities["pcie_bandwidth"]) < 1e-3
+
+    def test_offline_mode_shifts_sensitivities(self):
+        """With offline embedding the clock no longer dominates (the constant
+        programming cost does)."""
+        offline = model_elasticities(SplitExecutionModel(embedding_mode="offline"), lps=50)
+        assert abs(offline["cpu_clock_hz"]) < 0.1

@@ -1,0 +1,164 @@
+"""Tests for the closed-form Stage 1-3 models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Stage1Model,
+    Stage2Model,
+    Stage3Model,
+    XEON_E5_2680,
+)
+from repro.exceptions import ValidationError
+from repro.hardware import DW2_TIMING
+
+
+class TestHostParams:
+    def test_trait_rates(self):
+        h = XEON_E5_2680
+        assert h.flops_sp == pytest.approx(2.7e9)
+        assert h.flops_sp_simd == pytest.approx(2.7e9 * 8)
+        assert h.flops_sp_fmad_simd == pytest.approx(2.7e9 * 16)
+
+    def test_pcie_latency_plus_bandwidth(self):
+        h = XEON_E5_2680
+        assert h.pcie_seconds(0) == pytest.approx(10e-6)
+        assert h.pcie_seconds(6e9) == pytest.approx(1.0 + 10e-6)
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            XEON_E5_2680.memory_seconds(-1)
+
+
+class TestStage1:
+    def test_graph_constants(self):
+        m = Stage1Model()
+        assert m.hardware_nodes == 1152
+        assert m.hardware_edges == 3360
+        assert Stage1Model.logical_edges(30) == 435
+
+    def test_operation_counts(self):
+        m = Stage1Model()
+        assert m.ising_generation_ops(30) == 900
+        assert m.parameter_setting_ops(30) == 27000
+        expected = (3360 + 1152 * math.log(1152)) * (2 * 435) * 30 * 1152
+        assert m.embedding_ops(30) == pytest.approx(expected)
+
+    def test_breakdown_total(self):
+        m = Stage1Model()
+        b = m.breakdown(50)
+        assert b.total == pytest.approx(m.seconds(50))
+        assert b.classical_translation == pytest.approx(
+            b.total - b.processor_initialize
+        )
+
+    def test_processor_initialize(self):
+        assert Stage1Model().breakdown(1).processor_initialize == pytest.approx(
+            DW2_TIMING.processor_initialize_s
+        )
+
+    def test_embedding_dominates_large(self):
+        m = Stage1Model()
+        assert m.dominant_term(100) == "embedding_flops"
+
+    def test_constant_dominates_small(self):
+        m = Stage1Model()
+        assert m.dominant_term(1) == "processor_initialize"
+
+    def test_crossover_size(self):
+        m = Stage1Model()
+        k = m.crossover_size()
+        b_lo, b_hi = m.breakdown(k - 1), m.breakdown(k)
+        assert b_lo.embedding_flops <= b_lo.processor_initialize
+        assert b_hi.embedding_flops > b_hi.processor_initialize
+
+    def test_rate_scale(self):
+        base = Stage1Model()
+        fast = Stage1Model(embed_rate_scale=10.0)
+        assert fast.breakdown(50).embedding_flops == pytest.approx(
+            base.breakdown(50).embedding_flops / 10.0
+        )
+
+    def test_embedded_graph_size_worst_case(self):
+        assert Stage1Model().embedded_graph_size(30) == 900
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            Stage1Model().breakdown(-1)
+        with pytest.raises(ValidationError):
+            Stage1Model(embed_rate_scale=0.0)
+        with pytest.raises(ValidationError):
+            Stage1Model(m=0)
+
+
+class TestStage2:
+    def test_listing_faithful_default(self):
+        """Readout/thermalization charged once, as in Fig. 7."""
+        m = Stage2Model()
+        b = m.breakdown(0.99, 0.7)
+        assert b.repetitions == 4
+        assert b.anneal == pytest.approx(4 * 20e-6)
+        assert b.readout == pytest.approx(320e-6)
+        assert b.thermalization == pytest.approx(5e-6)
+        assert b.total == pytest.approx(405e-6)
+
+    def test_device_accurate_mode(self):
+        m = Stage2Model(per_read=True)
+        b = m.breakdown(0.99, 0.7)
+        assert b.readout == pytest.approx(4 * 320e-6)
+        assert b.total == pytest.approx(4 * 345e-6)
+
+    def test_anneal_time_option(self):
+        slow = Stage2Model().with_anneal_time(100.0)
+        b = slow.breakdown(0.99, 0.7)
+        assert b.anneal == pytest.approx(4 * 100e-6)
+        with pytest.raises(ValidationError):
+            Stage2Model().with_anneal_time(-1)
+
+    def test_flat_in_accuracy_above_06(self):
+        """Fig. 9(b): nearly constant for ps > 0.6."""
+        m = Stage2Model()
+        times = [m.seconds(pa, 0.7) for pa in (0.5, 0.9, 0.99, 0.999, 0.9999)]
+        assert max(times) / min(times) < 2.0
+
+    def test_zero_accuracy(self):
+        b = Stage2Model().breakdown(0.0, 0.7)
+        assert b.repetitions == 0
+        assert b.anneal == 0.0
+
+
+class TestStage3:
+    def test_listing_defaults(self):
+        m = Stage3Model()
+        assert m.results() == 4  # ceil(log(0.01)/log(0.25))
+
+    def test_sort_ops(self):
+        m = Stage3Model()
+        assert m.sort_ops(4) == pytest.approx(4 * math.log(4))
+        assert m.sort_ops(1) == 0.0
+        assert m.sort_ops(0) == 0.0
+        with pytest.raises(ValidationError):
+            m.sort_ops(-1)
+
+    def test_breakdown(self):
+        m = Stage3Model()
+        b = m.breakdown(50)
+        assert b.results == 4
+        assert b.loads == pytest.approx(XEON_E5_2680.memory_seconds(4 * 4 * 50))
+        assert b.stores == pytest.approx(XEON_E5_2680.memory_seconds(4))
+        assert b.total == pytest.approx(b.sort_flops + b.loads + b.stores)
+
+    def test_nearly_linear(self):
+        m = Stage3Model()
+        assert m.seconds(100) / m.seconds(50) == pytest.approx(2.0, rel=0.3)
+
+    def test_override_probabilities(self):
+        m = Stage3Model()
+        assert m.results(accuracy=0.999, success=0.5) == 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Stage3Model().breakdown(-5)

@@ -1,0 +1,84 @@
+"""Tests for the deterministic clique (TRIAD-style) embedding."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import (
+    clique_embedding,
+    clique_qubit_cost,
+    minimal_clique_topology,
+    verify_embedding,
+)
+from repro.exceptions import EmbeddingError
+from repro.hardware import DW2X, ChimeraTopology
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [1, 2, 4, 5, 8, 12, 16])
+    def test_valid_on_minimal_topology(self, n):
+        topo = minimal_clique_topology(n)
+        emb = clique_embedding(n, topo)
+        verify_embedding(emb, nx.complete_graph(n), topo.graph())
+
+    def test_chain_length_is_m_plus_one(self):
+        emb = clique_embedding(16)  # m = 4
+        assert set(emb.chain_lengths()) == {5}
+
+    def test_k48_on_dw2x(self):
+        emb = clique_embedding(48, DW2X)
+        verify_embedding(emb, nx.complete_graph(48), DW2X.graph())
+        assert emb.max_chain_length == 13  # m + 1 with m = 12
+        assert emb.num_physical == 48 * 13
+
+    def test_too_small_lattice_rejected(self):
+        with pytest.raises(EmbeddingError, match="too small"):
+            clique_embedding(9, ChimeraTopology(2, 2, 4))
+
+    def test_zero_rejected(self):
+        with pytest.raises(EmbeddingError):
+            clique_embedding(0)
+
+    def test_defaults_to_minimal(self):
+        emb = clique_embedding(6)
+        topo = minimal_clique_topology(6)
+        verify_embedding(emb, nx.complete_graph(6), topo.graph())
+
+
+class TestCost:
+    def test_qubit_cost_formula(self):
+        for n in (1, 4, 7, 16, 30):
+            m = max(1, math.ceil(n / 4))
+            assert clique_qubit_cost(n) == n * (m + 1)
+
+    def test_cost_matches_embedding(self):
+        for n in (4, 10, 20):
+            assert clique_embedding(n).num_physical == clique_qubit_cost(n)
+
+    def test_quadratic_growth(self):
+        """The paper: embedding K_n needs ~n^2 qubits (Sec. 2.2)."""
+        cost_30 = clique_qubit_cost(30)
+        cost_60 = clique_qubit_cost(60)
+        assert 3.0 < cost_60 / cost_30 < 5.0  # ~4x for 2x size
+
+    def test_minimal_topology_bounds(self):
+        topo = minimal_clique_topology(30)
+        assert topo.m == topo.n == 8
+        with pytest.raises(EmbeddingError):
+            minimal_clique_topology(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=24), l=st.integers(min_value=2, max_value=4))
+def test_property_clique_embedding_always_valid(n, l):
+    topo = minimal_clique_topology(n, l)
+    emb = clique_embedding(n, topo)
+    verify_embedding(emb, nx.complete_graph(n), topo.graph())
+    # Uniform chain length m + 1.
+    m = max(1, math.ceil(n / l))
+    assert set(emb.chain_lengths()) == {m + 1}

@@ -1,0 +1,173 @@
+"""Tests for the Cai-Macready-Roy heuristic embedder."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import (
+    CmrParams,
+    cmr_embedding_ops,
+    find_embedding_cmr,
+    verify_embedding,
+)
+from repro.exceptions import EmbeddingError
+from repro.hardware import ChimeraTopology
+
+
+class TestBasics:
+    def test_empty_graph(self, cell):
+        emb = find_embedding_cmr(nx.empty_graph(0), cell.graph(), rng=0)
+        assert emb.num_logical == 0
+
+    def test_single_vertex(self, cell):
+        emb = find_embedding_cmr(nx.empty_graph(1), cell.graph(), rng=0)
+        assert emb.num_logical == 1
+        assert emb.chain_lengths() == [1]
+
+    def test_single_edge(self, cell):
+        source = nx.path_graph(2)
+        emb = find_embedding_cmr(source, cell.graph(), rng=0)
+        verify_embedding(emb, source, cell.graph())
+
+    def test_non_canonical_labels_rejected(self, cell):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(EmbeddingError, match="range"):
+            find_embedding_cmr(g, cell.graph())
+
+    def test_too_many_vertices_rejected(self, cell):
+        with pytest.raises(EmbeddingError, match="<"):
+            find_embedding_cmr(nx.empty_graph(100), cell.graph())
+
+    def test_disconnected_hardware_fails_cleanly(self):
+        hardware = nx.Graph()
+        hardware.add_edge(0, 1)
+        hardware.add_edge(10, 11)  # second component
+        source = nx.complete_graph(3)
+        with pytest.raises(EmbeddingError):
+            find_embedding_cmr(source, hardware, params=CmrParams(max_tries=2), rng=0)
+
+    def test_diagnostics(self, small_chimera):
+        source = nx.cycle_graph(5)
+        emb, diag = find_embedding_cmr(
+            source, small_chimera.graph(), rng=0, return_diagnostics=True
+        )
+        verify_embedding(emb, source, small_chimera.graph())
+        assert diag.tries >= 1
+        assert diag.evaluations >= 5
+        assert diag.num_physical == emb.num_physical
+        assert diag.max_chain_length == emb.max_chain_length
+
+    def test_reproducible_with_seed(self, small_chimera):
+        source = nx.cycle_graph(6)
+        a = find_embedding_cmr(source, small_chimera.graph(), rng=42)
+        b = find_embedding_cmr(source, small_chimera.graph(), rng=42)
+        assert a == b
+
+
+class TestParams:
+    def test_bad_tries(self):
+        with pytest.raises(EmbeddingError):
+            CmrParams(max_tries=0)
+
+    def test_bad_passes(self):
+        with pytest.raises(EmbeddingError):
+            CmrParams(max_passes=0)
+
+    def test_bad_penalty_base(self):
+        with pytest.raises(EmbeddingError):
+            CmrParams(penalty_base=1.0)
+
+    def test_bad_history_base(self):
+        with pytest.raises(EmbeddingError):
+            CmrParams(history_base=0.5)
+
+
+class TestStructured:
+    @pytest.mark.parametrize(
+        "make_source",
+        [
+            lambda: nx.cycle_graph(8),
+            lambda: nx.path_graph(12),
+            lambda: nx.star_graph(5),
+            lambda: nx.complete_bipartite_graph(3, 3),
+            lambda: nx.grid_2d_graph(3, 3),
+            lambda: nx.petersen_graph(),
+        ],
+        ids=["cycle8", "path12", "star5", "K33", "grid3x3", "petersen"],
+    )
+    def test_classic_graphs_embed(self, make_source, small_chimera):
+        source = nx.convert_node_labels_to_integers(make_source())
+        emb = find_embedding_cmr(source, small_chimera.graph(), rng=1)
+        verify_embedding(emb, source, small_chimera.graph())
+
+    def test_complete_graph_k8(self, small_chimera):
+        source = nx.complete_graph(8)
+        emb = find_embedding_cmr(source, small_chimera.graph(), rng=0)
+        verify_embedding(emb, source, small_chimera.graph())
+
+    def test_faulty_hardware(self, small_chimera):
+        from repro.hardware import random_faults
+
+        faults = random_faults(small_chimera, qubit_fault_rate=0.05, rng=3)
+        working = small_chimera.working_graph(faults)
+        source = nx.cycle_graph(6)
+        emb = find_embedding_cmr(source, working, rng=2)
+        verify_embedding(emb, source, working)
+        for q in emb.used_qubits():
+            assert q not in faults.dead_qubits
+
+    def test_sparse_random_graph(self):
+        topo = ChimeraTopology(6, 6, 4)
+        source = nx.gnp_random_graph(20, 0.2, seed=5)
+        emb = find_embedding_cmr(source, topo.graph(), rng=5)
+        verify_embedding(emb, source, topo.graph())
+
+    def test_uses_fewer_qubits_than_clique_embedding(self):
+        """The paper's motivation for CMR: input-adaptive qubit usage."""
+        from repro.embedding import clique_qubit_cost
+
+        topo = ChimeraTopology(6, 6, 4)
+        source = nx.cycle_graph(20)  # very sparse
+        emb = find_embedding_cmr(source, topo.graph(), rng=0)
+        assert emb.num_physical < clique_qubit_cost(20)
+
+
+class TestOpsFormula:
+    def test_paper_constants(self):
+        """Fig. 6: EmbeddingOps with NG = 1152, EG = 3360, natural log."""
+        import math
+
+        nh, eh = 30, 435
+        ng, eg = 1152, 3360
+        expected = (eg + ng * math.log(ng)) * (2 * eh) * nh * ng
+        assert cmr_embedding_ops(nh, eh, ng, eg) == pytest.approx(expected)
+
+    def test_zero_sizes(self):
+        assert cmr_embedding_ops(0, 0, 1, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(EmbeddingError):
+            cmr_embedding_ops(-1, 0, 1, 1)
+
+    def test_cubic_scaling_in_problem_size(self):
+        """With NH = n and EH = n(n-1)/2 the count grows as n^3."""
+        def ops(n: int) -> float:
+            return cmr_embedding_ops(n, n * (n - 1) // 2, 1152, 3360)
+
+        assert ops(60) / ops(30) == pytest.approx(
+            (60 * 60 * 59) / (30 * 30 * 29), rel=1e-12
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_random_tree_embeds_validly(seed):
+    """Random trees always embed, and the result always verifies."""
+    topo = ChimeraTopology(3, 3, 4)
+    source = nx.random_labeled_tree(10, seed=seed)
+    emb = find_embedding_cmr(source, topo.graph(), rng=seed)
+    verify_embedding(emb, source, topo.graph())

@@ -1,0 +1,95 @@
+"""Tests for the backtracking unit-chain (subgraph) embedder."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.embedding import (
+    find_subgraph_embedding,
+    subgraph_embedding_exists,
+    verify_embedding,
+)
+from repro.exceptions import EmbeddingError
+
+
+class TestBasics:
+    def test_empty(self, cell):
+        emb = find_subgraph_embedding(nx.empty_graph(0), cell.graph())
+        assert emb.num_logical == 0
+
+    def test_single_vertex(self, cell):
+        emb = find_subgraph_embedding(nx.empty_graph(1), cell.graph())
+        assert emb.chain_lengths() == [1]
+
+    def test_unit_chains_only(self, cell):
+        emb = find_subgraph_embedding(nx.cycle_graph(4), cell.graph())
+        assert set(emb.chain_lengths()) == {1}
+        verify_embedding(emb, nx.cycle_graph(4), cell.graph())
+
+    def test_too_big_source_rejected(self, cell):
+        with pytest.raises(EmbeddingError, match="more vertices"):
+            find_subgraph_embedding(nx.empty_graph(9), cell.graph())
+
+    def test_node_limit_guard(self, small_chimera):
+        with pytest.raises(EmbeddingError, match="node_limit"):
+            find_subgraph_embedding(
+                nx.path_graph(2), small_chimera.graph(), node_limit=10
+            )
+
+    def test_non_canonical_labels_rejected(self, cell):
+        g = nx.Graph()
+        g.add_edge("x", "y")
+        with pytest.raises(EmbeddingError, match="range"):
+            find_subgraph_embedding(g, cell.graph())
+
+
+class TestCorrectness:
+    def test_triangle_not_in_bipartite_cell(self, cell):
+        """K3 has no unit-chain embedding in the bipartite K_{4,4} cell."""
+        with pytest.raises(EmbeddingError, match="no unit-chain"):
+            find_subgraph_embedding(nx.complete_graph(3), cell.graph())
+        assert not subgraph_embedding_exists(nx.complete_graph(3), cell.graph())
+
+    def test_k44_fills_cell_exactly(self, cell):
+        source = nx.complete_bipartite_graph(4, 4)
+        emb = find_subgraph_embedding(source, cell.graph())
+        verify_embedding(emb, source, cell.graph())
+        assert emb.num_physical == 8
+
+    def test_c8_in_cell(self, cell):
+        source = nx.cycle_graph(8)
+        emb = find_subgraph_embedding(source, cell.graph())
+        verify_embedding(emb, source, cell.graph())
+
+    def test_path_across_cells(self, small_chimera):
+        source = nx.path_graph(10)
+        emb = find_subgraph_embedding(source, small_chimera.graph())
+        verify_embedding(emb, source, small_chimera.graph())
+
+    def test_odd_cycle_impossible_in_bipartite_hardware(self, small_chimera):
+        """Chimera is bipartite; odd cycles need chains, not unit embeddings."""
+        assert not subgraph_embedding_exists(
+            nx.cycle_graph(5), small_chimera.graph()
+        )
+
+    def test_high_degree_pruning(self, cell):
+        """A degree-5 hub cannot map into a cell whose max degree is 4."""
+        assert not subgraph_embedding_exists(nx.star_graph(5), cell.graph())
+
+    def test_exact_on_non_chimera_hardware(self):
+        hardware = nx.petersen_graph()
+        source = nx.cycle_graph(5)
+        emb = find_subgraph_embedding(source, hardware)
+        verify_embedding(emb, source, hardware)
+
+    def test_matches_networkx_monomorphism_oracle(self):
+        """Cross-check against networkx's GraphMatcher on small instances."""
+        from networkx.algorithms.isomorphism import GraphMatcher
+
+        hardware = nx.random_regular_graph(3, 10, seed=4)
+        for seed in range(6):
+            source = nx.gnp_random_graph(5, 0.4, seed=seed)
+            expected = GraphMatcher(hardware, source).subgraph_monomorphisms_iter()
+            has_oracle = next(expected, None) is not None
+            assert subgraph_embedding_exists(source, hardware) == has_oracle

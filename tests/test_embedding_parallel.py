@@ -1,0 +1,75 @@
+"""Tests for the parallel embedding searcher (the paper's Sec.-4 extension)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.embedding import (
+    find_embedding_parallel,
+    verify_embedding,
+)
+from repro.embedding.cmr import CmrParams
+from repro.exceptions import EmbeddingError
+from repro.hardware import ChimeraTopology
+
+
+class TestParallelSearch:
+    def test_valid_embedding_produced(self, small_chimera):
+        source = nx.complete_graph(8)
+        emb = find_embedding_parallel(
+            source, small_chimera.graph(), num_workers=2, rng=0
+        )
+        verify_embedding(emb, source, small_chimera.graph())
+
+    def test_diagnostics(self, small_chimera):
+        source = nx.cycle_graph(6)
+        emb, diag = find_embedding_parallel(
+            source,
+            small_chimera.graph(),
+            num_workers=2,
+            rng=1,
+            return_diagnostics=True,
+        )
+        verify_embedding(emb, source, small_chimera.graph())
+        assert diag.num_workers == 2
+        assert diag.waves >= 1
+        assert diag.tries_launched >= 1
+
+    def test_single_worker_degenerates_to_serial(self, small_chimera):
+        source = nx.path_graph(5)
+        emb = find_embedding_parallel(
+            source, small_chimera.graph(), num_workers=1, rng=2
+        )
+        verify_embedding(emb, source, small_chimera.graph())
+
+    def test_budget_exhaustion_raises(self):
+        # Impossible instance: K5 into a 4-node path.
+        hardware = nx.path_graph(4)
+        source = nx.complete_graph(4)
+        with pytest.raises(EmbeddingError, match="parallel CMR failed"):
+            find_embedding_parallel(
+                source,
+                hardware,
+                params=CmrParams(max_tries=4, max_passes=2),
+                num_workers=2,
+                rng=0,
+            )
+
+    def test_non_canonical_labels_rejected(self, cell):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(EmbeddingError, match="range"):
+            find_embedding_parallel(g, cell.graph(), num_workers=1)
+
+    def test_bad_wave_size(self, cell):
+        with pytest.raises(EmbeddingError, match="tries_per_wave"):
+            find_embedding_parallel(
+                nx.path_graph(2), cell.graph(), tries_per_wave=0, num_workers=1
+            )
+
+    def test_dense_instance_on_larger_lattice(self):
+        topo = ChimeraTopology(6, 6, 4)
+        source = nx.complete_graph(12)
+        emb = find_embedding_parallel(source, topo.graph(), num_workers=4, rng=3)
+        verify_embedding(emb, source, topo.graph())

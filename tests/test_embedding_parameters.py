@@ -1,0 +1,132 @@
+"""Tests for embedded-Ising parameter setting (Choi / paper Sec. 2.2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    Embedding,
+    clique_embedding,
+    default_chain_strength,
+    embed_ising,
+    minimal_clique_topology,
+)
+from repro.exceptions import EmbeddingError, ValidationError
+from repro.qubo import IsingModel, random_ising
+
+
+@pytest.fixture
+def k4_setup():
+    logical = random_ising(4, rng=0)
+    topo = minimal_clique_topology(4)
+    emb = clique_embedding(4, topo)
+    return logical, emb, topo.working_graph()
+
+
+class TestChainStrength:
+    def test_default_scales_with_parameters(self):
+        weak = IsingModel([0.1], {})
+        strong = IsingModel([10.0], {})
+        assert default_chain_strength(strong) > default_chain_strength(weak)
+
+    def test_default_floor(self):
+        zero = IsingModel(np.zeros(3), {})
+        assert default_chain_strength(zero) == 2.0
+
+    def test_factor_guard(self):
+        with pytest.raises(ValidationError):
+            default_chain_strength(IsingModel([1.0], {}), factor=0.0)
+
+
+class TestEmbedIsing:
+    def test_field_distribution(self, k4_setup):
+        logical, emb, hw = k4_setup
+        ei = embed_ising(logical, emb, hw)
+        # Each chain's physical fields sum to the logical field.
+        pos = {q: p for p, q in enumerate(ei.hardware_nodes)}
+        for v, chain in enumerate(emb.chains):
+            total = sum(ei.physical.h[pos[q]] for q in chain)
+            assert total == pytest.approx(logical.h[v])
+
+    def test_coupling_distribution(self, k4_setup):
+        logical, emb, hw = k4_setup
+        ei = embed_ising(logical, emb, hw)
+        pos = {q: p for p, q in enumerate(ei.hardware_nodes)}
+        chain_dense = [set(pos[q] for q in c) for c in emb.chains]
+        for i, j, val in logical.iter_couplings():
+            # Sum of physical couplers between the two chains equals J_ij.
+            total = 0.0
+            for (p, q), v in ei.physical.coupling_dict().items():
+                if (p in chain_dense[i] and q in chain_dense[j]) or (
+                    p in chain_dense[j] and q in chain_dense[i]
+                ):
+                    total += v
+            assert total == pytest.approx(val)
+
+    def test_intra_chain_couplers_ferromagnetic(self, k4_setup):
+        logical, emb, hw = k4_setup
+        cs = 3.5
+        ei = embed_ising(logical, emb, hw, chain_strength=cs)
+        pos = {q: p for p, q in enumerate(ei.hardware_nodes)}
+        chain_dense = [set(pos[q] for q in c) for c in emb.chains]
+        found_intra = 0
+        for (p, q), v in ei.physical.coupling_dict().items():
+            for cd in chain_dense:
+                if p in cd and q in cd:
+                    assert v == pytest.approx(-cs)
+                    found_intra += 1
+        assert found_intra > 0
+
+    def test_ground_state_preserved_through_embedding(self):
+        """Decoding the physical ground state recovers the logical one."""
+        from repro.qubo import brute_force_ising
+
+        logical = random_ising(3, rng=5)
+        topo = minimal_clique_topology(3)
+        emb = clique_embedding(3, topo)
+        ei = embed_ising(logical, emb, topo.working_graph())
+        phys_states, _ = brute_force_ising(ei.physical)
+        decoded = ei.unembed(phys_states[:1])
+        logical_states, _ = brute_force_ising(logical)
+        assert logical.energy(decoded[0]) == pytest.approx(
+            logical.energy(logical_states[0])
+        )
+
+    def test_num_spins_is_hardware_size(self, k4_setup):
+        logical, emb, hw = k4_setup
+        ei = embed_ising(logical, emb, hw)
+        assert ei.num_physical_spins == hw.number_of_nodes()
+
+    def test_offset_carried(self, k4_setup):
+        logical, emb, hw = k4_setup
+        shifted = IsingModel(logical.h, logical.coupling_dict(), offset=5.0)
+        ei = embed_ising(shifted, emb, hw)
+        assert ei.physical.offset == 5.0
+
+    def test_chain_count_mismatch_rejected(self, k4_setup):
+        logical, emb, hw = k4_setup
+        small = IsingModel([1.0], {})
+        with pytest.raises(EmbeddingError, match="chains"):
+            embed_ising(small, emb, hw)
+
+    def test_missing_coupler_rejected(self):
+        logical = IsingModel([0.0, 0.0], {(0, 1): 1.0})
+        hardware = nx.path_graph(4)  # 0-1-2-3
+        bad = Embedding(((0,), (3,)))  # chains not adjacent
+        with pytest.raises(EmbeddingError, match="no hardware coupler"):
+            embed_ising(logical, bad, hardware)
+
+    def test_negative_chain_strength_rejected(self, k4_setup):
+        logical, emb, hw = k4_setup
+        with pytest.raises(ValidationError):
+            embed_ising(logical, emb, hw, chain_strength=-1.0)
+
+    def test_dense_chains_roundtrip(self, k4_setup):
+        logical, emb, hw = k4_setup
+        ei = embed_ising(logical, emb, hw)
+        dense = ei.dense_chains()
+        assert len(dense) == emb.num_logical
+        for dchain, chain in zip(dense, emb.chains):
+            assert [ei.hardware_nodes[p] for p in dchain] == list(chain)

@@ -1,0 +1,124 @@
+"""Tests for the Embedding container and the minor-embedding validator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.embedding import Embedding, is_valid_embedding, verify_embedding
+from repro.exceptions import InvalidEmbeddingError
+
+
+def _path_hardware(n: int) -> nx.Graph:
+    return nx.path_graph(n)
+
+
+class TestEmbedding:
+    def test_normalization(self):
+        e = Embedding(((3, 1, 1), (2,)))
+        assert e.chains == ((1, 3), (2,))
+
+    def test_from_dict(self):
+        e = Embedding.from_dict({0: [5, 4], 1: [7]})
+        assert e.chains == ((4, 5), (7,))
+
+    def test_from_dict_bad_keys(self):
+        with pytest.raises(InvalidEmbeddingError, match="range"):
+            Embedding.from_dict({1: [0], 2: [1]})
+
+    def test_counts(self):
+        e = Embedding(((0, 1), (2, 3, 4)))
+        assert e.num_logical == 2
+        assert e.num_physical == 5
+        assert e.chain_lengths() == [2, 3]
+        assert e.max_chain_length == 3
+        assert e.used_qubits() == {0, 1, 2, 3, 4}
+
+    def test_empty(self):
+        e = Embedding(())
+        assert e.num_logical == 0
+        assert e.max_chain_length == 0
+        assert e.overlap_count() == 0
+
+    def test_overlap_count(self):
+        e = Embedding(((0, 1), (1, 2), (2, 3)))
+        assert e.overlap_count() == 2
+
+    def test_physical_to_logical(self):
+        e = Embedding(((0,), (1, 2)))
+        assert e.physical_to_logical() == {0: 0, 1: 1, 2: 1}
+
+    def test_physical_to_logical_rejects_overlap(self):
+        with pytest.raises(InvalidEmbeddingError, match="both"):
+            Embedding(((0,), (0,))).physical_to_logical()
+
+    def test_as_dict(self):
+        e = Embedding(((9,), (4, 5)))
+        assert e.as_dict() == {0: (9,), 1: (4, 5)}
+
+
+class TestVerify:
+    def test_valid_path_embedding(self):
+        # Two logical vertices, chain {0,1} and {2}, edge via (1, 2).
+        source = nx.path_graph(2)
+        hardware = _path_hardware(3)
+        verify_embedding(Embedding(((0, 1), (2,))), source, hardware)
+
+    def test_empty_chain_rejected(self):
+        source = nx.path_graph(2)
+        with pytest.raises(InvalidEmbeddingError, match="empty"):
+            verify_embedding(Embedding(((0,), ())), source, _path_hardware(3))
+
+    def test_unknown_hardware_node_rejected(self):
+        source = nx.path_graph(2)
+        with pytest.raises(InvalidEmbeddingError, match="absent"):
+            verify_embedding(Embedding(((0,), (99,))), source, _path_hardware(3))
+
+    def test_overlapping_chains_rejected(self):
+        source = nx.path_graph(2)
+        with pytest.raises(InvalidEmbeddingError):
+            verify_embedding(Embedding(((0, 1), (1, 2))), source, _path_hardware(3))
+
+    def test_disconnected_chain_rejected(self):
+        source = nx.path_graph(2)
+        hardware = _path_hardware(5)
+        with pytest.raises(InvalidEmbeddingError, match="disconnected"):
+            verify_embedding(Embedding(((0, 2), (1,))), source, hardware)
+
+    def test_missing_logical_edge_rejected(self):
+        source = nx.path_graph(2)
+        hardware = _path_hardware(4)
+        with pytest.raises(InvalidEmbeddingError, match="not realized"):
+            verify_embedding(Embedding(((0,), (3,))), source, hardware)
+
+    def test_chain_count_mismatch(self):
+        with pytest.raises(InvalidEmbeddingError, match="chains"):
+            verify_embedding(Embedding(((0,),)), nx.path_graph(2), _path_hardware(3))
+
+    def test_source_must_be_canonical(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(InvalidEmbeddingError, match="range"):
+            verify_embedding(Embedding(((0,), (1,))), g, _path_hardware(3))
+
+    def test_self_loops_ignored(self):
+        source = nx.Graph()
+        source.add_nodes_from([0, 1])
+        source.add_edge(0, 0)  # self loop needs no coupler
+        source.add_edge(0, 1)
+        verify_embedding(Embedding(((0,), (1,))), source, _path_hardware(2))
+
+    def test_is_valid_wrapper(self):
+        source = nx.path_graph(2)
+        assert is_valid_embedding(Embedding(((0,), (1,))), source, _path_hardware(2))
+        assert not is_valid_embedding(Embedding(((0,), (0,))), source, _path_hardware(2))
+
+    def test_triangle_into_cell_via_chain(self, cell):
+        """K3 is not a subgraph of the bipartite cell but is a minor of it."""
+        g = cell.graph()
+        v0 = cell.coord_to_linear((0, 0, 0, 0))
+        v1 = cell.coord_to_linear((0, 0, 0, 1))
+        h0 = cell.coord_to_linear((0, 0, 1, 0))
+        h1 = cell.coord_to_linear((0, 0, 1, 1))
+        emb = Embedding(((v0,), (h0,), (v1, h1)))
+        verify_embedding(emb, nx.complete_graph(3), g)

@@ -1,0 +1,109 @@
+"""Tests for chain decoding (majority vote, discard, break statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import chain_break_fraction, decode_samples
+from repro.exceptions import ValidationError
+
+
+class TestMajority:
+    def test_unanimous(self):
+        samples = np.array([[1, 1, -1, -1]], dtype=np.int8)
+        out = decode_samples(samples, [(0, 1), (2, 3)])
+        assert out.tolist() == [[1, -1]]
+
+    def test_majority_wins(self):
+        samples = np.array([[1, 1, -1]], dtype=np.int8)
+        out = decode_samples(samples, [(0, 1, 2)])
+        assert out.tolist() == [[1]]
+
+    def test_tie_breaks_positive(self):
+        samples = np.array([[1, -1]], dtype=np.int8)
+        out = decode_samples(samples, [(0, 1)])
+        assert out.tolist() == [[1]]
+
+    def test_multiple_reads(self):
+        samples = np.array([[1, 1], [-1, -1], [1, -1]], dtype=np.int8)
+        out = decode_samples(samples, [(0, 1)])
+        assert out.tolist() == [[1], [-1], [1]]
+
+    def test_column_subset(self):
+        # Physical register larger than the used chains.
+        samples = np.tile(np.array([[1, -1, 1, -1, 1]], dtype=np.int8), (2, 1))
+        out = decode_samples(samples, [(2,), (3,)])
+        assert out.tolist() == [[1, -1], [1, -1]]
+
+
+class TestDiscard:
+    def test_broken_rows_dropped(self):
+        samples = np.array([[1, 1], [1, -1], [-1, -1]], dtype=np.int8)
+        out = decode_samples(samples, [(0, 1)], strategy="discard")
+        assert out.tolist() == [[1], [-1]]
+
+    def test_all_broken_yields_empty(self):
+        samples = np.array([[1, -1]], dtype=np.int8)
+        out = decode_samples(samples, [(0, 1)], strategy="discard")
+        assert out.shape == (0, 1)
+
+
+class TestValidation:
+    def test_bad_strategy(self):
+        with pytest.raises(ValidationError, match="strategy"):
+            decode_samples(np.ones((1, 2), dtype=np.int8), [(0,)], strategy="vote")
+
+    def test_bad_dims(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            decode_samples(np.ones(3, dtype=np.int8), [(0,)])
+
+    def test_empty_chain(self):
+        with pytest.raises(ValidationError, match="empty"):
+            decode_samples(np.ones((1, 2), dtype=np.int8), [()])
+
+    def test_out_of_range_chain(self):
+        with pytest.raises(ValidationError, match="outside"):
+            decode_samples(np.ones((1, 2), dtype=np.int8), [(5,)])
+
+
+class TestBreakFraction:
+    def test_no_breaks(self):
+        samples = np.array([[1, 1, -1, -1]], dtype=np.int8)
+        assert chain_break_fraction(samples, [(0, 1), (2, 3)]) == 0.0
+
+    def test_all_broken(self):
+        samples = np.array([[1, -1, 1, -1]], dtype=np.int8)
+        assert chain_break_fraction(samples, [(0, 1), (2, 3)]) == 1.0
+
+    def test_partial(self):
+        samples = np.array([[1, 1, 1, -1], [1, 1, -1, -1]], dtype=np.int8)
+        # chains: (0,1) never broken; (2,3) broken in first read only.
+        assert chain_break_fraction(samples, [(0, 1), (2, 3)]) == pytest.approx(0.25)
+
+    def test_empty_inputs(self):
+        assert chain_break_fraction(np.zeros((0, 4), dtype=np.int8), [(0, 1)]) == 0.0
+        assert chain_break_fraction(np.ones((2, 4), dtype=np.int8), []) == 0.0
+
+    def test_unit_chains_never_break(self):
+        samples = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        assert chain_break_fraction(samples, [(0,), (1,)]) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_decode_respects_majority(k, seed):
+    gen = np.random.default_rng(seed)
+    chains = [(0, 1, 2), (3, 4)]
+    samples = (gen.integers(0, 2, size=(k, 5)) * 2 - 1).astype(np.int8)
+    out = decode_samples(samples, chains)
+    for r in range(k):
+        for v, chain in enumerate(chains):
+            s = samples[r, list(chain)].sum()
+            expected = 1 if s >= 0 else -1
+            assert out[r, v] == expected

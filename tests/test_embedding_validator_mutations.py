@@ -1,0 +1,110 @@
+"""Mutation testing of the embedding validator.
+
+Starts from known-valid embeddings and applies targeted corruptions; the
+validator must reject every corrupted variant.  This guards the property
+the whole middleware stack leans on: if `verify_embedding` passes, the
+parameter-setting and decoding layers are safe.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import (
+    Embedding,
+    clique_embedding,
+    find_embedding_cmr,
+    is_valid_embedding,
+    minimal_clique_topology,
+    verify_embedding,
+)
+
+
+@pytest.fixture(scope="module")
+def valid_setup():
+    n = 6
+    topo = minimal_clique_topology(n)
+    emb = clique_embedding(n, topo)
+    source = nx.complete_graph(n)
+    hardware = topo.graph()
+    verify_embedding(emb, source, hardware)
+    return emb, source, hardware
+
+
+class TestCorruptions:
+    def test_dropping_a_whole_chain_rejected(self, valid_setup):
+        emb, source, hardware = valid_setup
+        corrupted = Embedding(emb.chains[:-1])
+        assert not is_valid_embedding(corrupted, source, hardware)
+
+    def test_emptying_a_chain_rejected(self, valid_setup):
+        emb, source, hardware = valid_setup
+        chains = list(emb.chains)
+        chains[0] = ()
+        assert not is_valid_embedding(Embedding(tuple(chains)), source, hardware)
+
+    def test_stealing_a_qubit_creates_overlap(self, valid_setup):
+        emb, source, hardware = valid_setup
+        chains = [list(c) for c in emb.chains]
+        chains[0].append(chains[1][0])  # chain 0 now shares a qubit with chain 1
+        corrupted = Embedding(tuple(tuple(c) for c in chains))
+        assert not is_valid_embedding(corrupted, source, hardware)
+
+    def test_teleporting_a_qubit_disconnects_chain(self, valid_setup):
+        emb, source, hardware = valid_setup
+        used = emb.used_qubits()
+        far = max(q for q in hardware.nodes() if q not in used)
+        chains = [list(c) for c in emb.chains]
+        # Replace a chain endpoint with a distant unused qubit.
+        chains[0][0] = far
+        corrupted = Embedding(tuple(tuple(c) for c in chains))
+        assert not is_valid_embedding(corrupted, source, hardware)
+
+    def test_phantom_qubit_rejected(self, valid_setup):
+        emb, source, hardware = valid_setup
+        chains = [list(c) for c in emb.chains]
+        chains[0].append(10**9)
+        corrupted = Embedding(tuple(tuple(c) for c in chains))
+        assert not is_valid_embedding(corrupted, source, hardware)
+
+    def test_extra_logical_edge_detected(self, valid_setup):
+        """Validating against a denser source than the embedding serves."""
+        emb, _, hardware = valid_setup
+        n = emb.num_logical
+        bigger = nx.complete_graph(n)
+        bigger.add_node(n)
+        bigger.add_edge(0, n)
+        assert not is_valid_embedding(emb, bigger, hardware)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    victim=st.integers(min_value=0, max_value=7),
+)
+def test_property_single_qubit_deletion_detected(seed, victim):
+    """Deleting any single qubit from any chain of a *tight* CMR embedding is
+    caught (the chain disconnects, an edge uncovers, or the chain empties) —
+    or, if the deleted qubit was redundant, the result still verifies.
+    Either way the validator never crashes and classifies consistently."""
+    from repro.hardware import ChimeraTopology
+
+    topo = ChimeraTopology(3, 3, 4)
+    source = nx.cycle_graph(8)
+    emb = find_embedding_cmr(source, topo.graph(), rng=seed)
+    chains = [list(c) for c in emb.chains]
+    v = victim % len(chains)
+    if not chains[v]:
+        return
+    removed = chains[v].pop(0)
+    corrupted = Embedding(tuple(tuple(c) for c in chains))
+    ok = is_valid_embedding(corrupted, source, topo.graph())
+    if ok:
+        # Deletion was harmless only if the remaining chain still covers
+        # everything; re-verify strictly to ensure consistency.
+        verify_embedding(corrupted, source, topo.graph())
+    else:
+        assert removed not in corrupted.chains[v]

@@ -1,0 +1,161 @@
+"""Tests for the Chimera topology (paper Fig. 3 and the Fig.-6 constants)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    DW2_VESUVIUS,
+    DW2X,
+    ChimeraTopology,
+    chimera_edge_count,
+    chimera_node_count,
+)
+
+
+class TestPaperConstants:
+    def test_vesuvius_512(self):
+        """Fig. 3: 512 qubits, an 8-by-8 lattice of unit cells."""
+        assert DW2_VESUVIUS.num_qubits == 512
+
+    def test_dw2x_1152(self):
+        """Fig. 3: the most recent processor supports 12x12 and 1152 qubits."""
+        assert DW2X.num_qubits == 1152
+
+    def test_fig6_ng_formula(self):
+        """NG = 8*M*N for L = 4."""
+        for m, n in [(8, 8), (12, 12), (3, 5)]:
+            assert chimera_node_count(m, n, 4) == 8 * m * n
+
+    def test_fig6_eg_formula(self):
+        """EG = 4*(2MN - M - N) + 16*M*N for L = 4."""
+        for m, n in [(8, 8), (12, 12), (2, 7)]:
+            assert chimera_edge_count(m, n, 4) == 4 * (2 * m * n - m - n) + 16 * m * n
+
+    def test_dw2x_edge_count(self):
+        assert DW2X.num_couplers == 3360
+
+    def test_max_degree_six(self):
+        """The Chimera layout restricts each qubit to at most 6 neighbors."""
+        g = DW2_VESUVIUS.graph()
+        degrees = [d for _, d in g.degree()]
+        assert max(degrees) == 6
+        assert min(degrees) == 5  # edge qubits have 5 neighbors
+
+
+class TestGraphStructure:
+    def test_graph_counts_match_formulas(self, small_chimera):
+        g = small_chimera.graph()
+        assert g.number_of_nodes() == small_chimera.num_qubits
+        assert g.number_of_edges() == small_chimera.num_couplers
+
+    def test_connected(self, small_chimera):
+        assert nx.is_connected(small_chimera.graph())
+
+    def test_bipartite(self):
+        """Chimera graphs are bipartite (parts by u + i + j parity)."""
+        assert nx.is_bipartite(ChimeraTopology(3, 4, 4).graph())
+
+    def test_cell_is_complete_bipartite(self, cell):
+        g = cell.graph()
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 16
+        vertical = [cell.coord_to_linear((0, 0, 0, k)) for k in range(4)]
+        horizontal = [cell.coord_to_linear((0, 0, 1, k)) for k in range(4)]
+        for v in vertical:
+            for h in horizontal:
+                assert g.has_edge(v, h)
+        for a in vertical:
+            for b in vertical:
+                if a != b:
+                    assert not g.has_edge(a, b)
+
+    def test_intercell_couplers(self):
+        topo = ChimeraTopology(2, 2, 4)
+        g = topo.graph()
+        # Vertical coupler: same column, adjacent rows, u = 0, same k.
+        assert g.has_edge(
+            topo.coord_to_linear((0, 0, 0, 2)), topo.coord_to_linear((1, 0, 0, 2))
+        )
+        # Horizontal coupler: same row, adjacent columns, u = 1, same k.
+        assert g.has_edge(
+            topo.coord_to_linear((0, 0, 1, 3)), topo.coord_to_linear((0, 1, 1, 3))
+        )
+        # No diagonal cell coupling.
+        assert not g.has_edge(
+            topo.coord_to_linear((0, 0, 0, 0)), topo.coord_to_linear((1, 1, 0, 0))
+        )
+
+    def test_iter_edges_unique_and_ordered(self, small_chimera):
+        edges = list(small_chimera.iter_edges())
+        assert len(edges) == len(set(edges)) == small_chimera.num_couplers
+        assert all(p < q for p, q in edges)
+
+    def test_cell_qubits(self, small_chimera):
+        qs = small_chimera.cell_qubits(1, 2)
+        assert len(qs) == 8
+        for q in qs:
+            i, j, _, _ = small_chimera.linear_to_coord(q)
+            assert (i, j) == (1, 2)
+
+    def test_adjacency_arrays_consistent(self, cell):
+        indptr, neighbors = cell.adjacency_arrays()
+        g = cell.graph()
+        for v in range(cell.num_qubits):
+            assert sorted(g.neighbors(v)) == neighbors[indptr[v] : indptr[v + 1]].tolist()
+
+
+class TestIndexing:
+    def test_known_coordinates(self):
+        topo = ChimeraTopology(2, 3, 4)
+        assert topo.coord_to_linear((0, 0, 0, 0)) == 0
+        assert topo.coord_to_linear((0, 0, 1, 0)) == 4
+        assert topo.coord_to_linear((0, 1, 0, 0)) == 8
+        assert topo.coord_to_linear((1, 0, 0, 0)) == 24
+
+    def test_bad_coordinates_rejected(self):
+        topo = ChimeraTopology(2, 2, 4)
+        for coord in [(2, 0, 0, 0), (0, 2, 0, 0), (0, 0, 2, 0), (0, 0, 0, 4), (-1, 0, 0, 0)]:
+            with pytest.raises(HardwareError):
+                topo.coord_to_linear(coord)
+
+    def test_bad_linear_rejected(self):
+        topo = ChimeraTopology(2, 2, 4)
+        for q in (-1, topo.num_qubits):
+            with pytest.raises(HardwareError):
+                topo.linear_to_coord(q)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(HardwareError):
+            ChimeraTopology(0, 1, 4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=6),
+    n=st.integers(min_value=1, max_value=6),
+    l=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_property_coordinate_roundtrip(m, n, l, data):
+    topo = ChimeraTopology(m, n, l)
+    q = data.draw(st.integers(min_value=0, max_value=topo.num_qubits - 1))
+    assert topo.coord_to_linear(topo.linear_to_coord(q)) == q
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=4),
+    l=st.integers(min_value=1, max_value=4),
+)
+def test_property_graph_matches_closed_forms(m, n, l):
+    topo = ChimeraTopology(m, n, l)
+    g = topo.graph()
+    assert g.number_of_nodes() == chimera_node_count(m, n, l)
+    assert g.number_of_edges() == chimera_edge_count(m, n, l)
+    assert max((d for _, d in g.degree()), default=0) <= l + 2

@@ -1,0 +1,101 @@
+"""Tests for fabrication-fault models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    PERFECT_YIELD,
+    ChimeraTopology,
+    FaultModel,
+    random_faults,
+)
+
+
+class TestFaultModel:
+    def test_normalization(self):
+        f = FaultModel({3, 3, 5}, {(7, 2), (2, 7)})
+        assert f.dead_qubits == frozenset({3, 5})
+        assert f.dead_couplers == frozenset({(2, 7)})
+        assert f.num_dead_qubits == 2
+        assert f.num_dead_couplers == 1
+
+    def test_validate_accepts_real_elements(self, cell):
+        edge = next(iter(cell.iter_edges()))
+        FaultModel({0}, {edge}).validate(cell)
+
+    def test_validate_rejects_bad_qubit(self, cell):
+        with pytest.raises(HardwareError, match="dead qubit"):
+            FaultModel({999}).validate(cell)
+
+    def test_validate_rejects_non_coupler(self, cell):
+        # Two same-shore qubits are not coupled in a Chimera cell.
+        with pytest.raises(HardwareError, match="not a coupler"):
+            FaultModel(dead_couplers={(0, 1)}).validate(cell)
+
+    def test_union(self):
+        a = FaultModel({1}, {(0, 4)})
+        b = FaultModel({2}, {(1, 4)})
+        u = a.union(b)
+        assert u.dead_qubits == frozenset({1, 2})
+        assert u.dead_couplers == frozenset({(0, 4), (1, 4)})
+
+    def test_yield_fraction(self, cell):
+        assert PERFECT_YIELD.yield_fraction(cell) == 1.0
+        assert FaultModel({0, 1}).yield_fraction(cell) == pytest.approx(6 / 8)
+
+
+class TestWorkingGraph:
+    def test_perfect_yield_is_copy(self, cell):
+        g = cell.working_graph(PERFECT_YIELD)
+        assert g.number_of_nodes() == 8
+        g.remove_node(0)  # mutating the copy must not corrupt the cache
+        assert cell.graph().number_of_nodes() == 8
+
+    def test_dead_qubit_removed_with_couplers(self, cell):
+        g = cell.working_graph(FaultModel({0}))
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 12  # 0 had degree 4
+
+    def test_dead_coupler_removed(self, cell):
+        edge = next(iter(cell.iter_edges()))
+        g = cell.working_graph(FaultModel(dead_couplers={edge}))
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 15
+
+    def test_working_graph_validates(self, cell):
+        with pytest.raises(HardwareError):
+            cell.working_graph(FaultModel({123}))
+
+
+class TestRandomFaults:
+    def test_reproducible(self, small_chimera):
+        a = random_faults(small_chimera, 0.1, 0.05, rng=7)
+        b = random_faults(small_chimera, 0.1, 0.05, rng=7)
+        assert a == b
+
+    def test_rates_zero(self, small_chimera):
+        f = random_faults(small_chimera, 0.0, 0.0, rng=0)
+        assert f == PERFECT_YIELD
+
+    def test_rates_one_kills_everything(self, small_chimera):
+        f = random_faults(small_chimera, 1.0, 0.0, rng=0)
+        assert f.num_dead_qubits == small_chimera.num_qubits
+
+    def test_coupler_faults_avoid_dead_qubits(self, small_chimera):
+        f = random_faults(small_chimera, 0.3, 0.3, rng=3)
+        for p, q in f.dead_couplers:
+            assert p not in f.dead_qubits and q not in f.dead_qubits
+
+    def test_bad_rates(self, small_chimera):
+        with pytest.raises(HardwareError):
+            random_faults(small_chimera, -0.1)
+        with pytest.raises(HardwareError):
+            random_faults(small_chimera, 0.0, 1.5)
+
+    def test_typical_rate_ballpark(self):
+        topo = ChimeraTopology(12, 12, 4)
+        f = random_faults(topo, qubit_fault_rate=0.02, rng=11)
+        assert 0 < f.num_dead_qubits < 60  # ~23 expected of 1152
+        f.validate(topo)

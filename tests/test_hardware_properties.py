@@ -1,0 +1,124 @@
+"""Tests for control-precision modeling (ranges, quantization, programming)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HardwareError, ValidationError
+from repro.hardware import (
+    DW2_PROPERTIES,
+    DeviceProperties,
+    program_ising,
+    quantize_value,
+    rescale_to_ranges,
+)
+from repro.qubo import IsingModel, random_ising
+
+
+class TestQuantize:
+    def test_zero_exactly_representable(self):
+        """Unused qubits carry 0; the grid must include it (odd level count)."""
+        assert quantize_value(0.0, -2.0, 2.0, 5) == 0.0
+        assert quantize_value(0.0, -1.0, 1.0, 4) == 0.0
+
+    def test_endpoints_representable(self):
+        assert quantize_value(-2.0, -2.0, 2.0, 5) == -2.0
+        assert quantize_value(2.0, -2.0, 2.0, 5) == 2.0
+
+    def test_clipping(self):
+        assert quantize_value(10.0, -1.0, 1.0, 5) == 1.0
+        assert quantize_value(-10.0, -1.0, 1.0, 5) == -1.0
+
+    def test_error_bounded_by_half_step(self):
+        bits = 5
+        step = 4.0 / ((1 << bits) - 2)
+        xs = np.linspace(-2, 2, 1001)
+        err = np.abs(quantize_value(xs, -2.0, 2.0, bits) - xs)
+        assert err.max() <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        xs = np.linspace(-1, 1, 257)
+        e4 = np.abs(quantize_value(xs, -1, 1, 4) - xs).max()
+        e8 = np.abs(quantize_value(xs, -1, 1, 8) - xs).max()
+        assert e8 < e4
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            quantize_value(0.0, 1.0, -1.0, 5)
+        with pytest.raises(ValidationError):
+            quantize_value(0.0, -1.0, 1.0, 1)
+
+
+class TestRescale:
+    def test_in_range_untouched(self):
+        m = IsingModel([0.5], {})
+        scaled, factor = rescale_to_ranges(m)
+        assert factor == 1.0
+        assert scaled.h[0] == 0.5
+
+    def test_large_h_scaled(self):
+        m = IsingModel([4.0, -4.0], {(0, 1): 0.5})
+        scaled, factor = rescale_to_ranges(m, h_range=(-2, 2), j_range=(-1, 1))
+        assert factor == pytest.approx(0.5)
+        assert scaled.max_abs_h == pytest.approx(2.0)
+        assert scaled.coupling_dict()[(0, 1)] == pytest.approx(0.25)
+
+    def test_large_j_scaled(self):
+        m = IsingModel([0.0, 0.0], {(0, 1): 5.0})
+        scaled, factor = rescale_to_ranges(m)
+        assert factor == pytest.approx(0.2)
+        assert scaled.max_abs_j == pytest.approx(1.0)
+
+    def test_never_scales_up(self):
+        m = IsingModel([0.001], {})
+        _, factor = rescale_to_ranges(m)
+        assert factor == 1.0
+
+    def test_ground_state_preserved(self):
+        from repro.qubo import brute_force_ising
+
+        m = random_ising(6, rng=2, h_scale=5.0, j_scale=5.0)
+        scaled, _ = rescale_to_ranges(m)
+        s1, _ = brute_force_ising(m)
+        s2, _ = brute_force_ising(scaled)
+        assert np.array_equal(s1[0], s2[0])
+
+
+class TestProgramIsing:
+    def test_report_fields(self):
+        m = random_ising(5, rng=1, h_scale=3.0)
+        programmed, report = program_ising(m)
+        assert 0 < report.scale <= 1.0
+        assert report.max_h_error >= 0.0
+        assert programmed.num_spins == 5
+
+    def test_zero_model_unchanged(self):
+        m = IsingModel(np.zeros(4), {})
+        programmed, report = program_ising(m)
+        assert np.all(programmed.h == 0.0)
+        assert report.max_h_error == 0.0
+
+    def test_parameters_within_ranges(self):
+        m = random_ising(8, rng=4, h_scale=10.0, j_scale=10.0)
+        programmed, _ = program_ising(m)
+        lo, hi = DW2_PROPERTIES.h_range
+        assert programmed.h.min() >= lo and programmed.h.max() <= hi
+        _, _, vals = programmed.coupling_arrays()
+        jlo, jhi = DW2_PROPERTIES.j_range
+        assert vals.min() >= jlo and vals.max() <= jhi
+
+    def test_precision_bits_guard(self):
+        with pytest.raises(HardwareError):
+            DeviceProperties(precision_bits=1)
+
+    def test_bad_range_guard(self):
+        with pytest.raises(HardwareError):
+            DeviceProperties(h_range=(1.0, -1.0))
+
+    def test_high_precision_small_distortion(self):
+        m = random_ising(6, rng=7)
+        _, low = program_ising(m, DeviceProperties(precision_bits=4))
+        _, high = program_ising(m, DeviceProperties(precision_bits=10))
+        assert high.max_h_error <= low.max_h_error
+        assert high.max_j_error <= low.max_j_error

@@ -1,0 +1,62 @@
+"""Tests for the DW2 timing constants (paper Figs. 5-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.hardware import DW2_TIMING, DWaveTimingModel
+
+
+class TestPaperConstants:
+    def test_processor_initialize_total(self):
+        """Fig. 6: StateCon + PMMSW + PMMElec + PMMChip + PMMTherm + SWRun + ElecRun."""
+        expected = 252162 + 33095 + 0 + 11264 + 10000 + 4000 + 9052
+        assert DW2_TIMING.processor_initialize_us == expected == 319573
+
+    def test_processor_initialize_seconds(self):
+        assert DW2_TIMING.processor_initialize_s == pytest.approx(0.319573)
+
+    def test_fig5_quops_formula(self):
+        """QuOps(number) [number * 20/1000000] — 20 us per anneal, in seconds."""
+        assert DW2_TIMING.quops_seconds(1) == pytest.approx(20e-6)
+        assert DW2_TIMING.quops_seconds(1_000_000) == pytest.approx(20.0)
+
+    def test_fig7_sample_constants(self):
+        assert DW2_TIMING.readout_us == 320.0
+        assert DW2_TIMING.thermalization_us == 5.0
+
+
+class TestCycles:
+    def test_sample_cycle(self):
+        assert DW2_TIMING.sample_cycle_us(1) == pytest.approx(20 + 320 + 5)
+        assert DW2_TIMING.sample_cycle_us(10) == pytest.approx(3450)
+        assert DW2_TIMING.sample_cycle_s(10) == pytest.approx(3450e-6)
+
+    def test_zero_reads(self):
+        assert DW2_TIMING.sample_cycle_us(0) == 0.0
+
+    def test_negative_reads_rejected(self):
+        with pytest.raises(ValidationError):
+            DW2_TIMING.sample_cycle_us(-1)
+        with pytest.raises(ValidationError):
+            DW2_TIMING.quops_seconds(-5)
+
+
+class TestCustomization:
+    def test_with_anneal_time(self):
+        slow = DW2_TIMING.with_anneal_time(100.0)
+        assert slow.anneal_us == 100.0
+        assert slow.readout_us == DW2_TIMING.readout_us
+        assert slow.quops_seconds(1) == pytest.approx(100e-6)
+        # original untouched
+        assert DW2_TIMING.anneal_us == 20.0
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            DWaveTimingModel(anneal_us=-1.0)
+
+    def test_programming_dominates_single_sample(self):
+        """The paper's observation: init (~0.32 s) >> one sample cycle (~345 us)."""
+        ratio = DW2_TIMING.processor_initialize_us / DW2_TIMING.sample_cycle_us(1)
+        assert ratio > 900

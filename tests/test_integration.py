@@ -1,0 +1,121 @@
+"""End-to-end integration tests crossing every subsystem boundary."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealer import DWaveDevice, ExactSolver, SimulatedAnnealingSampler, geometric_schedule
+from repro.core import (
+    SplitExecutionModel,
+    required_repetitions,
+)
+from repro.hardware import ChimeraTopology, random_faults
+from repro.qubo import brute_force_qubo, max_independent_set_qubo, maxcut_qubo
+from repro.runtime import Architecture, run_single_session, simulate_architecture
+
+
+class TestProblemToSolution:
+    """Workload generator -> device -> decoded optimum."""
+
+    @pytest.mark.parametrize(
+        "make_problem",
+        [
+            lambda: maxcut_qubo(nx.petersen_graph()),
+            lambda: max_independent_set_qubo(nx.cycle_graph(9)),
+        ],
+        ids=["maxcut-petersen", "mis-c9"],
+    )
+    def test_device_matches_brute_force(self, make_problem):
+        qubo = make_problem()
+        device = DWaveDevice(
+            topology=ChimeraTopology(4, 4, 4),
+            sampler=SimulatedAnnealingSampler(geometric_schedule(300)),
+        )
+        result = device.solve_qubo(qubo, num_reads=80, rng=0)
+        _, exact = brute_force_qubo(qubo)
+        assert result.best_energy == pytest.approx(exact[0], abs=1e-9)
+
+    def test_faulty_device_still_solves(self):
+        topo = ChimeraTopology(4, 4, 4)
+        device = DWaveDevice(
+            topology=topo,
+            faults=random_faults(topo, qubit_fault_rate=0.03, rng=5),
+            sampler=SimulatedAnnealingSampler(geometric_schedule(300)),
+        )
+        qubo = maxcut_qubo(nx.cycle_graph(8))
+        result = device.solve_qubo(qubo, num_reads=60, rng=1)
+        _, exact = brute_force_qubo(qubo)
+        assert result.best_energy == pytest.approx(exact[0], abs=1e-9)
+
+
+class TestModelAgainstSimulation:
+    """The performance models against the behavioral simulation they describe."""
+
+    def test_eq6_plans_reads_that_succeed(self):
+        from repro.qubo import random_ising
+
+        m = random_ising(8, rng=0)
+        ground = ExactSolver().ground_energy(m)
+        device = DWaveDevice(
+            topology=ChimeraTopology(3, 3, 4),
+            sampler=SimulatedAnnealingSampler(geometric_schedule(120)),
+        )
+        ps = device.estimate_success_probability(m, ground, num_reads=150, rng=2)
+        assert ps > 0.05
+        s = required_repetitions(0.95, ps)
+        # Run 40 planned batches; most should contain the ground state.
+        hits = 0
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            r = device.solve_ising(m, num_reads=max(s, 1), rng=rng)
+            hits += r.best_energy <= ground + 1e-9
+        assert hits / 40 >= 0.75
+
+    def test_device_timing_matches_stage2_model(self):
+        """DeviceTiming and the Stage-2 closed form agree on sampling time."""
+        from repro.core import Stage2Model
+        from repro.qubo import random_ising
+
+        m = random_ising(4, rng=1)
+        device = DWaveDevice(topology=ChimeraTopology(2, 2, 4))
+        stage2 = Stage2Model(per_read=True)
+        s = stage2.repetitions(0.99, 0.7)
+        result = device.solve_ising(m, num_reads=s, rng=0)
+        assert result.timing.sampling_us * 1e-6 == pytest.approx(
+            stage2.seconds(0.99, 0.7), rel=1e-9
+        )
+
+
+class TestPipelineToRuntime:
+    """Performance model -> request profile -> DES -> consistent totals."""
+
+    def test_profile_latency_consistency(self):
+        model = SplitExecutionModel()
+        for lps in (10, 50):
+            profile = model.request_profile(lps)
+            latency, _ = run_single_session(profile)
+            t = model.time_to_solution(lps)
+            # DES latency = model total + transfer overheads.
+            assert latency >= t.total_seconds
+            assert latency == pytest.approx(profile.total_service_time, rel=1e-9)
+
+    def test_architecture_study_runs_on_model_profiles(self):
+        model = SplitExecutionModel()
+        profile = model.request_profile(20)
+        results = {
+            arch: simulate_architecture(arch, profile, num_clients=3,
+                                        requests_per_client=2, rng=0)
+            for arch in Architecture
+        }
+        assert results[Architecture.DEDICATED].makespan <= results[
+            Architecture.SHARED
+        ].makespan + 1e-12
+
+    def test_offline_mode_changes_des_critical_path(self):
+        online = SplitExecutionModel(embedding_mode="online").request_profile(50)
+        offline = SplitExecutionModel(embedding_mode="offline").request_profile(50)
+        lat_on, _ = run_single_session(online)
+        lat_off, _ = run_single_session(offline)
+        assert lat_off < lat_on / 10

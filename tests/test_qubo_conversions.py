@@ -1,0 +1,137 @@
+"""Tests for the paper's Eqs. (4)-(5): exact QUBO <-> Ising conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qubo import (
+    IsingModel,
+    Qubo,
+    conversion_flop_count,
+    ising_to_qubo,
+    paper_ising_parameters,
+    qubo_to_ising,
+    random_qubo,
+)
+
+
+def _all_binary(n: int) -> np.ndarray:
+    return np.array(
+        [[(idx >> i) & 1 for i in range(n)] for idx in range(1 << n)], dtype=float
+    )
+
+
+class TestQuboToIsing:
+    def test_energy_preserved_exhaustively(self):
+        q = random_qubo(6, density=0.7, rng=0)
+        m = qubo_to_ising(q)
+        B = _all_binary(6)
+        assert np.allclose(q.energies(B), m.energies(2 * B - 1))
+
+    def test_offset_carried(self):
+        q = Qubo([1.0], {}, offset=5.0)
+        m = qubo_to_ising(q)
+        assert m.energy([1]) == pytest.approx(q.energy([1]))
+        assert m.energy([-1]) == pytest.approx(q.energy([0]))
+
+    def test_paper_formula_values(self):
+        # h_i = lin_i/2 + quad_ij/4, J_ij = quad_ij/4 (Eqs. 4-5).
+        q = Qubo([2.0, 0.0], {(0, 1): 4.0})
+        m = qubo_to_ising(q)
+        assert m.h[0] == pytest.approx(2.0 / 2 + 4.0 / 4)
+        assert m.h[1] == pytest.approx(0.0 / 2 + 4.0 / 4)
+        assert m.coupling_dict()[(0, 1)] == pytest.approx(4.0 / 4)
+
+    def test_ground_state_preserved(self):
+        from repro.qubo import brute_force_ising, brute_force_qubo
+
+        q = random_qubo(8, density=0.5, rng=3)
+        m = qubo_to_ising(q)
+        sb, eb = brute_force_qubo(q)
+        ss, es = brute_force_ising(m)
+        assert eb[0] == pytest.approx(es[0])
+        assert np.array_equal((ss[0] + 1) // 2, sb[0])
+
+
+class TestIsingToQubo:
+    def test_energy_preserved_exhaustively(self):
+        m = IsingModel([0.3, -0.7, 0.1], {(0, 1): 1.2, (1, 2): -0.4}, offset=0.9)
+        q = ising_to_qubo(m)
+        B = _all_binary(3)
+        assert np.allclose(q.energies(B), m.energies(2 * B - 1))
+
+    def test_round_trip_identity(self):
+        q = random_qubo(7, density=0.6, rng=1)
+        q2 = ising_to_qubo(qubo_to_ising(q))
+        assert np.allclose(q2.linear, q.linear)
+        assert q2.quadratic_dict().keys() == q.quadratic_dict().keys()
+        for k, v in q.quadratic_dict().items():
+            assert q2.quadratic_dict()[k] == pytest.approx(v)
+        assert q2.offset == pytest.approx(q.offset)
+
+    def test_reverse_round_trip_identity(self):
+        m = IsingModel([1.0, -1.0], {(0, 1): 0.5}, offset=-2.0)
+        m2 = qubo_to_ising(ising_to_qubo(m))
+        assert np.allclose(m2.h, m.h)
+        assert m2.coupling_dict()[(0, 1)] == pytest.approx(0.5)
+        assert m2.offset == pytest.approx(m.offset)
+
+
+class TestPaperLiteral:
+    def test_matches_library_conversion_for_upper_triangle(self):
+        # Interpret a symmetric matrix in the upper-triangle convention.
+        rng = np.random.default_rng(5)
+        A = rng.normal(size=(5, 5))
+        Q = np.triu(A) + np.triu(A, 1).T  # symmetric
+        h, J = paper_ising_parameters(Q)
+        q = Qubo(np.diag(Q).copy(), {
+            (i, j): Q[i, j] for i in range(5) for j in range(i + 1, 5)
+        })
+        m = qubo_to_ising(q)
+        # paper h uses the symmetric row sum = half from each triangle
+        assert np.allclose(h, m.h)
+        for i, j, v in m.iter_couplings():
+            assert J[i, j] == pytest.approx(v)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            paper_ising_parameters(np.zeros((2, 3)))
+
+
+class TestFlopCount:
+    def test_cubic(self):
+        assert conversion_flop_count(10) == 1000
+        assert conversion_flop_count(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            conversion_flop_count(-1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=7),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_conversion_preserves_all_energies(n, density, seed):
+    """E_qubo(b) == E_ising(2b - 1) for every assignment (the core invariant)."""
+    q = random_qubo(n, density=density, rng=seed)
+    m = qubo_to_ising(q)
+    B = _all_binary(n)
+    assert np.allclose(q.energies(B), m.energies(2 * B - 1), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_round_trip_is_identity(n, seed):
+    q = random_qubo(n, density=0.8, rng=seed)
+    q2 = ising_to_qubo(qubo_to_ising(q))
+    B = _all_binary(n)
+    assert np.allclose(q.energies(B), q2.energies(B), atol=1e-9)

@@ -1,0 +1,112 @@
+"""Tests for brute-force reference solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.qubo import (
+    IsingModel,
+    Qubo,
+    brute_force_ising,
+    brute_force_qubo,
+    exact_ground_energy,
+    ground_states,
+    iter_binary_states,
+    random_ising,
+    random_qubo,
+)
+
+
+class TestIteration:
+    def test_counts(self):
+        total = sum(b.shape[0] for b in iter_binary_states(5))
+        assert total == 32
+
+    def test_order_and_values(self):
+        batches = list(iter_binary_states(3))
+        states = np.vstack(batches)
+        ints = (states * (2 ** np.arange(3))).sum(axis=1)
+        assert ints.tolist() == list(range(8))
+
+    def test_chunking(self):
+        batches = list(iter_binary_states(6, chunk_bits=3))
+        assert len(batches) == 8
+        assert all(b.shape == (8, 6) for b in batches)
+
+    def test_zero_vars(self):
+        batches = list(iter_binary_states(0))
+        assert len(batches) == 1 and batches[0].shape == (1, 0)
+
+    def test_refuses_huge(self):
+        with pytest.raises(ValidationError, match="refused"):
+            list(iter_binary_states(40))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            list(iter_binary_states(-1))
+
+
+class TestBruteForce:
+    def test_qubo_minimum_is_true_minimum(self):
+        q = random_qubo(8, rng=0)
+        _, e = brute_force_qubo(q)
+        all_states = np.vstack(list(iter_binary_states(8)))
+        assert e[0] == pytest.approx(float(q.energies(all_states).min()))
+
+    def test_ising_minimum_is_true_minimum(self):
+        m = random_ising(8, rng=1)
+        _, e = brute_force_ising(m)
+        all_states = np.vstack(list(iter_binary_states(8))).astype(np.int8) * 2 - 1
+        assert e[0] == pytest.approx(float(m.energies(all_states).min()))
+
+    def test_num_best_sorted(self):
+        q = random_qubo(6, rng=2)
+        _, e = brute_force_qubo(q, num_best=10)
+        assert len(e) == 10
+        assert np.all(np.diff(e) >= 0)
+
+    def test_num_best_guard(self):
+        with pytest.raises(ValidationError):
+            brute_force_qubo(random_qubo(3, rng=0), num_best=0)
+
+    def test_chunk_invariance(self):
+        # Same result regardless of chunking (exercises the merge logic).
+        import repro.qubo.energy as energy_mod
+
+        q = random_qubo(9, rng=3)
+        full = brute_force_qubo(q, num_best=5)
+        old = energy_mod._DEFAULT_CHUNK_BITS
+        try:
+            energy_mod._DEFAULT_CHUNK_BITS = 4
+            chunked_states, chunked_e = brute_force_qubo(q, num_best=5)
+        finally:
+            energy_mod._DEFAULT_CHUNK_BITS = old
+        assert np.allclose(full[1], chunked_e)
+
+
+class TestGroundStates:
+    def test_degenerate_ground_states_all_found(self):
+        # Pure ferromagnet: two ground states (all up / all down).
+        m = IsingModel([0.0] * 4, {(i, j): -1.0 for i in range(4) for j in range(i + 1, 4)})
+        states, energy = ground_states(m)
+        assert states.shape[0] == 2
+        assert energy == pytest.approx(-6.0)
+        rows = {tuple(r) for r in states.tolist()}
+        assert (1, 1, 1, 1) in rows and (-1, -1, -1, -1) in rows
+
+    def test_unique_ground_state(self):
+        m = IsingModel([1.0, 1.0], {})
+        states, energy = ground_states(m)
+        assert states.shape[0] == 1
+        assert energy == pytest.approx(-2.0)
+
+    def test_exact_ground_energy(self):
+        m = random_ising(7, rng=5)
+        assert exact_ground_energy(m) == pytest.approx(brute_force_ising(m)[1][0])
+
+    def test_offset_included(self):
+        q = Qubo([1.0], {}, offset=10.0)
+        _, e = brute_force_qubo(q)
+        assert e[0] == pytest.approx(10.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.qubo.ising.IsingModel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.qubo import IsingModel
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = IsingModel([0.5, -0.5], {(0, 1): 1.0}, offset=2.0)
+        assert m.num_spins == 2
+        assert m.num_interactions == 1
+        assert m.offset == 2.0
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(ValidationError, match="self-coupling"):
+            IsingModel([0.0], {(0, 0): 1.0})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            IsingModel([0.0, 0.0], {(0, 3): 1.0})
+
+    def test_reversed_pairs_accumulate(self):
+        m = IsingModel([0.0, 0.0], {(0, 1): 1.0, (1, 0): 0.5})
+        assert m.coupling_dict() == {(0, 1): 1.5}
+
+    def test_from_arrays(self):
+        m = IsingModel.from_arrays(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([0]),
+            np.array([2]),
+            np.array([-1.0]),
+            offset=1.0,
+        )
+        assert m.coupling_dict() == {(0, 2): -1.0}
+        assert m.offset == 1.0
+
+
+class TestEnergy:
+    def test_known_values(self):
+        m = IsingModel([0.5, -0.5], {(0, 1): 1.0})
+        assert m.energy([1, 1]) == pytest.approx(0.5 - 0.5 + 1.0)
+        assert m.energy([-1, 1]) == pytest.approx(-0.5 - 0.5 - 1.0)
+        assert m.energy([1, -1]) == pytest.approx(0.5 + 0.5 - 1.0)
+        assert m.energy([-1, -1]) == pytest.approx(-0.5 + 0.5 + 1.0)
+
+    def test_batch_matches_scalar(self, rng):
+        m = IsingModel(rng.normal(size=6), {(0, 5): 1.0, (2, 3): -2.0}, offset=0.7)
+        S = rng.integers(0, 2, size=(11, 6)) * 2 - 1
+        batch = m.energies(S)
+        for i in range(11):
+            assert batch[i] == pytest.approx(m.energy(S[i]))
+
+    def test_bad_batch_shape(self):
+        with pytest.raises(ValidationError, match="batch"):
+            IsingModel([0.0, 0.0]).energies(np.ones((2, 3)))
+
+
+class TestExports:
+    def test_dense_coupling_symmetric(self):
+        m = IsingModel([0.0] * 3, {(0, 2): 1.5, (1, 2): -1.0})
+        M = m.to_dense_coupling()
+        assert M[0, 2] == M[2, 0] == 1.5
+        assert M[1, 2] == M[2, 1] == -1.0
+        assert np.all(np.diag(M) == 0.0)
+
+    def test_adjacency_csr_matches_dense(self):
+        m = IsingModel([0.0] * 4, {(0, 1): 2.0, (2, 3): -0.5})
+        assert np.allclose(m.adjacency_csr().toarray(), m.to_dense_coupling())
+
+    def test_energy_via_dense_quadratic_form(self, rng):
+        m = IsingModel(rng.normal(size=5), {(0, 1): 1.0, (3, 4): 2.0})
+        M = m.to_dense_coupling()
+        s = rng.integers(0, 2, size=5) * 2.0 - 1.0
+        expected = m.h @ s + 0.5 * s @ M @ s
+        assert m.energy(s) == pytest.approx(expected)
+
+    def test_graph_weights(self):
+        g = IsingModel([0.0] * 3, {(1, 2): -4.0}).graph()
+        assert g[1][2]["weight"] == -4.0
+
+    def test_max_abs(self):
+        m = IsingModel([1.0, -3.0], {(0, 1): 2.0})
+        assert m.max_abs_h == 3.0
+        assert m.max_abs_j == 2.0
+        empty = IsingModel([])
+        assert empty.max_abs_h == 0.0 and empty.max_abs_j == 0.0
+
+
+class TestTransforms:
+    def test_negated_flips_energies_up_to_offset(self, rng):
+        m = IsingModel(rng.normal(size=4), {(0, 1): 1.0}, offset=0.0)
+        neg = m.negated()
+        s = rng.integers(0, 2, size=4) * 2 - 1
+        assert neg.energy(s) == pytest.approx(-m.energy(s))
+
+    def test_scaled(self):
+        m = IsingModel([1.0], {}, offset=2.0).scaled(0.5)
+        assert m.h[0] == 0.5 and m.offset == 1.0
+
+    def test_relabeled_preserves_spectrum(self, rng):
+        m = IsingModel(rng.normal(size=4), {(0, 1): 1.0, (2, 3): -1.0})
+        perm = {0: 3, 1: 2, 2: 1, 3: 0}
+        m2 = m.relabeled(perm)
+        s = rng.integers(0, 2, size=4) * 2 - 1
+        s2 = np.empty(4)
+        for old, new in perm.items():
+            s2[new] = s[old]
+        assert m.energy(s) == pytest.approx(m2.energy(s2))
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(ValidationError, match="permutation"):
+            IsingModel([0.0, 0.0]).relabeled({0: 0, 1: 0})
+
+    def test_equality_and_hash(self):
+        a = IsingModel([1.0], {}, offset=1.0)
+        b = IsingModel([1.0], {}, offset=1.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != IsingModel([1.0], {}, offset=2.0)

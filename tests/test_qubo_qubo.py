@@ -1,0 +1,158 @@
+"""Tests for repro.qubo.qubo.Qubo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.qubo import Qubo
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = Qubo([1.0, -2.0], {(0, 1): 3.0})
+        assert q.num_variables == 2
+        assert q.num_interactions == 1
+        assert q.offset == 0.0
+
+    def test_reversed_pairs_accumulate(self):
+        q = Qubo([0.0, 0.0], {(0, 1): 1.0, (1, 0): 2.0})
+        assert q.quadratic_dict() == {(0, 1): 3.0}
+
+    def test_diagonal_pair_rejected(self):
+        with pytest.raises(ValidationError, match="diagonal"):
+            Qubo([0.0], {(0, 0): 1.0})
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ValidationError, match=">= n"):
+            Qubo([0.0, 0.0], {(0, 5): 1.0})
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            Qubo([0.0, 0.0], {(-1, 0): 1.0})
+
+    def test_non_1d_linear_rejected(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            Qubo(np.zeros((2, 2)))
+
+    def test_empty(self):
+        q = Qubo([])
+        assert q.num_variables == 0
+        assert q.energies(np.zeros((3, 0))).tolist() == [0.0, 0.0, 0.0]
+
+    def test_from_dict_infers_size(self):
+        q = Qubo.from_dict({(0, 0): 1.0, (2, 1): -1.0})
+        assert q.num_variables == 3
+        assert q.linear[0] == 1.0
+        assert q.quadratic_dict() == {(1, 2): -1.0}
+
+    def test_from_dict_explicit_size(self):
+        q = Qubo.from_dict({(0, 0): 1.0}, num_variables=5)
+        assert q.num_variables == 5
+
+    def test_from_dict_size_too_small(self):
+        with pytest.raises(ValidationError):
+            Qubo.from_dict({(4, 4): 1.0}, num_variables=2)
+
+
+class TestDense:
+    def test_from_dense_folds_asymmetric(self):
+        Q = np.array([[1.0, 2.0], [3.0, 4.0]])
+        q = Qubo.from_dense(Q)
+        assert q.linear.tolist() == [1.0, 4.0]
+        assert q.quadratic_dict() == {(0, 1): 5.0}
+
+    def test_from_dense_energy_identity(self, rng):
+        Q = rng.normal(size=(6, 6))
+        q = Qubo.from_dense(Q, offset=0.5)
+        for _ in range(20):
+            b = rng.integers(0, 2, size=6).astype(float)
+            assert q.energy(b) == pytest.approx(b @ Q @ b + 0.5)
+
+    def test_from_dense_requires_square(self):
+        with pytest.raises(ValidationError, match="square"):
+            Qubo.from_dense(np.zeros((2, 3)))
+
+    def test_to_dense_roundtrip_symmetric(self, rng):
+        q = Qubo(rng.normal(size=4), {(0, 1): 1.5, (2, 3): -2.0}, offset=1.0)
+        for fold in ("symmetric", "upper"):
+            Q = q.to_dense(fold)
+            for _ in range(10):
+                b = rng.integers(0, 2, size=4).astype(float)
+                assert b @ Q @ b + q.offset == pytest.approx(q.energy(b))
+
+    def test_to_dense_bad_fold(self):
+        with pytest.raises(ValidationError):
+            Qubo([0.0]).to_dense("lower")
+
+
+class TestEnergy:
+    def test_known_values(self):
+        q = Qubo([1.0, -2.0], {(0, 1): 3.0}, offset=0.25)
+        assert q.energy([0, 0]) == 0.25
+        assert q.energy([1, 0]) == 1.25
+        assert q.energy([0, 1]) == -1.75
+        assert q.energy([1, 1]) == 2.25
+
+    def test_batch_shape_checked(self):
+        q = Qubo([1.0, 2.0])
+        with pytest.raises(ValidationError, match="batch"):
+            q.energies(np.zeros((3, 5)))
+
+    def test_batch_matches_scalar(self, rng):
+        q = Qubo(rng.normal(size=5), {(0, 4): 1.0, (1, 2): -3.0})
+        B = rng.integers(0, 2, size=(17, 5))
+        batch = q.energies(B)
+        for i in range(17):
+            assert batch[i] == pytest.approx(q.energy(B[i]))
+
+
+class TestTransforms:
+    def test_scaled(self):
+        q = Qubo([1.0], {}, offset=2.0).scaled(3.0)
+        assert q.linear[0] == 3.0 and q.offset == 6.0
+
+    def test_relabeled_preserves_energy(self, rng):
+        q = Qubo(rng.normal(size=4), {(0, 1): 1.0, (1, 3): -1.0})
+        perm = {0: 2, 1: 0, 2: 3, 3: 1}
+        q2 = q.relabeled(perm)
+        for _ in range(10):
+            b = rng.integers(0, 2, size=4)
+            b2 = np.empty(4)
+            for old, new in perm.items():
+                b2[new] = b[old]
+            assert q.energy(b) == pytest.approx(q2.energy(b2))
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(ValidationError, match="permutation"):
+            Qubo([0.0, 0.0]).relabeled({0: 1, 1: 1})
+
+    def test_graph(self):
+        g = Qubo([0.0] * 3, {(0, 2): 1.5}).graph()
+        assert sorted(g.nodes()) == [0, 1, 2]
+        assert g[0][2]["weight"] == 1.5
+
+    def test_equality_and_hash(self):
+        a = Qubo([1.0, 2.0], {(0, 1): 3.0}, offset=0.5)
+        b = Qubo([1.0, 2.0], {(1, 0): 3.0}, offset=0.5)
+        c = Qubo([1.0, 2.0], {(0, 1): 3.0}, offset=0.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_dense_fold_is_lossless(n, seed):
+    """b^T Q b == coefficient-form energy for every binary b."""
+    gen = np.random.default_rng(seed)
+    Q = gen.normal(size=(n, n))
+    q = Qubo.from_dense(Q)
+    for idx in range(1 << n):
+        b = np.array([(idx >> i) & 1 for i in range(n)], dtype=float)
+        assert q.energy(b) == pytest.approx(float(b @ Q @ b), abs=1e-9)

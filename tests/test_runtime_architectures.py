@@ -1,0 +1,94 @@
+"""Tests for the Fig.-1 architecture comparison simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime import Architecture, RequestProfile, simulate_architecture
+
+
+@pytest.fixture
+def profile() -> RequestProfile:
+    return RequestProfile(
+        ising_generation=0.001,
+        embedding=0.1,
+        processor_init=0.32,
+        quantum_execution=0.0004,
+        postprocessing=1e-6,
+    )
+
+
+class TestArchitectures:
+    def test_dedicated_removes_contention(self, profile):
+        shared = simulate_architecture(
+            Architecture.SHARED, profile, num_clients=4, requests_per_client=2, rng=0
+        )
+        dedicated = simulate_architecture(
+            Architecture.DEDICATED, profile, num_clients=4, requests_per_client=2, rng=0
+        )
+        assert dedicated.mean_qpu_wait == 0.0
+        assert shared.mean_qpu_wait > 0.0
+        assert dedicated.makespan < shared.makespan
+
+    def test_asymmetric_adds_network_latency(self, profile):
+        asym = simulate_architecture(
+            Architecture.ASYMMETRIC, profile, num_clients=1, requests_per_client=1, rng=0
+        )
+        shared = simulate_architecture(
+            Architecture.SHARED, profile, num_clients=1, requests_per_client=1, rng=0
+        )
+        assert asym.mean_latency > shared.mean_latency
+        # Two LAN crossings at 200 us each.
+        assert asym.mean_latency - shared.mean_latency == pytest.approx(4e-4, rel=1e-6)
+
+    def test_accepts_string_names(self, profile):
+        r = simulate_architecture("dedicated", profile, num_clients=2,
+                                  requests_per_client=1, rng=0)
+        assert r.architecture is Architecture.DEDICATED
+
+    def test_throughput_and_counts(self, profile):
+        r = simulate_architecture(
+            Architecture.SHARED, profile, num_clients=3, requests_per_client=4, rng=0
+        )
+        assert r.total_requests == 12
+        assert r.throughput == pytest.approx(12 / r.makespan)
+
+    def test_single_client_no_contention_anywhere(self, profile):
+        for arch in Architecture:
+            r = simulate_architecture(arch, profile, num_clients=1,
+                                      requests_per_client=3, rng=0)
+            assert r.mean_qpu_wait == 0.0
+
+    def test_latency_grows_with_clients_on_shared(self, profile):
+        lat = [
+            simulate_architecture(
+                Architecture.SHARED, profile, num_clients=k, requests_per_client=1, rng=0
+            ).mean_latency
+            for k in (1, 2, 4, 8)
+        ]
+        assert lat == sorted(lat)
+        assert lat[-1] > lat[0]
+
+    def test_think_time_reduces_contention(self, profile):
+        busy = simulate_architecture(
+            Architecture.SHARED, profile, num_clients=4, requests_per_client=3,
+            mean_think_time=0.0, rng=1,
+        )
+        relaxed = simulate_architecture(
+            Architecture.SHARED, profile, num_clients=4, requests_per_client=3,
+            mean_think_time=10.0, rng=1,
+        )
+        assert relaxed.mean_qpu_wait < busy.mean_qpu_wait
+
+    def test_validation(self, profile):
+        with pytest.raises(ValidationError):
+            simulate_architecture(Architecture.SHARED, profile, num_clients=0)
+        with pytest.raises(ValueError):
+            simulate_architecture("warp-drive", profile)
+
+    def test_trace_has_all_sessions(self, profile):
+        r = simulate_architecture(
+            Architecture.SHARED, profile, num_clients=2, requests_per_client=2, rng=0
+        )
+        assert r.trace.sessions() == [0, 1, 2, 3]

@@ -1,0 +1,239 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.runtime import Simulator
+
+
+class TestTimeouts:
+    def test_single_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        assert sim.run() == 5.0
+        assert log == [5.0]
+
+    def test_sequential_timeouts(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_zero_delay(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_deterministic_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+
+class TestProcesses:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 42
+
+    def test_join_semantics(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(3.0)
+            return "inner-done"
+
+        def outer():
+            result = yield sim.process(inner())
+            return (sim.now, result)
+
+        p = sim.process(outer())
+        sim.run()
+        assert p.value == (3.0, "inner-done")
+
+    def test_yield_none_reschedules(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append("first")
+            yield None
+            log.append("second")
+
+        sim.process(proc())
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_bad_yield_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 123
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="yielded"):
+            sim.run()
+
+    def test_event_succeed_once(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed()
+        with pytest.raises(SimulationError, match="already"):
+            evt.succeed()
+
+
+class TestResources:
+    def test_fifo_contention(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        order = []
+
+        def proc(tag, hold):
+            yield res.request()
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(proc("a", 2.0))
+        sim.process(proc("b", 1.0))
+        sim.process(proc("c", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_capacity_two(self):
+        sim = Simulator()
+        res = sim.resource(capacity=2)
+        grants = []
+
+        def proc(tag):
+            yield res.request()
+            grants.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            res.release()
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        times = dict((t, at) for t, at in grants)
+        assert times["a"] == 0.0 and times["b"] == 0.0 and times["c"] == 1.0
+
+    def test_wait_statistics(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+
+        def proc(hold):
+            yield res.request()
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(proc(4.0))
+        sim.process(proc(1.0))
+        sim.run()
+        assert res.total_grants == 2
+        assert res.mean_wait == pytest.approx(2.0)  # (0 + 4) / 2
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        res = sim.resource()
+        with pytest.raises(SimulationError, match="idle"):
+            res.release()
+
+    def test_bad_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.resource(capacity=0)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=5.0)
+        assert res.queue_length == 1
+
+
+class TestCausality:
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5.0)
+
+        sim.process(proc())
+        sim.run()
+        with pytest.raises(SimulationError, match="past"):
+            sim._schedule(1.0, lambda e: None, None)
+
+    def test_time_monotone_across_events(self):
+        sim = Simulator()
+        stamps = []
+
+        def proc(delay):
+            yield sim.timeout(delay)
+            stamps.append(sim.now)
+
+        for d in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sim.process(proc(d))
+        sim.run()
+        assert stamps == sorted(stamps)

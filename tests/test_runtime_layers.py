@@ -1,0 +1,145 @@
+"""Tests for the Fig.-2 layered request sequence and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime import (
+    RequestProfile,
+    Simulator,
+    Trace,
+    run_single_session,
+    split_execution_session,
+)
+
+
+@pytest.fixture
+def profile() -> RequestProfile:
+    return RequestProfile(
+        ising_generation=0.001,
+        embedding=0.5,
+        processor_init=0.32,
+        quantum_execution=0.0004,
+        postprocessing=1e-6,
+        network_latency=0.0002,
+        payload_transfer=0.00001,
+    )
+
+
+class TestProfile:
+    def test_total_service_time(self, profile):
+        expected = (
+            2 * (0.0002 + 0.00001) + 0.001 + 0.5 + 0.32 + 0.0004 + 1e-6
+        )
+        assert profile.total_service_time == pytest.approx(expected)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            RequestProfile(-1, 0, 0, 0, 0)
+
+
+class TestSingleSession:
+    def test_latency_matches_profile(self, profile):
+        latency, _ = run_single_session(profile)
+        assert latency == pytest.approx(profile.total_service_time)
+
+    def test_trace_order_follows_fig2(self, profile):
+        _, trace = run_single_session(profile)
+        ops = [s.operation for s in sorted(trace.spans, key=lambda s: s.start)]
+        assert ops == [
+            "push_problem",
+            "generate_ising",
+            "minor_embedding",
+            "program_processor",
+            "anneal_and_readout",
+            "postprocess_sort",
+            "return_solution",
+        ]
+
+    def test_layers_assigned(self, profile):
+        _, trace = run_single_session(profile)
+        by_op = {s.operation: s.layer for s in trace.spans}
+        assert by_op["minor_embedding"] == "mw"
+        assert by_op["program_processor"] == "qhw"
+        assert by_op["push_problem"] == "network"
+
+    def test_no_network_spans_when_local(self):
+        p = RequestProfile(0.01, 0.02, 0.03, 0.004, 0.001)
+        _, trace = run_single_session(p)
+        assert all(s.layer != "network" for s in trace.spans)
+
+    def test_embedding_dominates_trace(self, profile):
+        """The paper's bottleneck shows up in the span accounting."""
+        _, trace = run_single_session(profile)
+        per_op = trace.total_by_operation()
+        assert per_op["minor_embedding"] > per_op["anneal_and_readout"] * 100
+
+
+class TestContention:
+    def test_second_session_queues(self, profile):
+        sim = Simulator()
+        trace = Trace()
+        qpu = sim.resource(capacity=1, name="qpu")
+        p1 = sim.process(split_execution_session(sim, qpu, profile, trace, 0))
+        p2 = sim.process(split_execution_session(sim, qpu, profile, trace, 1))
+        sim.run()
+        lat1, lat2 = float(p1.value), float(p2.value)
+        assert lat2 > lat1  # the second session waited for the QPU
+        waits = [s for s in trace.spans if s.operation == "queue_wait"]
+        assert len(waits) == 1 and waits[0].session == 1
+
+    def test_queue_wait_duration(self, profile):
+        sim = Simulator()
+        trace = Trace()
+        qpu = sim.resource(capacity=1)
+        sim.process(split_execution_session(sim, qpu, profile, trace, 0))
+        sim.process(split_execution_session(sim, qpu, profile, trace, 1))
+        sim.run()
+        wait = next(s for s in trace.spans if s.operation == "queue_wait")
+        qpu_hold = profile.processor_init + profile.quantum_execution
+        assert wait.duration == pytest.approx(qpu_hold, rel=1e-6)
+
+
+class TestTrace:
+    def test_span_validation(self):
+        with pytest.raises(ValidationError):
+            Trace().record("sw", "x", 2.0, 1.0)
+
+    def test_makespan(self):
+        t = Trace()
+        t.record("sw", "a", 0.0, 1.0)
+        t.record("mw", "b", 2.0, 5.0)
+        assert t.makespan == 5.0
+        assert Trace().makespan == 0.0
+
+    def test_total_by_layer(self):
+        t = Trace()
+        t.record("sw", "a", 0.0, 1.0)
+        t.record("sw", "b", 1.0, 3.0)
+        t.record("mw", "c", 0.0, 0.5)
+        totals = t.total_by_layer()
+        assert totals["sw"] == pytest.approx(3.0)
+        assert totals["mw"] == pytest.approx(0.5)
+
+    def test_session_latency(self):
+        t = Trace()
+        t.record("sw", "a", 1.0, 2.0, session=3)
+        t.record("mw", "b", 2.0, 7.0, session=3)
+        assert t.session_latency(3) == pytest.approx(6.0)
+        with pytest.raises(ValidationError):
+            t.session_latency(99)
+
+    def test_sessions_listing(self):
+        t = Trace()
+        t.record("sw", "a", 0, 1, session=2)
+        t.record("sw", "a", 0, 1, session=0)
+        assert t.sessions() == [0, 2]
+
+    def test_to_table_renders(self, profile):
+        _, trace = run_single_session(profile)
+        table = trace.to_table("ms")
+        assert "minor_embedding" in table
+        assert "start [ms]" in table
+        with pytest.raises(ValidationError):
+            trace.to_table("hours")
