@@ -1,0 +1,3 @@
+"""Benchmark suite: paper-figure reproductions (``bench_*.py``, run through
+pytest) and the persistent kernel-timing harness (:mod:`benchmarks.perf_harness`).
+"""

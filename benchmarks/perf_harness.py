@@ -1,0 +1,288 @@
+"""Persistent performance-regression harness for the hot kernels.
+
+Times a fixed set of named reference workloads — the kernels the paper's
+headline result (Fig. 9) makes hot: SA sampling, batched energy evaluation,
+brute-force enumeration, CMR minor embedding, and the Fig.-9 pipeline sweep
+— and emits a machine-readable ``BENCH_PERF.json`` at the repository root so
+every PR's perf delta is visible in review.
+
+Usage::
+
+    python -m benchmarks.perf_harness            # full run, writes BENCH_PERF.json
+    python -m benchmarks.perf_harness --check    # smoke mode: tiny workloads,
+                                                 # schema validation, no write
+    python -m benchmarks.perf_harness --output /tmp/perf.json --repeats 9
+
+Each kernel records a ``seed_seconds`` baseline: the same workload measured
+on the pre-optimization (seed) implementation, captured once on the
+reference container when the kernels were rewritten.  ``speedup_vs_seed``
+therefore tracks cumulative speedup over the project's starting point, while
+comparing ``seconds`` between two commits' ``BENCH_PERF.json`` tracks
+per-PR regressions.  See DESIGN.md ("Performance architecture") for how to
+read the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PERF.json"
+SCHEMA_VERSION = 1
+
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+#: Wall-clock seconds of each reference workload under the seed (pre-PR-1)
+#: implementations, measured best-of-5 on the reference container.  These
+#: are deliberately constants, not re-measured: they pin the project's
+#: starting point so ``speedup_vs_seed`` is meaningful across machines of
+#: the same class.  ``embed`` has no entry because the CMR router is
+#: unchanged since the seed.
+SEED_BASELINE_SECONDS: dict[str, float | None] = {
+    "sa_sample": 0.09325,
+    "energies": 0.78107,
+    "brute_force": 0.31469,
+    "embed": None,
+    "sweep": 0.24968,
+}
+
+
+# --------------------------------------------------------------------- #
+# Reference workloads
+# --------------------------------------------------------------------- #
+def _sa_sample(check: bool):
+    from repro.annealer import SimulatedAnnealingSampler, geometric_schedule
+    from repro.qubo import random_ising
+
+    model = random_ising(14, density=0.6, rng=42)
+    if check:
+        sampler = SimulatedAnnealingSampler(geometric_schedule(8))
+
+        def op():
+            sampler.sample(model, num_reads=4, rng=0)
+
+        return op, "n=14 d=0.6 ising, 8 sweeps, 4 reads, 1 call (check)"
+
+    sampler = SimulatedAnnealingSampler(geometric_schedule(64))
+
+    def op():
+        for k in range(8):
+            sampler.sample(model, num_reads=64, rng=k)
+
+    return op, "n=14 d=0.6 ising, 64 sweeps, 64 reads, 8 calls (Eq.-6 batch shape)"
+
+
+def _energies(check: bool):
+    from repro.qubo import random_ising
+
+    model = random_ising(64, density=0.3, rng=7)
+    k = 64 if check else 4096
+    calls = 1 if check else 20
+    S = (np.random.default_rng(0).integers(0, 2, size=(k, 64)) * 2 - 1).astype(np.int8)
+
+    def op():
+        for _ in range(calls):
+            model.energies(S)
+
+    return op, f"n=64 d=0.3 ising, batch {k}, {calls} calls"
+
+
+def _brute_force(check: bool):
+    from repro.qubo import brute_force_ising, random_ising
+
+    n = 8 if check else 18
+    model = random_ising(n, density=0.4, rng=3)
+
+    def op():
+        brute_force_ising(model, num_best=8)
+
+    return op, f"n={n} d=0.4 ising, num_best=8, full enumeration"
+
+
+def _embed(check: bool):
+    import networkx as nx
+
+    from repro.embedding import find_embedding_cmr, minimal_clique_topology
+
+    n = 4 if check else 8
+    source = nx.complete_graph(n)
+    hardware = minimal_clique_topology(n).working_graph()
+
+    def op():
+        find_embedding_cmr(source, hardware, rng=0)
+
+    return op, f"CMR K{n} into minimal clique Chimera, fixed rng"
+
+
+def _sweep(check: bool):
+    from repro.core import SplitExecutionModel
+
+    model = SplitExecutionModel()
+    points = np.arange(1, 51 if check else 2001)
+    calls = 1 if check else 10
+
+    def op():
+        for _ in range(calls):
+            model.sweep_arrays(points)
+
+    return op, f"Fig.-9 sweep, {points.size} LPS points, {calls} calls"
+
+
+KERNELS = {
+    "sa_sample": _sa_sample,
+    "energies": _energies,
+    "brute_force": _brute_force,
+    "embed": _embed,
+    "sweep": _sweep,
+}
+
+
+# --------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------- #
+def _time(op, repeats: int) -> tuple[float, float]:
+    """Best and median wall-clock seconds over ``repeats`` runs (1 warmup)."""
+    op()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        op()
+        samples.append(time.perf_counter() - t0)
+    return min(samples), statistics.median(samples)
+
+
+def run(check: bool = False, repeats: int = 5) -> dict:
+    """Execute every kernel and return the ``BENCH_PERF.json`` report dict."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    kernels = {}
+    for name, factory in KERNELS.items():
+        op, workload = factory(check)
+        if check:
+            t0 = time.perf_counter()
+            op()
+            best = median = time.perf_counter() - t0
+            reps = 1
+        else:
+            best, median = _time(op, repeats)
+            reps = repeats
+        seed = SEED_BASELINE_SECONDS.get(name) if not check else None
+        kernels[name] = {
+            "seconds": best,
+            "median_seconds": median,
+            "repeats": reps,
+            "workload": workload,
+            "seed_seconds": seed,
+            "speedup_vs_seed": (seed / best) if seed else None,
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "check" if check else "full",
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "kernels": kernels,
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the BENCH_PERF schema."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    for key, typ in (
+        ("schema_version", int),
+        ("mode", str),
+        ("created_unix", (int, float)),
+        ("python", str),
+        ("numpy", str),
+        ("platform", str),
+        ("kernels", dict),
+    ):
+        if key not in report:
+            raise ValueError(f"missing top-level key {key!r}")
+        if not isinstance(report[key], typ):
+            raise ValueError(f"key {key!r} must be {typ}, got {type(report[key])}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(f"schema_version must be {SCHEMA_VERSION}")
+    if report["mode"] not in ("full", "check"):
+        raise ValueError(f"mode must be 'full' or 'check', got {report['mode']!r}")
+    kernels = report["kernels"]
+    if len(kernels) < 5:
+        raise ValueError(f"expected >= 5 named kernels, got {sorted(kernels)}")
+    for name, entry in kernels.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"kernel {name!r} entry must be an object")
+        for key, typ in (
+            ("seconds", (int, float)),
+            ("median_seconds", (int, float)),
+            ("repeats", int),
+            ("workload", str),
+        ):
+            if key not in entry:
+                raise ValueError(f"kernel {name!r} missing {key!r}")
+            if not isinstance(entry[key], typ):
+                raise ValueError(f"kernel {name!r} key {key!r} has wrong type")
+        if entry["seconds"] <= 0 or entry["median_seconds"] <= 0:
+            raise ValueError(f"kernel {name!r} timings must be positive")
+        for key in ("seed_seconds", "speedup_vs_seed"):
+            if key not in entry:
+                raise ValueError(f"kernel {name!r} missing {key!r}")
+            if entry[key] is not None and not isinstance(entry[key], (int, float)):
+                raise ValueError(f"kernel {name!r} key {key!r} has wrong type")
+
+
+def _format_report(report: dict) -> str:
+    lines = [f"{'kernel':<12} {'seconds':>12} {'vs seed':>9}  workload"]
+    for name, e in report["kernels"].items():
+        speedup = f"{e['speedup_vs_seed']:.2f}x" if e["speedup_vs_seed"] else "-"
+        lines.append(f"{name:<12} {e['seconds']:>12.6f} {speedup:>9}  {e['workload']}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf_harness", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="smoke mode: run each kernel once on a tiny workload and "
+        "validate the report schema without writing BENCH_PERF.json",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repetitions per kernel (full mode)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"output path (default: {DEFAULT_OUTPUT}; ignored in --check mode)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    report = run(check=args.check, repeats=args.repeats)
+    validate_report(report)
+    print(_format_report(report))
+    if args.check:
+        print("perf_harness --check: schema OK, nothing written")
+        return 0
+    output = args.output or DEFAULT_OUTPUT
+    output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,18 +16,56 @@ effect the statistical test suite reproduces.  Glauber probabilities are
 strictly inside (0, 1) at finite beta, which restores ergodicity while
 preserving the same stationary distribution per single-spin kernel.
 
-Implementation notes (per the project's HPC guides): all ``num_reads``
-replicas are annealed simultaneously as one ``(reads, spins)`` array; spins
-are updated color-class by color-class (a greedy proper coloring of the
-interaction graph) so that each update step is a dense-sparse matrix product
-instead of a Python-level loop over spins.  Chimera graphs are bipartite, so
-embedded problems need exactly two color classes per sweep.
+Implementation notes (per the project's HPC guides and DESIGN.md's
+"Performance architecture"): all ``num_reads`` replicas are annealed
+simultaneously as one state matrix; spins are updated color-class by
+color-class (a greedy proper coloring of the interaction graph) so that each
+update step is a dense-sparse matrix product instead of a Python-level loop
+over spins.  Chimera graphs are bipartite, so embedded problems need exactly
+two color classes per sweep.  The per-model sweep structure — the CSR
+coupling matrix, the coloring, and the per-class coupling blocks in a
+spin-permuted layout that makes every class a *contiguous* row block of the
+state matrix — is memoized on the immutable :class:`IsingModel`, so repeated
+``sample()`` calls on one model (the paper's Eq.-6 repetition batches) pay
+for structure exactly once.  Per-sweep uniforms are drawn with a single
+generator call into a preallocated buffer, and acceptance probabilities use
+``scipy.special.expit``.  The permuted coupling blocks keep each row's
+stored entries in the *original* column order, so every floating-point
+accumulation matches the pre-optimization implementation bit for bit — for
+a fixed seed the sampler returns bit-identical samples (pinned by the
+golden-seed reproducibility tests).
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import numpy as np
+import scipy.sparse as sp
+from scipy.special import expit
+
+def _probe_csr_matvecs():
+    """Import scipy's private CSR multivector kernel, or ``None`` to fall back.
+
+    ``csr_matvecs`` carries no API-stability promise, so a tiny smoke
+    multiplication guards against signature drift as well as removal; any
+    failure downgrades every sweep to the public ``csr @ dense`` path.
+    """
+    try:  # pragma: no cover - exercised indirectly; absence is a soft fallback
+        from scipy.sparse._sparsetools import csr_matvecs
+
+        y = np.zeros(2)
+        csr_matvecs(
+            1, 1, 2,
+            np.array([0, 1], dtype=np.int64), np.array([0], dtype=np.int64),
+            np.array([2.0]), np.array([3.0, 4.0]), y,
+        )
+        if not np.array_equal(y, [6.0, 8.0]):
+            return None
+        return csr_matvecs
+    except Exception:  # pragma: no cover
+        return None
+
+
+_csr_matvecs = _probe_csr_matvecs()
 
 from .._rng import as_rng
 from ..exceptions import SamplerError
@@ -43,15 +81,115 @@ def color_classes(model: IsingModel) -> list[np.ndarray]:
     """Greedy proper coloring of the interaction graph, as index arrays.
 
     Spins within one class share no coupling, so they can be updated
-    simultaneously without biasing the Metropolis dynamics.
+    simultaneously without biasing the single-spin dynamics.  The coloring
+    is memoized on the (immutable) model; see
+    :meth:`repro.qubo.ising.IsingModel.color_classes`.
     """
-    g = model.graph()
-    coloring = nx.greedy_color(g, strategy="largest_first")
-    num_colors = 1 + max(coloring.values(), default=0)
-    classes: list[list[int]] = [[] for _ in range(num_colors)]
-    for node, color in coloring.items():
-        classes[color].append(node)
-    return [np.asarray(sorted(c), dtype=np.intp) for c in classes if c]
+    return list(model.color_classes())
+
+
+class _SweepPlan:
+    """Per-model sweep structure, computed once and memoized on the model.
+
+    Attributes
+    ----------
+    perm:
+        Spin permutation concatenating the color classes, so class ``k``
+        occupies the contiguous row block ``starts[k]:starts[k+1]`` of the
+        permuted ``(n, num_reads)`` state matrix.
+    h_cols:
+        Permuted local fields as an ``(n, 1)`` column, ready to broadcast.
+    blocks:
+        Per-class CSR fragments ``(indptr, indices, data, csr)`` of the
+        symmetric coupling matrix: rows are the class spins (ascending, as
+        in the unpermuted implementation), columns live in the permuted
+        space.  Each row's stored entries keep the original ascending-column
+        data order, which keeps every dot-product accumulation bit-identical
+        to the unpermuted CSR products.  ``None`` for coupling-free models.
+    """
+
+    __slots__ = ("n", "perm", "starts", "h_cols", "blocks", "_workspaces")
+
+    def __init__(self, model: IsingModel):
+        classes = model.color_classes()
+        n = model.num_spins
+        self.n = n
+        self.perm = np.concatenate(classes) if classes else np.arange(0, dtype=np.intp)
+        sizes = [c.size for c in classes]
+        self.starts = np.concatenate([[0], np.cumsum(sizes)]).astype(np.intp)
+        self.h_cols = np.ascontiguousarray(model.h[self.perm])[:, None]
+
+        if model.num_interactions:
+            inv = np.empty(n, dtype=self.perm.dtype)
+            inv[self.perm] = np.arange(n, dtype=self.perm.dtype)
+            rows_p = model.adjacency_csr()[self.perm, :]
+            indices_p = inv[rows_p.indices]
+            self.blocks = []
+            for k in range(len(classes)):
+                lo, hi = self.starts[k], self.starts[k + 1]
+                p0, p1 = rows_p.indptr[lo], rows_p.indptr[hi]
+                indptr = (rows_p.indptr[lo : hi + 1] - p0).astype(np.int64)
+                indices = indices_p[p0:p1].astype(np.int64)
+                data = rows_p.data[p0:p1]
+                csr = sp.csr_array((data, indices, indptr), shape=(hi - lo, n))
+                self.blocks.append((indptr, indices, data, csr))
+        else:
+            self.blocks = None
+        self._workspaces: dict[int, _Workspace] = {}
+
+    #: Workspaces kept per plan.  Bounds memory when one long-lived model is
+    #: sampled with many distinct read counts (a reads-scaling study): only
+    #: the most recently used few buffer sets stay alive.
+    _MAX_WORKSPACES = 4
+
+    def workspace(self, num_reads: int) -> "_Workspace":
+        """The (cached, LRU-bounded) per-read-count buffer set for sweeps."""
+        ws = self._workspaces.pop(num_reads, None)
+        if ws is None:
+            if len(self._workspaces) >= self._MAX_WORKSPACES:
+                self._workspaces.pop(next(iter(self._workspaces)))
+            ws = _Workspace(self, num_reads)
+        self._workspaces[num_reads] = ws  # reinsert: dict order is LRU order
+        return ws
+
+
+class _Workspace:
+    """Preallocated sweep buffers for one ``(model, num_reads)`` shape.
+
+    Holds the permuted ``(n, num_reads)`` state matrix, the per-sweep
+    uniform buffer, and one step tuple per color class bundling everything
+    the inner loop touches (state block view, field/probability buffer,
+    uniform view, permuted fields, CSR fragment).  Cached on the
+    :class:`_SweepPlan`, so repeated same-shape ``sample()`` calls allocate
+    nothing in the sweep loop.  ``sample()`` is synchronous and rewrites the
+    state buffer on entry; the cache is not guarded against concurrent calls
+    on one model from multiple threads (nothing in the sampler is).
+    """
+
+    __slots__ = ("Sp", "Sp_flat", "U", "steps")
+
+    def __init__(self, plan: _SweepPlan, num_reads: int):
+        n = plan.n
+        starts, blocks = plan.starts, plan.blocks
+        self.Sp = np.empty((n, num_reads), dtype=np.float64)
+        self.Sp_flat = self.Sp.reshape(-1)
+        self.U = np.empty(num_reads * n, dtype=np.float64)
+        self.steps = []
+        for k in range(starts.shape[0] - 1):
+            lo, hi = starts[k], starts[k + 1]
+            F = np.empty((hi - lo, num_reads))
+            # Transposed view so element (spin, read) matches the
+            # (read, spin) draw order of the reference implementation.
+            u_view = (
+                self.U[lo * num_reads : hi * num_reads]
+                .reshape(num_reads, hi - lo)
+                .T
+            )
+            block = blocks[k] if blocks is not None else None
+            self.steps.append(
+                (hi - lo, self.Sp[lo:hi], F, F.reshape(-1), u_view,
+                 plan.h_cols[lo:hi], block)
+            )
 
 
 class SimulatedAnnealingSampler(Sampler):
@@ -121,33 +259,48 @@ class SimulatedAnnealingSampler(Sampler):
                 np.int8
             )
 
-        h = model.h
-        classes = color_classes(model)
-        # Per-class coupling blocks, precomputed once: rows of the symmetric
-        # coupling matrix restricted to the class, in CSR for fast
-        # sparse @ dense products inside the sweep loop.
-        if model.num_interactions:
-            M = model.adjacency_csr()
-            blocks = [M[cls, :] for cls in classes]
-        else:
-            blocks = [None] * len(classes)
+        plan: _SweepPlan = model._memo("sa_sweep_plan", lambda: _SweepPlan(model))
 
-        Sf = S.astype(np.float64)
+        # Cached buffers for this (model, num_reads) shape: the sweep loop
+        # below touches only preallocated arrays and views.
+        ws = plan.workspace(num_reads)
+        Sp, Sp_flat, U, steps = ws.Sp, ws.Sp_flat, ws.U, ws.steps
+        # Permuted state: class k is the contiguous row block of Sp given by
+        # the plan's starts; int8 -> float64 conversion happens in-place.
+        Sp[...] = S.T[plan.perm]
+
+        fill = np.copyto  # np.copyto(F, 0.0) ~ F.fill(0.0), bound once
         for beta in sched.betas:
-            for cls, blk in zip(classes, blocks):
-                # Local field on the class spins: f_i = h_i + sum_j M_ij s_j.
-                if blk is not None:
-                    f = (blk @ Sf.T).T + h[cls]
+            gen.random(out=U)
+            # Glauber acceptance is p = expit(2 * beta * s * (h + M s));
+            # doubling is exact, so the single fused scale below matches the
+            # reference's dE = -2 s (h + M s), p = expit(-beta * dE) bit for
+            # bit.
+            scale = 2.0 * beta
+            for csize, Sk, F, F_flat, u_view, h_col, block in steps:
+                if block is not None:
+                    indptr, indices, data, csr = block
+                    if _csr_matvecs is not None:
+                        fill(F, 0.0)
+                        _csr_matvecs(
+                            csize, n, num_reads, indptr, indices, data,
+                            Sp_flat, F_flat,
+                        )
+                    else:
+                        F[...] = csr @ Sp
+                    F += h_col
+                    np.multiply(Sk, F, out=F)
                 else:
-                    f = np.broadcast_to(h[cls], (num_reads, cls.size))
-                dE = -2.0 * Sf[:, cls] * f
-                # Heat-bath (Glauber) acceptance: p = 1 / (1 + exp(beta*dE)),
-                # computed stably via clipping.
-                u = gen.random((num_reads, cls.size))
-                p_accept = 1.0 / (1.0 + np.exp(np.clip(beta * dE, -700.0, 700.0)))
-                flip = np.where(u < p_accept, -1.0, 1.0)
-                Sf[:, cls] *= flip
+                    np.multiply(Sk, h_col, out=F)
+                F *= scale
+                expit(F, out=F)
+                # flip = copysign(1, u - p): -1 exactly where u < p (ties
+                # u == p give +0 -> +1, matching the reference's strict <).
+                np.subtract(u_view, F, out=F)
+                np.copysign(1.0, F, out=F)
+                Sk *= F
 
-        final = Sf.astype(np.int8)
+        final = np.empty((num_reads, n), dtype=np.int8)
+        final[:, plan.perm] = Sp.T
         out = SampleSet.from_samples(model, final)
         return out.aggregated() if aggregate else out

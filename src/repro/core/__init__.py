@@ -15,7 +15,7 @@ from .calibration import (
     model_measured_ratios,
 )
 from .machine_params import XEON_E5_2680, HostMachineParams
-from .pipeline import SplitExecutionModel, StageTimings
+from .pipeline import SplitExecutionModel, StageTimings, SweepArrays
 from .repetition import (
     achieved_accuracy,
     required_repetitions,
@@ -24,9 +24,9 @@ from .repetition import (
 from .report import format_seconds, format_series, format_table
 from .scaling import crossover_point, loglog_slope, series, stage_dominance_table
 from .sensitivity import elasticity, model_elasticities
-from .stage1 import Stage1Breakdown, Stage1Model
+from .stage1 import Stage1ArrayBreakdown, Stage1Breakdown, Stage1Model
 from .stage2 import Stage2Breakdown, Stage2Model
-from .stage3 import Stage3Breakdown, Stage3Model
+from .stage3 import Stage3ArrayBreakdown, Stage3Breakdown, Stage3Model
 
 __all__ = [
     "required_repetitions",
@@ -36,12 +36,15 @@ __all__ = [
     "XEON_E5_2680",
     "Stage1Model",
     "Stage1Breakdown",
+    "Stage1ArrayBreakdown",
     "Stage2Model",
     "Stage2Breakdown",
     "Stage3Model",
     "Stage3Breakdown",
+    "Stage3ArrayBreakdown",
     "SplitExecutionModel",
     "StageTimings",
+    "SweepArrays",
     "AspenStageModels",
     "series",
     "loglog_slope",

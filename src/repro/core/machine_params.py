@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import ValidationError
 
 __all__ = ["HostMachineParams", "XEON_E5_2680"]
@@ -56,15 +58,19 @@ class HostMachineParams:
         return self.clock_hz * self.simd_sp_lanes * self.fmad_factor
 
     # -- data movement ---------------------------------------------------- #
-    def memory_seconds(self, num_bytes: float) -> float:
-        """Time to stream ``num_bytes`` through main memory."""
-        if num_bytes < 0:
+    def memory_seconds(self, num_bytes):
+        """Time to stream ``num_bytes`` through main memory.
+
+        Accepts a scalar or an ndarray of byte counts (the array form backs
+        the vectorized Fig. 9 sweeps); the return type matches the input.
+        """
+        if np.any(np.asarray(num_bytes) < 0):
             raise ValidationError("byte counts must be non-negative")
         return num_bytes / self.memory_bandwidth_bytes_per_s
 
-    def pcie_seconds(self, num_bytes: float) -> float:
-        """Latency plus transfer time for one PCIe crossing."""
-        if num_bytes < 0:
+    def pcie_seconds(self, num_bytes):
+        """Latency plus transfer time for one PCIe crossing (scalar or ndarray)."""
+        if np.any(np.asarray(num_bytes) < 0):
             raise ValidationError("byte counts must be non-negative")
         return self.pcie_latency_s + num_bytes / self.pcie_bandwidth_bytes_per_s
 

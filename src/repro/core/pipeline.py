@@ -16,13 +16,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from ..exceptions import ValidationError
 from ..runtime.layers import RequestProfile
-from .stage1 import Stage1Breakdown, Stage1Model
+from .stage1 import Stage1ArrayBreakdown, Stage1Breakdown, Stage1Model
 from .stage2 import Stage2Breakdown, Stage2Model
-from .stage3 import Stage3Breakdown, Stage3Model
+from .stage3 import Stage3ArrayBreakdown, Stage3Breakdown, Stage3Model
 
-__all__ = ["StageTimings", "SplitExecutionModel"]
+__all__ = ["StageTimings", "SweepArrays", "SplitExecutionModel"]
 
 _EMBEDDING_MODES = ("online", "offline")
 
@@ -80,6 +82,66 @@ class StageTimings:
             "stage2": self.stage2.total / total,
             "stage3": self.stage3.total / total,
         }
+
+
+@dataclass(frozen=True)
+class SweepArrays:
+    """Struct-of-arrays predictions across a whole range of problem sizes.
+
+    The vectorized counterpart of ``[StageTimings, ...]`` returned by
+    :meth:`SplitExecutionModel.sweep`: every per-point quantity is an
+    ndarray aligned with ``lps``, computed with the same floating-point
+    operation sequence as the scalar path, so
+    ``sweep_arrays(ns).total_seconds[i] == sweep(ns)[i].total_seconds``
+    exactly.  Stage 2 depends only on ``(accuracy, success)`` and is a
+    single shared scalar breakdown.
+    """
+
+    lps: np.ndarray
+    accuracy: float
+    success: float
+    stage1: Stage1ArrayBreakdown
+    stage2: Stage2Breakdown
+    stage3: Stage3ArrayBreakdown
+    embedding_mode: str = "online"
+
+    @property
+    def stage1_seconds(self) -> np.ndarray:
+        return self.stage1.total
+
+    @property
+    def stage2_seconds(self) -> float:
+        return self.stage2.total
+
+    @property
+    def stage3_seconds(self) -> np.ndarray:
+        return self.stage3.total
+
+    @property
+    def total_seconds(self) -> np.ndarray:
+        return self.stage1.total + self.stage2.total + self.stage3.total
+
+    @property
+    def quantum_fraction(self) -> np.ndarray:
+        """Fraction of the total spent in quantum execution (Stage 2)."""
+        total = self.total_seconds
+        out = np.zeros_like(total)
+        np.divide(self.stage2.total, total, out=out, where=total > 0)
+        return out
+
+    def dominant_stage(self) -> np.ndarray:
+        """Per-point dominating stage, with the scalar path's tie-breaking
+        (earlier stages win ties)."""
+        s1, s3 = self.stage1.total, self.stage3.total
+        s2 = self.stage2.total
+        return np.where(
+            s3 > np.maximum(s1, s2),
+            "stage3",
+            np.where(s2 > s1, "stage2", "stage1"),
+        )
+
+    def __len__(self) -> int:
+        return int(self.lps.shape[0])
 
 
 @dataclass(frozen=True)
@@ -151,8 +213,52 @@ class SplitExecutionModel:
         accuracy: float = 0.99,
         success: float = 0.7,
     ) -> list[StageTimings]:
-        """Predictions across a range of problem sizes (the Fig. 9 x-axes)."""
+        """Predictions across a range of problem sizes (the Fig. 9 x-axes).
+
+        For large scans prefer :meth:`sweep_arrays`, which produces the same
+        numbers (bit for bit) in struct-of-arrays form without per-point
+        Python objects.
+        """
         return [self.time_to_solution(int(n), accuracy, success) for n in lps_values]
+
+    def _stage1_breakdown_arrays(self, lps: np.ndarray) -> Stage1ArrayBreakdown:
+        b = self.stage1.breakdown_arrays(lps)
+        if self.embedding_mode == "online":
+            return b
+        # Offline: replace the embedding computation with a table lookup
+        # charged LPS^2 comparison flops (graph-signature matching).
+        lookup_seconds = lps.astype(np.float64) ** 2 / self.stage1.host.flops_sp
+        return replace(b, embedding_flops=lookup_seconds)
+
+    def sweep_arrays(
+        self,
+        lps_values,
+        accuracy: float = 0.99,
+        success: float = 0.7,
+    ) -> SweepArrays:
+        """Vectorized :meth:`sweep`: one struct-of-arrays result for the scan.
+
+        This is the fast path for Fig. 9-style scans over thousands of LPS
+        operating points: Stage 1 and Stage 3 evaluate as whole-array
+        expressions and Stage 2 (independent of LPS) is computed once.
+        Every element matches the corresponding scalar
+        :meth:`time_to_solution` exactly.
+        """
+        lps = np.asarray(lps_values)
+        if lps.ndim != 1:
+            raise ValidationError(f"lps_values must be 1-D, got shape {lps.shape}")
+        if not np.issubdtype(lps.dtype, np.integer):
+            # Mirror the scalar path's int(n) truncation.
+            lps = lps.astype(np.intp)
+        return SweepArrays(
+            lps=lps,
+            accuracy=accuracy,
+            success=success,
+            stage1=self._stage1_breakdown_arrays(lps),
+            stage2=self.stage2.breakdown(accuracy, success),
+            stage3=self.stage3.breakdown_arrays(lps, accuracy, success),
+            embedding_mode=self.embedding_mode,
+        )
 
     # ------------------------------------------------------------------ #
     # Analysis

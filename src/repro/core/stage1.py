@@ -22,13 +22,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..embedding.cmr import cmr_embedding_ops
 from ..exceptions import ValidationError
 from ..hardware.chimera import chimera_edge_count, chimera_node_count
 from ..hardware.timing import DW2_TIMING, DWaveTimingModel
 from .machine_params import XEON_E5_2680, HostMachineParams
 
-__all__ = ["Stage1Breakdown", "Stage1Model"]
+__all__ = ["Stage1Breakdown", "Stage1ArrayBreakdown", "Stage1Model"]
 
 _INPUT_ELEMENT_BYTES = 4.0  # single-precision values, as in the listing
 
@@ -59,6 +61,43 @@ class Stage1Breakdown:
 
     @property
     def classical_translation(self) -> float:
+        """Everything except the constant hardware initialization."""
+        return self.total - self.processor_initialize
+
+
+@dataclass(frozen=True)
+class Stage1ArrayBreakdown:
+    """Stage-1 contributions for a whole array of problem sizes at once.
+
+    The struct-of-arrays counterpart of :class:`Stage1Breakdown`: every field
+    is an ndarray aligned with the ``lps`` axis, and every element is
+    computed with the same floating-point operation sequence as the scalar
+    path, so ``breakdown_arrays(lps)[i] == breakdown(lps[i])`` exactly.
+    """
+
+    lps: np.ndarray
+    ising_generation: np.ndarray
+    parameter_setting: np.ndarray
+    embedding_flops: np.ndarray
+    input_loads: np.ndarray
+    output_stores: np.ndarray
+    intracomm: np.ndarray
+    processor_initialize: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        return (
+            self.ising_generation
+            + self.parameter_setting
+            + self.embedding_flops
+            + self.input_loads
+            + self.output_stores
+            + self.intracomm
+            + self.processor_initialize
+        )
+
+    @property
+    def classical_translation(self) -> np.ndarray:
         """Everything except the constant hardware initialization."""
         return self.total - self.processor_initialize
 
@@ -149,6 +188,50 @@ class Stage1Model:
             ),
             intracomm=self.host.pcie_seconds(eg * _INPUT_ELEMENT_BYTES),
             processor_initialize=self.timing.processor_initialize_s,
+        )
+
+    def breakdown_arrays(self, lps: np.ndarray) -> Stage1ArrayBreakdown:
+        """Vectorized :meth:`breakdown` over an integer array of problem sizes.
+
+        Element ``i`` reproduces ``breakdown(lps[i])`` exactly (same
+        floating-point operation sequence); this is the fast path behind
+        ``SplitExecutionModel.sweep_arrays`` for Fig. 9-style scans over
+        thousands of LPS points.
+        """
+        lps = np.asarray(lps)
+        if not np.issubdtype(lps.dtype, np.integer):
+            raise ValidationError(f"lps array must be integer-typed, got {lps.dtype}")
+        if lps.size and np.min(lps) < 0:
+            raise ValidationError("problem sizes must be non-negative")
+        # Widen before the lps*(lps-1) product: a narrow input dtype (int32
+        # and below) would silently wrap for lps >= 2^16ish.
+        lps64 = lps.astype(np.int64)
+        nh = lps64.astype(np.float64)
+        eh = (lps64 * (lps64 - 1) // 2).astype(np.float64)
+        ng = self.hardware_nodes
+        eg = self.hardware_edges
+
+        # Worst-case CMR operation count, mirroring cmr_embedding_ops term
+        # by term so scalar and array paths round identically.
+        log_ng = float(np.log(ng)) if ng > 1 else 0.0
+        embedding_ops = (eg + ng * log_ng) * (2.0 * eh) * nh * ng
+
+        embed_rate = self.host.flops_sp_simd * self.embed_rate_scale
+        return Stage1ArrayBreakdown(
+            lps=lps,
+            ising_generation=nh**2 / self.host.flops_sp_fmad_simd,
+            parameter_setting=nh**3 / self.host.flops_sp_fmad_simd,
+            embedding_flops=embedding_ops / embed_rate,
+            input_loads=self.host.memory_seconds(eh * _INPUT_ELEMENT_BYTES),
+            output_stores=self.host.memory_seconds(
+                nh * _INPUT_ELEMENT_BYTES + eg * _INPUT_ELEMENT_BYTES
+            ),
+            intracomm=np.broadcast_to(
+                self.host.pcie_seconds(eg * _INPUT_ELEMENT_BYTES), lps.shape
+            ),
+            processor_initialize=np.broadcast_to(
+                self.timing.processor_initialize_s, lps.shape
+            ),
         )
 
     def seconds(self, lps: int) -> float:

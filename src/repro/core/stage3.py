@@ -13,11 +13,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..exceptions import ValidationError
 from .machine_params import XEON_E5_2680, HostMachineParams
 from .repetition import required_repetitions
 
-__all__ = ["Stage3Breakdown", "Stage3Model"]
+__all__ = ["Stage3Breakdown", "Stage3ArrayBreakdown", "Stage3Model"]
 
 _ELEMENT_BYTES = 4.0
 
@@ -33,6 +35,27 @@ class Stage3Breakdown:
 
     @property
     def total(self) -> float:
+        return self.sort_flops + self.loads + self.stores
+
+
+@dataclass(frozen=True)
+class Stage3ArrayBreakdown:
+    """Stage-3 contributions for a whole array of problem sizes at once.
+
+    The ensemble size and sort cost depend only on ``(accuracy, success)``,
+    so they are scalars shared across the ``lps`` axis; only the ensemble
+    load time varies with the problem size.  Element-wise identical to the
+    scalar :class:`Stage3Breakdown` (same floating-point operation order).
+    """
+
+    lps: np.ndarray
+    results: int
+    sort_flops: np.ndarray
+    loads: np.ndarray
+    stores: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
         return self.sort_flops + self.loads + self.stores
 
 
@@ -81,6 +104,32 @@ class Stage3Model:
             sort_flops=self.sort_ops(r) / self.host.flops_sp,
             loads=self.host.memory_seconds(r * _ELEMENT_BYTES * lps),
             stores=self.host.memory_seconds(r * 1.0),
+        )
+
+    def breakdown_arrays(
+        self,
+        lps: np.ndarray,
+        accuracy: float | None = None,
+        success: float | None = None,
+    ) -> Stage3ArrayBreakdown:
+        """Vectorized :meth:`breakdown` over an integer array of problem sizes.
+
+        Element ``i`` reproduces ``breakdown(lps[i], accuracy, success)``
+        exactly.
+        """
+        lps = np.asarray(lps)
+        if not np.issubdtype(lps.dtype, np.integer):
+            raise ValidationError(f"lps array must be integer-typed, got {lps.dtype}")
+        if lps.size and np.min(lps) < 0:
+            raise ValidationError("problem sizes must be non-negative")
+        r = self.results(accuracy, success)
+        sort_seconds = self.sort_ops(r) / self.host.flops_sp
+        return Stage3ArrayBreakdown(
+            lps=lps,
+            results=r,
+            sort_flops=np.broadcast_to(sort_seconds, lps.shape),
+            loads=self.host.memory_seconds(r * _ELEMENT_BYTES * lps.astype(np.float64)),
+            stores=np.broadcast_to(self.host.memory_seconds(r * 1.0), lps.shape),
         )
 
     def seconds(

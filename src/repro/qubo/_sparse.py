@@ -1,0 +1,73 @@
+"""Shared sparse-coefficient helpers for :class:`Qubo` and :class:`IsingModel`.
+
+Both classes store their pairwise terms as parallel ``(rows, cols, vals)``
+arrays in lexicographic ``(rows, cols)`` order with unique ``rows < cols``
+pairs, and both derive the same symmetric CSR matrix for the hot kernels.
+Keeping the normalization and CSR construction here keeps the two classes
+bit-for-bit consistent (see DESIGN.md, "Performance architecture").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["normalize_coupling_arrays", "build_symmetric_csr"]
+
+
+def normalize_coupling_arrays(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    what: str = "coupling",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and canonicalize pairwise-term arrays for ``n`` variables.
+
+    Returns fresh ``(rows, cols, vals)`` copies in lexicographic
+    ``(rows, cols)`` order with duplicate pairs accumulated — the same
+    normalization the dict-based constructors apply.  Raises
+    :class:`ValidationError` on shape/range/ordering violations.
+    """
+    r = np.asarray(rows, dtype=np.intp).copy()
+    c = np.asarray(cols, dtype=np.intp).copy()
+    v = np.asarray(vals, dtype=np.float64).copy()
+    if not (r.ndim == c.ndim == v.ndim == 1 and r.size == c.size == v.size):
+        raise ValidationError(
+            f"rows/cols/vals must be equal-length 1-D arrays, got "
+            f"{r.shape}/{c.shape}/{v.shape}"
+        )
+    if r.size:
+        if not np.all(r < c):
+            raise ValidationError(f"{what} arrays require rows < cols element-wise")
+        if np.min(r) < 0 or np.max(c) >= n:
+            raise ValidationError(f"{what} indices out of range for n={n}")
+        # Canonical storage is lexicographic (rows, cols) with unique pairs;
+        # repair the input only when needed.
+        lex_sorted = bool(
+            np.all((r[1:] > r[:-1]) | ((r[1:] == r[:-1]) & (c[1:] > c[:-1])))
+        )
+        if not lex_sorted:
+            order = np.lexsort((c, r))
+            r, c, v = r[order], c[order], v[order]
+            dup = np.zeros(r.size, dtype=bool)
+            dup[1:] = (r[1:] == r[:-1]) & (c[1:] == c[:-1])
+            if dup.any():
+                starts = np.flatnonzero(~dup)
+                v = np.add.reduceat(v, starts)
+                r, c = r[starts], c[starts]
+    return r, c, v
+
+
+def build_symmetric_csr(n: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray):
+    """Symmetric ``(n, n)`` ``scipy.sparse.csr_array`` with both triangles filled."""
+    import scipy.sparse as sp
+
+    return sp.csr_array(
+        (
+            np.concatenate([vals, vals]),
+            (np.concatenate([rows, cols]), np.concatenate([cols, rows])),
+        ),
+        shape=(n, n),
+    )

@@ -58,12 +58,18 @@ def random_qubo(
         raise ValidationError(f"density must lie in [0, 1], got {density}")
     gen = as_rng(rng)
     linear = gen.uniform(-scale, scale, size=n)
-    quadratic: dict[tuple[int, int], float] = {}
+    # Terms are generated in lexicographic order, so from_arrays adopts the
+    # arrays without re-sorting (and without the per-term dict round-trip).
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
     for i in range(n):
         for j in range(i + 1, n):
             if density >= 1.0 or gen.random() < density:
-                quadratic[(i, j)] = float(gen.uniform(-scale, scale))
-    return Qubo(linear, quadratic)
+                rows.append(i)
+                cols.append(j)
+                vals.append(float(gen.uniform(-scale, scale)))
+    return Qubo.from_arrays(linear, rows, cols, vals)
 
 
 def random_ising(
@@ -78,12 +84,16 @@ def random_ising(
         raise ValidationError(f"density must lie in [0, 1], got {density}")
     gen = as_rng(rng)
     h = gen.uniform(-h_scale, h_scale, size=n)
-    J: dict[tuple[int, int], float] = {}
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
     for i in range(n):
         for j in range(i + 1, n):
             if density >= 1.0 or gen.random() < density:
-                J[(i, j)] = float(gen.uniform(-j_scale, j_scale))
-    return IsingModel(h, J)
+                rows.append(i)
+                cols.append(j)
+                vals.append(float(gen.uniform(-j_scale, j_scale)))
+    return IsingModel.from_arrays(h, rows, cols, vals)
 
 
 def _check_simple_graph(graph: nx.Graph) -> list[int]:

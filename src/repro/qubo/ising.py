@@ -9,6 +9,11 @@ overall minus signs, ``H = -sum h Z - sum J ZZ``; the two differ only by the
 sign flip ``(h, J) -> (-h, -J)`` exposed via :meth:`IsingModel.negated`.
 Minimizing the computational energy of ``(h, J)`` is identical to finding
 the ground state of the physical Hamiltonian with parameters ``(-h, -J)``.
+
+Instances are immutable, which the hot kernels exploit: derived structure
+(the symmetric CSR coupling matrix, the greedy interaction-graph coloring)
+is computed lazily once per instance and memoized without any invalidation
+machinery (see DESIGN.md, "Performance architecture").
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from collections.abc import Iterable, Iterator, Mapping
 import numpy as np
 
 from ..exceptions import ValidationError
+from ._sparse import build_symmetric_csr, normalize_coupling_arrays
 
 __all__ = ["IsingModel"]
 
@@ -42,7 +48,7 @@ class IsingModel:
     -2.0
     """
 
-    __slots__ = ("_h", "_rows", "_cols", "_vals", "_offset")
+    __slots__ = ("_h", "_rows", "_cols", "_vals", "_offset", "_cache")
 
     def __init__(
         self,
@@ -75,6 +81,7 @@ class IsingModel:
         for a in (self._rows, self._cols, self._vals):
             a.setflags(write=False)
         self._offset = float(offset)
+        self._cache: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -88,12 +95,29 @@ class IsingModel:
         vals: np.ndarray,
         offset: float = 0.0,
     ) -> "IsingModel":
-        """Build directly from coupling arrays (``rows[k] < cols[k]`` required)."""
-        J = {
-            (int(i), int(j)): float(v)
-            for i, j, v in zip(np.asarray(rows), np.asarray(cols), np.asarray(vals))
-        }
-        return cls(np.asarray(h, dtype=np.float64).copy(), J, offset)
+        """Build directly from coupling arrays (``rows[k] < cols[k]`` required).
+
+        This is the fast constructor used by the optimized kernels and the
+        workload generators: the arrays are validated and adopted directly,
+        with none of the per-coupling Python dict work of ``__init__``.
+        Arrays already in lexicographic ``(rows, cols)`` order with unique
+        pairs are adopted as-is; unsorted or duplicated pairs are sorted and
+        accumulated (matching the ``__init__`` normalization).
+        """
+        hv = np.array(h, dtype=np.float64)
+        if hv.ndim != 1:
+            raise ValidationError(f"h must be 1-D, got shape {hv.shape}")
+        n = hv.shape[0]
+        r, c, v = normalize_coupling_arrays(n, rows, cols, vals, what="coupling")
+
+        obj = cls.__new__(cls)
+        obj._h = hv
+        obj._rows, obj._cols, obj._vals = r, c, v
+        for a in (obj._h, obj._rows, obj._cols, obj._vals):
+            a.setflags(write=False)
+        obj._offset = float(offset)
+        obj._cache = {}
+        return obj
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -145,6 +169,23 @@ class IsingModel:
         return float(np.max(np.abs(self._vals))) if self._vals.size else 0.0
 
     # ------------------------------------------------------------------ #
+    # Memoized derived structure
+    # ------------------------------------------------------------------ #
+    def _memo(self, key: str, factory):
+        """Cache ``factory()`` under ``key`` for the lifetime of the instance.
+
+        Instances are frozen, so memoized derived structure never needs
+        invalidation.  Used by the samplers for the CSR coupling matrix, the
+        interaction-graph coloring, and the per-class sweep layout.
+        """
+        cache = self._cache
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = factory()
+            return value
+
+    # ------------------------------------------------------------------ #
     # Energies
     # ------------------------------------------------------------------ #
     def energy(self, s: Iterable[int] | np.ndarray) -> float:
@@ -152,13 +193,19 @@ class IsingModel:
         return float(self.energies(np.asarray(s, dtype=np.float64)[None, :])[0])
 
     def energies(self, S: np.ndarray) -> np.ndarray:
-        """Vectorized energies of a ``(k, n)`` batch of spin configurations."""
+        """Vectorized energies of a ``(k, n)`` batch of spin configurations.
+
+        The quadratic term is evaluated through the memoized CSR coupling
+        matrix as ``0.5 * sum_i S_i . (M S^T)_i`` — no ``(k, nnz)`` gather
+        temporaries are materialized.
+        """
         S = np.asarray(S, dtype=np.float64)
         if S.ndim != 2 or S.shape[1] != self.num_spins:
             raise ValidationError(f"expected batch shape (k, {self.num_spins}), got {S.shape}")
         e = S @ self._h
         if self._vals.size:
-            e = e + (S[:, self._rows] * S[:, self._cols]) @ self._vals
+            M = self.adjacency_csr()
+            e += 0.5 * np.einsum("ij,ji->i", S, M @ S.T)
         return e + self._offset
 
     # ------------------------------------------------------------------ #
@@ -173,14 +220,37 @@ class IsingModel:
         return M
 
     def adjacency_csr(self):
-        """Symmetric coupling matrix as ``scipy.sparse.csr_array`` (for samplers)."""
-        import scipy.sparse as sp
+        """Symmetric coupling matrix as ``scipy.sparse.csr_array`` (for samplers).
 
-        n = self.num_spins
-        rows = np.concatenate([self._rows, self._cols])
-        cols = np.concatenate([self._cols, self._rows])
-        vals = np.concatenate([self._vals, self._vals])
-        return sp.csr_array((vals, (rows, cols)), shape=(n, n))
+        Memoized on the instance; callers must treat the returned matrix as
+        read-only (copy before mutating).
+        """
+        return self._memo("adjacency_csr", self._build_adjacency_csr)
+
+    def _build_adjacency_csr(self):
+        return build_symmetric_csr(self.num_spins, self._rows, self._cols, self._vals)
+
+    def color_classes(self) -> tuple[np.ndarray, ...]:
+        """Greedy proper coloring of the interaction graph, as index arrays.
+
+        Spins within one class share no coupling, so a sweep may update a
+        whole class simultaneously without biasing the single-spin dynamics.
+        Memoized on the instance; the arrays are read-only.
+        """
+        return self._memo("color_classes", self._build_color_classes)
+
+    def _build_color_classes(self) -> tuple[np.ndarray, ...]:
+        import networkx as nx
+
+        coloring = nx.greedy_color(self.graph(), strategy="largest_first")
+        num_colors = 1 + max(coloring.values(), default=0)
+        classes: list[list[int]] = [[] for _ in range(num_colors)]
+        for node, color in coloring.items():
+            classes[color].append(node)
+        out = tuple(np.asarray(sorted(c), dtype=np.intp) for c in classes if c)
+        for a in out:
+            a.setflags(write=False)
+        return out
 
     def to_qubo(self):
         """Convert to the equivalent :class:`~repro.qubo.qubo.Qubo`."""
@@ -201,13 +271,17 @@ class IsingModel:
 
     def negated(self) -> "IsingModel":
         """Flip the signs of ``(h, J)``: computational <-> physical convention."""
-        return IsingModel(-self._h, {k: -v for k, v in self.coupling_dict().items()}, self._offset)
+        return IsingModel.from_arrays(
+            -self._h, self._rows, self._cols, -self._vals, self._offset
+        )
 
     def scaled(self, factor: float) -> "IsingModel":
         """Return a copy with ``h``, ``J``, and ``offset`` multiplied by ``factor``."""
-        return IsingModel(
+        return IsingModel.from_arrays(
             self._h * factor,
-            {k: v * factor for k, v in self.coupling_dict().items()},
+            self._rows,
+            self._cols,
+            self._vals * factor,
             self._offset * factor,
         )
 

@@ -20,6 +20,7 @@ from collections.abc import Iterable, Iterator, Mapping
 import numpy as np
 
 from ..exceptions import ValidationError
+from ._sparse import build_symmetric_csr, normalize_coupling_arrays
 
 __all__ = ["Qubo"]
 
@@ -51,7 +52,7 @@ class Qubo:
     2.0
     """
 
-    __slots__ = ("_linear", "_rows", "_cols", "_vals", "_offset")
+    __slots__ = ("_linear", "_rows", "_cols", "_vals", "_offset", "_cache")
 
     def __init__(
         self,
@@ -88,10 +89,42 @@ class Qubo:
         for a in (self._rows, self._cols, self._vals):
             a.setflags(write=False)
         self._offset = float(offset)
+        self._cache: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        linear: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        offset: float = 0.0,
+    ) -> "Qubo":
+        """Build directly from coefficient arrays (``rows[k] < cols[k]`` required).
+
+        The fast constructor mirroring :meth:`IsingModel.from_arrays`:
+        validated arrays are adopted without the per-term Python dict work;
+        unsorted or duplicated pairs are normalized the same way
+        ``__init__`` does.
+        """
+        lin = np.array(linear, dtype=np.float64)
+        if lin.ndim != 1:
+            raise ValidationError(f"linear coefficients must be 1-D, got shape {lin.shape}")
+        n = lin.shape[0]
+        r, c, v = normalize_coupling_arrays(n, rows, cols, vals, what="coefficient")
+
+        obj = cls.__new__(cls)
+        obj._linear = lin
+        obj._rows, obj._cols, obj._vals = r, c, v
+        for a in (obj._linear, obj._rows, obj._cols, obj._vals):
+            a.setflags(write=False)
+        obj._offset = float(offset)
+        obj._cache = {}
+        return obj
+
     @classmethod
     def from_dense(cls, Q: np.ndarray, offset: float = 0.0) -> "Qubo":
         """Build from an arbitrary square matrix ``Q`` with ``E(b) = b^T Q b + offset``.
@@ -184,6 +217,10 @@ class Qubo:
     def energies(self, B: np.ndarray) -> np.ndarray:
         """Vectorized energies of a batch of assignments.
 
+        The quadratic term is evaluated through the memoized CSR coefficient
+        matrix as ``0.5 * sum_i B_i . (M B^T)_i`` — no ``(k, nnz)`` gather
+        temporaries are materialized.
+
         Parameters
         ----------
         B:
@@ -200,8 +237,37 @@ class Qubo:
             )
         e = B @ self._linear
         if self._vals.size:
-            e = e + (B[:, self._rows] * B[:, self._cols]) @ self._vals
+            M = self.adjacency_csr()
+            e += 0.5 * np.einsum("ij,ji->i", B, M @ B.T)
         return e + self._offset
+
+    # ------------------------------------------------------------------ #
+    # Memoized derived structure
+    # ------------------------------------------------------------------ #
+    def _memo(self, key: str, factory):
+        """Cache ``factory()`` under ``key`` for the lifetime of the instance.
+
+        Instances are frozen, so memoized derived structure never needs
+        invalidation (see DESIGN.md, "Performance architecture").
+        """
+        cache = self._cache
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = factory()
+            return value
+
+    def adjacency_csr(self):
+        """Symmetric quadratic-coefficient matrix as ``scipy.sparse.csr_array``.
+
+        ``M[i, j] = M[j, i] = quadratic[i, j]`` with a zero diagonal.
+        Memoized on the instance; callers must treat the returned matrix as
+        read-only (copy before mutating).
+        """
+        return self._memo("adjacency_csr", self._build_adjacency_csr)
+
+    def _build_adjacency_csr(self):
+        return build_symmetric_csr(self.num_variables, self._rows, self._cols, self._vals)
 
     # ------------------------------------------------------------------ #
     # Exports / transforms

@@ -1,0 +1,143 @@
+"""Golden-workload definitions for the kernel-reproducibility tests.
+
+The hot kernels (``SimulatedAnnealingSampler.sample``, ``brute_force_ising``,
+``brute_force_qubo``) have been rewritten for speed; the contract is that for
+a fixed seed they return *bit-identical* spin/state arrays (and energies to
+float64 round-off) compared with the original reference implementation.
+``tests/data/golden_kernels.json`` holds outputs frozen from that reference
+implementation; ``tests/test_perf_golden.py`` replays the workloads below and
+compares.
+
+Regenerate (only if a workload is added — never to paper over a mismatch)::
+
+    PYTHONPATH=src python tests/_golden_workloads.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_kernels.json"
+
+
+def _ring_model():
+    from repro.qubo import IsingModel
+
+    # Zero fields + ferromagnetic ring: heavily degenerate spectrum, which
+    # exercises the deterministic integer-value tiebreak of the brute-force
+    # top-k pool.
+    return IsingModel(np.zeros(8), {(i, (i + 1) % 8): -1.0 for i in range(8)})
+
+
+def _fields_and_chain_model():
+    from repro.qubo import IsingModel
+
+    h = [0.5, -1.0, 0.25, 0.0, -0.75, 1.5, -0.125, 0.625, -0.375, 1.0]
+    J = {(i, i + 1): (-1.0) ** i * 0.8 for i in range(9)}
+    return IsingModel(h, J, offset=0.25)
+
+
+def sa_cases() -> dict[str, dict]:
+    """Simulated-annealing golden workloads (name -> kwargs description)."""
+    from repro.annealer import geometric_schedule, linear_schedule
+    from repro.qubo import random_ising
+
+    cases = {
+        "sa_random12": dict(
+            model=random_ising(12, density=0.5, rng=5),
+            schedule=geometric_schedule(48),
+            num_reads=16,
+            rng=101,
+        ),
+        "sa_random14": dict(
+            model=random_ising(14, density=0.6, rng=42),
+            schedule=geometric_schedule(32),
+            num_reads=8,
+            rng=7,
+        ),
+        "sa_sparse_fields": dict(
+            model=_fields_and_chain_model(),
+            schedule=geometric_schedule(20),
+            num_reads=4,
+            rng=3,
+        ),
+        "sa_initial_states": dict(
+            model=random_ising(8, rng=3),
+            schedule=linear_schedule(16),
+            num_reads=5,
+            rng=13,
+            initial_states=np.ones((5, 8), dtype=np.int8),
+        ),
+    }
+    return cases
+
+
+def brute_force_cases() -> dict[str, dict]:
+    """Brute-force golden workloads (name -> kwargs description)."""
+    from repro.qubo import random_ising, random_qubo
+
+    return {
+        "bf_ising_random10": dict(problem=random_ising(10, rng=2), num_best=5),
+        "bf_qubo_random9": dict(problem=random_qubo(9, rng=4), num_best=3),
+        "bf_ising_ties": dict(problem=_ring_model(), num_best=6),
+        "bf_ising_multichunk": dict(
+            problem=random_ising(17, density=0.3, rng=6), num_best=4
+        ),
+    }
+
+
+def run_sa_case(case: dict):
+    from repro.annealer import SimulatedAnnealingSampler
+
+    sampler = SimulatedAnnealingSampler(case["schedule"])
+    return sampler.sample(
+        case["model"],
+        num_reads=case["num_reads"],
+        rng=case["rng"],
+        initial_states=case.get("initial_states"),
+    )
+
+
+def run_brute_force_case(case: dict):
+    from repro.qubo import IsingModel, brute_force_ising, brute_force_qubo
+
+    problem = case["problem"]
+    if isinstance(problem, IsingModel):
+        return brute_force_ising(problem, num_best=case["num_best"])
+    return brute_force_qubo(problem, num_best=case["num_best"])
+
+
+def generate() -> dict:
+    out: dict = {"sa": {}, "brute_force": {}}
+    for name, case in sa_cases().items():
+        ss = run_sa_case(case)
+        out["sa"][name] = {
+            "samples": ss.samples.tolist(),
+            "energies": ss.energies.tolist(),
+            "num_occurrences": ss.num_occurrences.tolist(),
+        }
+    for name, case in brute_force_cases().items():
+        states, energies = run_brute_force_case(case)
+        out["brute_force"][name] = {
+            "states": states.tolist(),
+            "energies": energies.tolist(),
+        }
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if "--regenerate" not in argv:
+        print(__doc__)
+        return 2
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(generate(), indent=1) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
