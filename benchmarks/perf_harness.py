@@ -2,9 +2,10 @@
 
 Times a fixed set of named reference workloads — the kernels the paper's
 headline result (Fig. 9) makes hot: SA sampling, batched energy evaluation,
-brute-force enumeration, CMR minor embedding, and the Fig.-9 pipeline sweep
-— and emits a machine-readable ``BENCH_PERF.json`` at the repository root so
-every PR's perf delta is visible in review.
+brute-force enumeration, CMR minor embedding, the Fig.-9 pipeline sweep,
+and the sharded scenario-study executor — and emits a machine-readable
+``BENCH_PERF.json`` at the repository root so every PR's perf delta is
+visible in review.
 
 Usage::
 
@@ -53,6 +54,11 @@ SEED_BASELINE_SECONDS: dict[str, float | None] = {
     "brute_force": 0.31469,
     "embed": None,
     "sweep": 0.24968,
+    # The study baseline is the scalar reference loop (vectorize=False) over
+    # the same 10k-point grid, measured best-of-3 on the reference container
+    # when the study engine landed — the pre-engine way of producing these
+    # numbers was exactly such a per-point Python loop.
+    "study": 0.50354,
 }
 
 
@@ -137,12 +143,42 @@ def _sweep(check: bool):
     return op, f"Fig.-9 sweep, {points.size} LPS points, {calls} calls"
 
 
+def _study(check: bool):
+    from repro.studies import ScenarioSpec, run_study
+
+    if check:
+        spec = ScenarioSpec(
+            axes={"lps": list(range(1, 21)), "accuracy": [0.9, 0.99]},
+            name="perf-check",
+        )
+
+        def op():
+            run_study(spec)
+
+        return op, "study grid, 40 points (20 LPS x 2 pa), sharded executor (check)"
+
+    spec = ScenarioSpec(
+        axes={
+            "lps": list(range(1, 2501)),
+            "accuracy": [0.9, 0.99],
+            "embedding_mode": ["online", "offline"],
+        },
+        name="perf",
+    )
+
+    def op():
+        run_study(spec)
+
+    return op, "study grid, 10000 points (2500 LPS x 2 pa x 2 modes), workers=1"
+
+
 KERNELS = {
     "sa_sample": _sa_sample,
     "energies": _energies,
     "brute_force": _brute_force,
     "embed": _embed,
     "sweep": _sweep,
+    "study": _study,
 }
 
 

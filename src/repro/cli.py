@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four commands cover the everyday uses of the library:
+Five commands cover the everyday uses of the library:
 
 * ``predict`` — stage-resolved time-to-solution from the performance models
   (the paper's Fig. 9 numbers for one operating point);
 * ``solve``   — run a random problem through the simulated device end to end;
 * ``embed``   — minor-embed a random graph and report chain statistics;
-* ``fig9``    — print the three Fig. 9 series from the ASPEN artifacts.
+* ``fig9``    — print the three Fig. 9 series from the ASPEN artifacts;
+* ``study``   — evaluate a declarative parameter-space study (a whole grid
+  of operating points) through the sharded executor, write the results
+  artifact, and print the dominance/scaling summary.
 """
 
 from __future__ import annotations
@@ -53,6 +56,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig9", help="print the Fig. 9 series from the ASPEN models")
     p.add_argument("--max-lps", type=int, default=100)
+
+    p = sub.add_parser(
+        "study",
+        help="evaluate a parameter-space study over the performance models",
+        description="Evaluate a cartesian grid of operating points through the "
+        "sharded study executor.  Describe the grid either with a JSON spec "
+        "file (--spec) or inline axis flags; axis flags accept comma lists "
+        "(0.9,0.99) and, for --lps, start:stop[:step] ranges.",
+    )
+    p.add_argument("--spec", type=str, default=None, help="JSON ScenarioSpec file")
+    p.add_argument("--name", type=str, default=None, help="study label for the artifact")
+    p.add_argument("--lps", type=str, default=None,
+                   help="LPS axis: comma list or start:stop[:step] range (e.g. 1:101)")
+    p.add_argument("--accuracy", type=str, default=None, help="accuracy axis (comma list)")
+    p.add_argument("--success", type=str, default=None, help="success axis (comma list)")
+    p.add_argument("--embedding-mode", type=str, default=None,
+                   help="embedding-mode axis: online, offline, or online,offline")
+    p.add_argument("--anneal-us", type=str, default=None,
+                   help="QPU anneal-duration axis in us (comma list)")
+    p.add_argument("--clock-hz", type=str, default=None, help="host clock axis (comma list)")
+    p.add_argument("--mc-trials", type=int, default=None,
+                   help="Monte-Carlo ensembles per point (0 disables the column)")
+    p.add_argument("--seed", type=int, default=None, help="root seed for the MC streams")
+    p.add_argument("--workers", type=int, default=1, help="executor process count")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="points per shard (fixes the shard grid; see DESIGN.md)")
+    p.add_argument("--scalar", action="store_true",
+                   help="force the scalar reference loop instead of sweep_arrays")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the results artifact JSON here")
+    p.add_argument("--no-summary", action="store_true", help="skip the summary tables")
 
     return parser
 
@@ -153,11 +187,118 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
     return 0
 
 
+class _StudyArgError(Exception):
+    """A user-input error in the study command (reported as 'error: ...', exit 2)."""
+
+
+def _parse_lps_axis(text: str) -> list[int]:
+    """``start:stop[:step]`` range (half-open, like Python) or comma list."""
+    try:
+        if ":" in text:
+            parts = text.split(":")
+            if len(parts) not in (2, 3):
+                raise _StudyArgError(
+                    f"bad --lps range {text!r}; expected start:stop[:step]"
+                )
+            start, stop = int(parts[0]), int(parts[1])
+            step = int(parts[2]) if len(parts) == 3 else 1
+            if step < 1 or stop < start:
+                raise _StudyArgError(f"bad --lps range {text!r}")
+            return list(range(start, stop, step))
+        return [int(v) for v in text.split(",") if v]
+    except ValueError as exc:
+        raise _StudyArgError(f"bad --lps value {text!r}: {exc}") from exc
+
+
+def _parse_float_axis(flag: str, text: str) -> list[float]:
+    try:
+        return [float(v) for v in text.split(",") if v]
+    except ValueError as exc:
+        raise _StudyArgError(f"bad {flag} value {text!r}: {exc}") from exc
+
+
+def _build_study_spec(args: argparse.Namespace):
+    from .exceptions import ValidationError
+    from .studies import ScenarioSpec
+
+    if args.spec:
+        try:
+            payload = ScenarioSpec.from_file(args.spec).to_dict()
+        except OSError as exc:
+            raise _StudyArgError(f"cannot read spec file {args.spec}: {exc}") from exc
+        except ValidationError as exc:
+            raise _StudyArgError(str(exc)) from exc
+    else:
+        payload = {"name": "study", "axes": {}, "mc_trials": 0, "seed": 0}
+    axes = payload["axes"]
+    # Inline flags refine (or fully define) the spec.
+    if args.lps is not None:
+        axes["lps"] = _parse_lps_axis(args.lps)
+    if args.accuracy is not None:
+        axes["accuracy"] = _parse_float_axis("--accuracy", args.accuracy)
+    if args.success is not None:
+        axes["success"] = _parse_float_axis("--success", args.success)
+    if args.embedding_mode is not None:
+        axes["embedding_mode"] = [v for v in args.embedding_mode.split(",") if v]
+    if args.anneal_us is not None:
+        axes["anneal_us"] = _parse_float_axis("--anneal-us", args.anneal_us)
+    if args.clock_hz is not None:
+        axes["clock_hz"] = _parse_float_axis("--clock-hz", args.clock_hz)
+    if args.name is not None:
+        payload["name"] = args.name
+    if args.mc_trials is not None:
+        payload["mc_trials"] = args.mc_trials
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if not axes and not args.spec:
+        # A spec file with empty axes is a valid single-point study; with
+        # neither file nor flags there is nothing to run.
+        raise _StudyArgError("no axes given; pass --spec or at least one axis flag")
+    try:
+        return ScenarioSpec.from_dict(payload)
+    except ValidationError as exc:
+        raise _StudyArgError(str(exc)) from exc
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .exceptions import ValidationError
+    from .studies import run_study, study_summary
+    from .studies.executor import DEFAULT_SHARD_SIZE
+
+    shard_size = DEFAULT_SHARD_SIZE if args.shard_size is None else args.shard_size
+    try:
+        spec = _build_study_spec(args)
+        t0 = time.perf_counter()
+        results = run_study(
+            spec,
+            workers=args.workers,
+            shard_size=shard_size,
+            vectorize=not args.scalar,
+        )
+    except (_StudyArgError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - t0
+
+    if not args.no_summary:
+        print(study_summary(results))
+        print()
+    print(f"evaluated {results.num_points} points "
+          f"(workers={args.workers}, shard_size={shard_size}, "
+          f"{'scalar' if args.scalar else 'vectorized'})")
+    print(f"elapsed: {wall:.3f} s")
+    if args.out:
+        path = results.save(args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "predict": _cmd_predict,
     "solve": _cmd_solve,
     "embed": _cmd_embed,
     "fig9": _cmd_fig9,
+    "study": _cmd_study,
 }
 
 

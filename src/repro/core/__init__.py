@@ -22,8 +22,14 @@ from .repetition import (
     required_success_probability,
 )
 from .report import format_seconds, format_series, format_table
-from .scaling import crossover_point, loglog_slope, series, stage_dominance_table
-from .sensitivity import elasticity, model_elasticities
+from .scaling import (
+    crossover_index,
+    crossover_point,
+    loglog_slope,
+    series,
+    stage_dominance_table,
+)
+from .sensitivity import elasticity, elasticity_series, model_elasticities
 from .stage1 import Stage1ArrayBreakdown, Stage1Breakdown, Stage1Model
 from .stage2 import Stage2Breakdown, Stage2Model
 from .stage3 import Stage3ArrayBreakdown, Stage3Breakdown, Stage3Model
@@ -49,8 +55,10 @@ __all__ = [
     "series",
     "loglog_slope",
     "crossover_point",
+    "crossover_index",
     "stage_dominance_table",
     "elasticity",
+    "elasticity_series",
     "model_elasticities",
     "measure_cmr_timings",
     "calibrate_embed_rate",

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..runtime.layers import RequestProfile
+from .machine_params import HostMachineParams
 from .stage1 import Stage1ArrayBreakdown, Stage1Breakdown, Stage1Model
 from .stage2 import Stage2Breakdown, Stage2Model
 from .stage3 import Stage3ArrayBreakdown, Stage3Breakdown, Stage3Model
@@ -170,6 +171,43 @@ class SplitExecutionModel:
                 f"embedding_mode must be one of {_EMBEDDING_MODES}, "
                 f"got {self.embedding_mode!r}"
             )
+
+    # ------------------------------------------------------------------ #
+    # Derived models
+    # ------------------------------------------------------------------ #
+    def with_overrides(
+        self,
+        embedding_mode: str | None = None,
+        host: HostMachineParams | None = None,
+        anneal_us: float | None = None,
+        **host_overrides: float,
+    ) -> "SplitExecutionModel":
+        """A derived model with selected operating constants replaced.
+
+        ``host`` swaps the conventional-host rates wholesale (applied to both
+        Stage 1 and Stage 3); keyword ``host_overrides`` replace individual
+        :class:`HostMachineParams` fields on top of the current (or given)
+        host, e.g. ``with_overrides(clock_hz=3.2e9)``.  ``anneal_us``
+        re-times the QPU annealing duration.  This is the single knob-turning
+        entry point shared by the sensitivity analysis and the scenario-study
+        executor, so every "what if the machine were different" path builds
+        models the same way.
+        """
+        model = self
+        if embedding_mode is not None:
+            model = replace(model, embedding_mode=embedding_mode)
+        if host is not None or host_overrides:
+            new_host = host if host is not None else model.stage1.host
+            if host_overrides:
+                new_host = replace(new_host, **host_overrides)
+            model = replace(
+                model,
+                stage1=replace(model.stage1, host=new_host),
+                stage3=replace(model.stage3, host=new_host),
+            )
+        if anneal_us is not None:
+            model = replace(model, stage2=model.stage2.with_anneal_time(anneal_us))
+        return model
 
     # ------------------------------------------------------------------ #
     # Predictions

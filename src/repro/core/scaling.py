@@ -20,6 +20,7 @@ __all__ = [
     "series",
     "loglog_slope",
     "crossover_point",
+    "crossover_index",
     "stage_dominance_table",
 ]
 
@@ -72,6 +73,23 @@ def crossover_point(
         else:
             a = mid
     return b
+
+
+def crossover_index(f_values, g_values) -> int | None:
+    """Index of the first sample with ``f >= g`` in two aligned series.
+
+    The sampled-data counterpart of :func:`crossover_point` for curves that
+    already exist as arrays (a study-result slice rather than a callable);
+    returns ``None`` when ``f`` stays below ``g`` across the whole series.
+    """
+    f = np.asarray(f_values, dtype=np.float64)
+    g = np.asarray(g_values, dtype=np.float64)
+    if f.shape != g.shape or f.ndim != 1:
+        raise ValidationError(
+            f"need two aligned 1-D series, got shapes {f.shape} and {g.shape}"
+        )
+    hits = np.flatnonzero(f >= g)
+    return int(hits[0]) if hits.size else None
 
 
 def stage_dominance_table(

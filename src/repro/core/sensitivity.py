@@ -16,14 +16,14 @@ readout, success probability) is ~0, while CPU-side rates carry ~-1.
 
 from __future__ import annotations
 
-from collections.abc import Callable
-from dataclasses import replace
+from collections.abc import Callable, Sequence
+
+import numpy as np
 
 from ..exceptions import ValidationError
-from .machine_params import HostMachineParams
 from .pipeline import SplitExecutionModel
 
-__all__ = ["elasticity", "model_elasticities"]
+__all__ = ["elasticity", "elasticity_series", "model_elasticities"]
 
 
 def elasticity(
@@ -51,12 +51,25 @@ def elasticity(
     )
 
 
-def _with_host(model: SplitExecutionModel, host: HostMachineParams) -> SplitExecutionModel:
-    return replace(
-        model,
-        stage1=replace(model.stage1, host=host),
-        stage3=replace(model.stage3, host=host),
-    )
+def elasticity_series(xs: Sequence[float], ys: Sequence[float]) -> np.ndarray:
+    """Pointwise elasticity ``d log y / d log x`` along a sampled curve.
+
+    The grid-based counterpart of :func:`elasticity` for data that already
+    exists as ``(x, y)`` samples — a study-result slice along one axis
+    rather than a callable model.  Interior points use the central
+    log-space difference; the two endpoints use one-sided differences, so
+    the output aligns with the input.  Requires at least two strictly
+    positive samples with strictly increasing ``x``.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValidationError("need at least two matching (x, y) samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValidationError("elasticity requires positive samples")
+    if np.any(np.diff(x) <= 0):
+        raise ValidationError("x samples must be strictly increasing")
+    return np.gradient(np.log(y), np.log(x))
 
 
 def model_elasticities(
@@ -74,19 +87,19 @@ def model_elasticities(
     base = model or SplitExecutionModel()
 
     def total_with_clock(clock: float) -> float:
-        host = replace(base.stage1.host, clock_hz=clock)
-        return _with_host(base, host).time_to_solution(lps, accuracy, success).total_seconds
+        m = base.with_overrides(clock_hz=clock)
+        return m.time_to_solution(lps, accuracy, success).total_seconds
 
     def total_with_membw(bw: float) -> float:
-        host = replace(base.stage1.host, memory_bandwidth_bytes_per_s=bw)
-        return _with_host(base, host).time_to_solution(lps, accuracy, success).total_seconds
+        m = base.with_overrides(memory_bandwidth_bytes_per_s=bw)
+        return m.time_to_solution(lps, accuracy, success).total_seconds
 
     def total_with_pcie(bw: float) -> float:
-        host = replace(base.stage1.host, pcie_bandwidth_bytes_per_s=bw)
-        return _with_host(base, host).time_to_solution(lps, accuracy, success).total_seconds
+        m = base.with_overrides(pcie_bandwidth_bytes_per_s=bw)
+        return m.time_to_solution(lps, accuracy, success).total_seconds
 
     def total_with_anneal(anneal_us: float) -> float:
-        m = replace(base, stage2=base.stage2.with_anneal_time(anneal_us))
+        m = base.with_overrides(anneal_us=anneal_us)
         return m.time_to_solution(lps, accuracy, success).total_seconds
 
     def total_with_success(ps: float) -> float:

@@ -1,0 +1,37 @@
+"""Scenario studies: declarative parameter-space sweeps of the models.
+
+The paper's headline claims are statements about *families* of operating
+points — scaling, dominance, and crossover over problem size, accuracy,
+success probability, and machine constants (Sec. 3.3, Fig. 9).  This
+subsystem evaluates such families wholesale:
+
+* :mod:`~repro.studies.spec` — a declarative :class:`ScenarioSpec` naming a
+  cartesian grid over the model's axes, with stable point enumeration;
+* :mod:`~repro.studies.executor` — a sharded, optionally multi-process
+  runner whose results are byte-identical for any worker count;
+* :mod:`~repro.studies.results` — the columnar :class:`StudyResults` table
+  with its canonical JSON artifact and core-powered aggregations;
+* :mod:`~repro.studies.reportgen` — dominance/crossover/scaling summary
+  tables for reports and the CLI.
+"""
+
+from .executor import DEFAULT_SHARD_SIZE, run_study, shard_ranges
+from .reportgen import dominance_summary, scaling_summary, study_summary
+from .results import ARTIFACT_SCHEMA_VERSION, RESULT_COLUMNS, StudyResults
+from .spec import AXIS_ORDER, Axis, ScenarioSpec, axis_default
+
+__all__ = [
+    "AXIS_ORDER",
+    "Axis",
+    "ScenarioSpec",
+    "axis_default",
+    "run_study",
+    "shard_ranges",
+    "DEFAULT_SHARD_SIZE",
+    "StudyResults",
+    "RESULT_COLUMNS",
+    "ARTIFACT_SCHEMA_VERSION",
+    "dominance_summary",
+    "scaling_summary",
+    "study_summary",
+]

@@ -1,0 +1,130 @@
+"""Study report generation: dominance, crossover, and scaling summaries.
+
+Turns a :class:`~repro.studies.results.StudyResults` into the plain-text
+tables the paper's Sec. 3.3 narrative is made of — which stage dominates
+where, where the Stage-1 translation overtakes quantum execution, and the
+empirical scaling exponents of each stage — rendered through the shared
+:mod:`repro.core.report` formatters so study output matches the rest of
+the toolkit.  All output is a pure function of the results artifact (no
+wall clocks, no environment), so summaries are golden-testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..core.report import format_seconds, format_table
+from ..exceptions import ValidationError
+from .results import StudyResults
+
+__all__ = ["config_labels", "dominance_summary", "scaling_summary", "study_summary"]
+
+#: Scanned axes that label report rows (everything but the LPS scan itself).
+_MAX_REPORT_CONFIGS = 64
+
+
+def config_labels(results: StudyResults) -> list[tuple[str, dict]]:
+    """``(label, fixed_axes)`` for every scanned non-LPS config combination.
+
+    The label is a compact ``axis=value`` join; ``fixed_axes`` feeds the
+    results object's slice methods.  Refuses to enumerate unreasonably
+    many report rows — summarize a narrower slice instead.
+    """
+    axes = [n for n in results.spec.scanned_axes if n != "lps"]
+    if not axes:
+        return [("default", {})]
+    value_lists = [results.spec.axis_values(n) for n in axes]
+    combos = list(itertools.product(*value_lists))
+    if len(combos) > _MAX_REPORT_CONFIGS:
+        raise ValidationError(
+            f"{len(combos)} report configurations exceed the "
+            f"{_MAX_REPORT_CONFIGS}-row summary ceiling; slice the study first"
+        )
+    out = []
+    for combo in combos:
+        fixed = dict(zip(axes, combo))
+        label = " ".join(f"{n}={_short(v)}" for n, v in fixed.items())
+        out.append((label, fixed))
+    return out
+
+
+def _short(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def dominance_summary(results: StudyResults) -> str:
+    """Per-config dominant-stage shares and the stage1-vs-stage2 crossover.
+
+    The machine-checkable form of the paper's central claim: across the
+    scanned operating points, which stage owns the time-to-solution, and
+    from which problem size onward the classical translation (Stage 1)
+    exceeds quantum execution (Stage 2).
+    """
+    rows = []
+    for label, fixed in config_labels(results):
+        counts = results.dominance_counts(**fixed)
+        total = sum(counts.values())
+        crossover = results.crossover_lps(above="stage1_s", below="stage2_s", **fixed)
+        dominant = max(counts, key=counts.get)  # type: ignore[arg-type]
+        rows.append(
+            [
+                label,
+                dominant,
+                f"{counts.get('stage1', 0) / total:.0%}",
+                f"{counts.get('stage2', 0) / total:.0%}",
+                f"{counts.get('stage3', 0) / total:.0%}",
+                crossover if crossover is not None else "-",
+            ]
+        )
+    return format_table(
+        ["config", "dominant", "s1 share", "s2 share", "s3 share", "s1>s2 at LPS"],
+        rows,
+        title="stage dominance over the scanned grid",
+    )
+
+
+def scaling_summary(results: StudyResults) -> str:
+    """Per-config empirical scaling exponents and endpoint predictions."""
+    lps_scanned = len(results.spec.lps_values) > 1
+    rows = []
+    for label, fixed in config_labels(results):
+        mask = results.select(**fixed)
+        totals = results.column("total_s")[mask]
+        row = [label, format_seconds(float(np.min(totals))), format_seconds(float(np.max(totals)))]
+        if lps_scanned:
+            try:
+                slope = f"{results.scaling_exponent('total_s', 'lps', **fixed):.2f}"
+                s1_slope = f"{results.scaling_exponent('stage1_s', 'lps', **fixed):.2f}"
+            except ValidationError:
+                slope = s1_slope = "-"
+            row += [slope, s1_slope]
+        rows.append(row)
+    headers = ["config", "min total", "max total"]
+    if lps_scanned:
+        headers += ["d(logT)/d(logN)", "stage1 slope"]
+    return format_table(headers, rows, title="time-to-solution across the grid")
+
+
+def study_summary(results: StudyResults) -> str:
+    """The full study report: header, dominance table, scaling table."""
+    spec = results.spec
+    lines = [
+        f"study {spec.name!r}: {spec.describe()}",
+        f"grid axes: "
+        + (", ".join(spec.scanned_axes) if spec.scanned_axes else "none (single point)"),
+    ]
+    if spec.mc_trials > 0:
+        mc = results.column("mc_accuracy")
+        lines.append(
+            f"monte-carlo accuracy ({spec.mc_trials} trials/point, seed {spec.seed}): "
+            f"mean {float(np.nanmean(mc)):.4f}, min {float(np.nanmin(mc)):.4f}"
+        )
+    lines.append("")
+    lines.append(dominance_summary(results))
+    lines.append("")
+    lines.append(scaling_summary(results))
+    return "\n".join(lines)

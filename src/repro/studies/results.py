@@ -1,0 +1,239 @@
+"""Columnar study results: structured table, JSON artifact, aggregations.
+
+A :class:`StudyResults` holds one row per grid point of a
+:class:`~repro.studies.spec.ScenarioSpec`, in the spec's stable
+enumeration order, as a structured NumPy array.  The JSON artifact
+(`save`/`load`) is deliberately free of volatile fields — no timestamps, no
+hostnames — so the same spec executed anywhere with any worker count
+produces *byte-identical* files; that property is the backbone of the
+executor's determinism audit.
+
+Aggregations reuse the core analysis helpers rather than reimplementing
+them: log-log scaling exponents via :func:`repro.core.scaling.loglog_slope`,
+sampled crossovers via :func:`repro.core.scaling.crossover_index`, and
+elasticity maps via :func:`repro.core.sensitivity.elasticity_series`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.scaling import crossover_index, loglog_slope
+from ..core.sensitivity import elasticity_series
+from ..exceptions import ValidationError
+from .spec import AXIS_ORDER, ScenarioSpec
+
+__all__ = ["StudyResults", "RESULT_COLUMNS", "ARTIFACT_SCHEMA_VERSION"]
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Column name -> structured dtype.  Axis columns first (canonical order),
+#: then the model outputs.  ``mc_accuracy`` is NaN when the spec disabled
+#: Monte-Carlo sampling.
+RESULT_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("embedding_mode", "U7"),
+    ("clock_hz", "f8"),
+    ("memory_bandwidth_bytes_per_s", "f8"),
+    ("pcie_bandwidth_bytes_per_s", "f8"),
+    ("anneal_us", "f8"),
+    ("success", "f8"),
+    ("accuracy", "f8"),
+    ("lps", "i8"),
+    ("repetitions", "i8"),
+    ("stage1_s", "f8"),
+    ("stage2_s", "f8"),
+    ("stage3_s", "f8"),
+    ("total_s", "f8"),
+    ("quantum_fraction", "f8"),
+    ("dominant_stage", "U6"),
+    ("mc_accuracy", "f8"),
+)
+
+_STAGE_COLUMNS = ("stage1_s", "stage2_s", "stage3_s", "total_s")
+
+
+def table_dtype() -> np.dtype:
+    """The structured dtype of a study results table."""
+    return np.dtype(list(RESULT_COLUMNS))
+
+
+def empty_table(num_points: int) -> np.ndarray:
+    """A zero-filled results table for ``num_points`` rows."""
+    table = np.zeros(num_points, dtype=table_dtype())
+    table["mc_accuracy"] = np.nan
+    return table
+
+
+@dataclass(frozen=True)
+class StudyResults:
+    """One evaluated study: the spec plus its per-point results table."""
+
+    spec: ScenarioSpec
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.table.dtype != table_dtype():
+            raise ValidationError("results table has the wrong structured dtype")
+        if self.table.shape != (self.spec.num_points,):
+            raise ValidationError(
+                f"results table has {self.table.shape[0]} rows for a "
+                f"{self.spec.num_points}-point spec"
+            )
+        self.table.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        return int(self.table.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    def column(self, name: str) -> np.ndarray:
+        """One column across all points (read-only view)."""
+        if name not in self.table.dtype.names:
+            raise ValidationError(
+                f"unknown column {name!r}; columns: {self.table.dtype.names}"
+            )
+        return self.table[name]
+
+    def select(self, **fixed) -> np.ndarray:
+        """Boolean mask of the rows matching every ``axis=value`` filter."""
+        mask = np.ones(self.num_points, dtype=bool)
+        for name, value in fixed.items():
+            mask &= self.column(name) == value
+        return mask
+
+    def slice_along(self, axis: str, response: str = "total_s", **fixed) -> tuple[np.ndarray, np.ndarray]:
+        """``(xs, ys)`` of ``response`` along ``axis`` with other axes fixed.
+
+        ``fixed`` must pin every *other* scanned axis to one value so the
+        slice is a function (one y per x); rows keep enumeration order,
+        which is monotone in the axis values as given in the spec.
+        """
+        if axis not in AXIS_ORDER:
+            raise ValidationError(f"unknown axis {axis!r}")
+        unpinned = [
+            n for n in self.spec.scanned_axes if n != axis and n not in fixed
+        ]
+        if unpinned:
+            raise ValidationError(
+                f"slice along {axis!r} needs the other scanned axes pinned; "
+                f"missing {unpinned}"
+            )
+        mask = self.select(**fixed)
+        xs = self.column(axis)[mask]
+        ys = self.column(response)[mask]
+        return xs, ys
+
+    # ------------------------------------------------------------------ #
+    # Aggregations (reusing the core analysis helpers)
+    # ------------------------------------------------------------------ #
+    def scaling_exponent(self, response: str = "total_s", axis: str = "lps", **fixed) -> float:
+        """Empirical log-log exponent of ``response`` against ``axis``.
+
+        Positive-sample filtering mirrors the Fig. 9 treatment (``lps = 0``
+        rows cannot enter a log-log fit).
+        """
+        xs, ys = self.slice_along(axis, response, **fixed)
+        keep = (np.asarray(xs, dtype=np.float64) > 0) & (ys > 0)
+        if np.count_nonzero(keep) < 2:
+            raise ValidationError(
+                f"scaling exponent needs >= 2 positive samples along {axis!r}"
+            )
+        return loglog_slope(np.asarray(xs, dtype=np.float64)[keep], ys[keep])
+
+    def elasticity_profile(self, response: str = "total_s", axis: str = "lps", **fixed) -> np.ndarray:
+        """Pointwise elasticity of ``response`` along ``axis`` (one slice)."""
+        xs, ys = self.slice_along(axis, response, **fixed)
+        return elasticity_series(np.asarray(xs, dtype=np.float64), ys)
+
+    def crossover_lps(self, above: str = "stage1_s", below: str = "stage2_s", **fixed) -> int | None:
+        """Smallest scanned LPS at which ``above`` meets/exceeds ``below``.
+
+        The sampled analogue of the paper's crossover discussion (e.g. where
+        the Stage-1 translation overtakes quantum execution); ``None`` when
+        no crossover occurs within the scanned sizes.
+        """
+        xs, f = self.slice_along("lps", above, **fixed)
+        _, g = self.slice_along("lps", below, **fixed)
+        idx = crossover_index(f, g)
+        return int(xs[idx]) if idx is not None else None
+
+    def dominance_counts(self, **fixed) -> dict[str, int]:
+        """How many points each stage dominates (within an optional slice)."""
+        mask = self.select(**fixed)
+        stages, counts = np.unique(self.column("dominant_stage")[mask], return_counts=True)
+        return {str(s): int(c) for s, c in zip(stages, counts)}
+
+    # ------------------------------------------------------------------ #
+    # Artifact serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-ready artifact payload (no volatile fields; see module doc)."""
+        columns: dict[str, list] = {}
+        for name, code in RESULT_COLUMNS:
+            values = self.table[name]
+            if code.startswith("U"):
+                columns[name] = [str(v) for v in values]
+            elif code == "i8":
+                columns[name] = [int(v) for v in values]
+            else:
+                columns[name] = [None if math.isnan(v) else float(v) for v in values]
+        return {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "kind": "scenario-study-results",
+            "spec": self.spec.to_dict(),
+            "num_points": self.num_points,
+            "columns": columns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StudyResults":
+        if not isinstance(payload, dict):
+            raise ValidationError("artifact payload must be an object")
+        if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported artifact schema_version {payload.get('schema_version')!r}"
+            )
+        if payload.get("kind") != "scenario-study-results":
+            raise ValidationError(f"unexpected artifact kind {payload.get('kind')!r}")
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        columns = payload["columns"]
+        missing = [n for n, _ in RESULT_COLUMNS if n not in columns]
+        if missing:
+            raise ValidationError(f"artifact is missing columns {missing}")
+        table = empty_table(int(payload["num_points"]))
+        for name, code in RESULT_COLUMNS:
+            values = columns[name]
+            if len(values) != table.shape[0]:
+                raise ValidationError(
+                    f"column {name!r} has {len(values)} entries for "
+                    f"{table.shape[0]} points"
+                )
+            if code == "f8":
+                table[name] = [np.nan if v is None else float(v) for v in values]
+            else:
+                table[name] = values
+        return cls(spec=spec, table=table)
+
+    def to_json(self) -> str:
+        """Canonical artifact text: sorted keys, fixed separators, trailing newline."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact; identical results always produce identical bytes."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "StudyResults":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,326 @@
+"""Declarative scenario-study specifications: parameter-space grids.
+
+A :class:`ScenarioSpec` names a cartesian grid over the split-execution
+model's operating-point axes — problem size, target accuracy, success
+probability, embedding mode, and the host/QPU machine constants — and the
+study executor (:mod:`repro.studies.executor`) evaluates the performance
+models over every point of that grid.  The paper's Fig. 9 is one tiny
+instance of such a study (three series over LPS and accuracy); a spec can
+describe the whole families of operating points Sec. 3.3 reasons about.
+
+Point enumeration is *stable by construction*: axes are ordered by the
+canonical :data:`AXIS_ORDER` (machine constants outermost, ``lps``
+innermost) and points enumerate row-major over that order, so point ``i``
+of a spec means the same operating point forever — artifacts, shards, and
+golden tests all key on it.  ``lps`` varying fastest is also what lets the
+executor route each contiguous run of points through the vectorized
+``SplitExecutionModel.sweep_arrays`` fast path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.machine_params import XEON_E5_2680
+from ..exceptions import ValidationError
+from ..hardware.timing import DW2_TIMING
+
+__all__ = ["Axis", "ScenarioSpec", "AXIS_ORDER", "axis_default"]
+
+#: Canonical axis order, outermost first.  ``lps`` is always innermost
+#: (fastest varying) so every config block is one contiguous LPS run.
+AXIS_ORDER = (
+    "embedding_mode",
+    "clock_hz",
+    "memory_bandwidth_bytes_per_s",
+    "pcie_bandwidth_bytes_per_s",
+    "anneal_us",
+    "success",
+    "accuracy",
+    "lps",
+)
+
+#: Hard ceiling on grid size — a guard against accidentally writing a spec
+#: that tries to materialize billions of points in one results table.
+MAX_POINTS = 50_000_000
+
+_EMBEDDING_MODES = ("online", "offline")
+
+
+def _default_values() -> dict[str, tuple]:
+    """Single-point default for every absent axis (the paper's operating point)."""
+    return {
+        "embedding_mode": ("online",),
+        "clock_hz": (XEON_E5_2680.clock_hz,),
+        "memory_bandwidth_bytes_per_s": (XEON_E5_2680.memory_bandwidth_bytes_per_s,),
+        "pcie_bandwidth_bytes_per_s": (XEON_E5_2680.pcie_bandwidth_bytes_per_s,),
+        "anneal_us": (DW2_TIMING.anneal_us,),
+        "success": (0.7,),
+        "accuracy": (0.99,),
+        "lps": (50,),
+    }
+
+
+def axis_default(name: str):
+    """The single default value an absent ``name`` axis collapses to."""
+    values = _default_values().get(name)
+    if values is None:
+        raise ValidationError(f"unknown axis {name!r}; valid axes: {AXIS_ORDER}")
+    return values[0]
+
+
+def _validate_axis(name: str, values: Sequence) -> tuple:
+    """Normalize and validate one axis's values; returns the stored tuple."""
+    if name not in AXIS_ORDER:
+        raise ValidationError(f"unknown axis {name!r}; valid axes: {AXIS_ORDER}")
+    vals = tuple(values)
+    if not vals:
+        raise ValidationError(f"axis {name!r} must have at least one value")
+    if len(set(vals)) != len(vals):
+        raise ValidationError(f"axis {name!r} has duplicate values")
+
+    if name == "embedding_mode":
+        for v in vals:
+            if v not in _EMBEDDING_MODES:
+                raise ValidationError(
+                    f"embedding_mode values must be one of {_EMBEDDING_MODES}, got {v!r}"
+                )
+        return vals
+    if name == "lps":
+        out = []
+        for v in vals:
+            if isinstance(v, bool) or v != int(v):
+                raise ValidationError(f"lps values must be integers, got {v!r}")
+            if int(v) < 0:
+                raise ValidationError(f"lps values must be non-negative, got {v}")
+            out.append(int(v))
+        return tuple(out)
+
+    out = []
+    for v in vals:
+        fv = float(v)
+        if not math.isfinite(fv):
+            raise ValidationError(f"axis {name!r} values must be finite, got {v!r}")
+        out.append(fv)
+    vals = tuple(out)
+    if name == "accuracy":
+        for v in vals:
+            if not 0.0 <= v < 1.0:
+                raise ValidationError(f"accuracy values must lie in [0, 1), got {v}")
+    elif name == "success":
+        for v in vals:
+            if not 0.0 < v <= 1.0:
+                raise ValidationError(f"success values must lie in (0, 1], got {v}")
+    elif name == "anneal_us":
+        for v in vals:
+            if v < 0:
+                raise ValidationError(f"anneal_us values must be non-negative, got {v}")
+    else:  # machine rates
+        for v in vals:
+            if v <= 0:
+                raise ValidationError(f"axis {name!r} values must be positive, got {v}")
+    return vals
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named study axis: the values a parameter scans over."""
+
+    name: str
+    values: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", _validate_axis(self.name, self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative parameter-space study over the split-execution model.
+
+    Parameters
+    ----------
+    axes:
+        Mapping of axis name to its scan values (see :data:`AXIS_ORDER`) —
+        plain sequences or :class:`Axis` instances (whose name must match
+        the key).  Absent axes collapse to the paper's single default
+        operating point (``axis_default``), so every point always carries
+        a full parameter set.  The grid is the cartesian product of all
+        axes.
+    name:
+        Label carried into artifacts and reports.
+    mc_trials:
+        When positive, each point also gets a Monte-Carlo estimate of the
+        achieved ensemble accuracy — ``mc_trials`` simulated Eq.-6
+        ensembles per point — using the executor's deterministic per-shard
+        RNG streams.  0 disables the column.
+    seed:
+        Root seed for the Monte-Carlo streams (see ``repro._rng``).
+    """
+
+    axes: Mapping[str, Sequence] = field(default_factory=dict)
+    name: str = "study"
+    mc_trials: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        normalized = {}
+        for axis_name in AXIS_ORDER:
+            if axis_name in self.axes:
+                values = self.axes[axis_name]
+                if isinstance(values, Axis):
+                    if values.name != axis_name:
+                        raise ValidationError(
+                            f"axis {values.name!r} stored under key {axis_name!r}"
+                        )
+                    values = values.values
+                normalized[axis_name] = _validate_axis(axis_name, values)
+        unknown = set(self.axes) - set(AXIS_ORDER)
+        if unknown:
+            raise ValidationError(
+                f"unknown axes {sorted(unknown)}; valid axes: {AXIS_ORDER}"
+            )
+        if self.mc_trials < 0:
+            raise ValidationError(f"mc_trials must be non-negative, got {self.mc_trials}")
+        if not self.name:
+            raise ValidationError("study name must be non-empty")
+        object.__setattr__(self, "axes", normalized)
+        if self.num_points > MAX_POINTS:
+            raise ValidationError(
+                f"grid has {self.num_points} points, exceeding MAX_POINTS={MAX_POINTS}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Grid geometry
+    # ------------------------------------------------------------------ #
+    def axis_values(self, name: str) -> tuple:
+        """The scan values of ``name`` (the single default if absent)."""
+        if name not in AXIS_ORDER:
+            raise ValidationError(f"unknown axis {name!r}; valid axes: {AXIS_ORDER}")
+        return self.axes.get(name) or (axis_default(name),)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Grid extent along every canonical axis (length 8, 1 for absent axes)."""
+        return tuple(len(self.axis_values(n)) for n in AXIS_ORDER)
+
+    @property
+    def num_points(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def scanned_axes(self) -> tuple[str, ...]:
+        """Axes with more than one value, in canonical order."""
+        return tuple(n for n in AXIS_ORDER if len(self.axis_values(n)) > 1)
+
+    @property
+    def lps_values(self) -> tuple[int, ...]:
+        return self.axis_values("lps")
+
+    def point(self, index: int) -> dict:
+        """Full parameter dict of grid point ``index`` (row-major enumeration)."""
+        if not 0 <= index < self.num_points:
+            raise ValidationError(
+                f"point index {index} out of range for {self.num_points} points"
+            )
+        out = {}
+        remainder = index
+        for axis_name, extent in zip(reversed(AXIS_ORDER), reversed(self.shape)):
+            remainder, digit = divmod(remainder, extent)
+            out[axis_name] = self.axis_values(axis_name)[digit]
+        return {n: out[n] for n in AXIS_ORDER}
+
+    def iter_points(self) -> Iterator[dict]:
+        """All grid points in enumeration order (for small grids / tests)."""
+        value_lists = [self.axis_values(n) for n in AXIS_ORDER]
+        for combo in itertools.product(*value_lists):
+            yield dict(zip(AXIS_ORDER, combo))
+
+    @property
+    def num_configs(self) -> int:
+        """Number of non-``lps`` axis combinations (grid points / LPS run)."""
+        return self.num_points // len(self.lps_values)
+
+    def config(self, k: int) -> dict:
+        """Non-``lps`` parameters of config block ``k`` (mixed-radix decode).
+
+        Config ``k`` owns the contiguous points
+        ``[k * len(lps_values), (k + 1) * len(lps_values))`` — the random
+        access the sharded executor uses to touch only the blocks a shard
+        intersects.
+        """
+        if not 0 <= k < self.num_configs:
+            raise ValidationError(
+                f"config index {k} out of range for {self.num_configs} configs"
+            )
+        config_axes = AXIS_ORDER[:-1]
+        out = {}
+        remainder = k
+        for axis_name in reversed(config_axes):
+            values = self.axis_values(axis_name)
+            remainder, digit = divmod(remainder, len(values))
+            out[axis_name] = values[digit]
+        return {n: out[n] for n in config_axes}
+
+    def config_blocks(self) -> Iterator[tuple[int, dict, tuple[int, ...]]]:
+        """Iterate ``(start_index, config, lps_values)`` over the grid.
+
+        A *config* fixes every non-``lps`` axis; because ``lps`` is the
+        innermost axis, each config owns one contiguous run of
+        ``len(lps_values)`` points starting at ``start_index``.  This is
+        the unit of vectorization for the executor.
+        """
+        config_axes = AXIS_ORDER[:-1]
+        lps_values = self.lps_values
+        block = len(lps_values)
+        value_lists = [self.axis_values(n) for n in config_axes]
+        for k, combo in enumerate(itertools.product(*value_lists)):
+            yield k * block, dict(zip(config_axes, combo)), lps_values
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-ready payload (canonical key order, explicit axes only)."""
+        return {
+            "name": self.name,
+            "axes": {n: list(v) for n, v in self.axes.items()},
+            "mc_trials": self.mc_trials,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ScenarioSpec":
+        if not isinstance(payload, Mapping):
+            raise ValidationError(f"spec payload must be an object, got {type(payload)}")
+        unknown = set(payload) - {"name", "axes", "mc_trials", "seed"}
+        if unknown:
+            raise ValidationError(f"unknown spec keys {sorted(unknown)}")
+        return cls(
+            axes=dict(payload.get("axes", {})),
+            name=str(payload.get("name", "study")),
+            mc_trials=int(payload.get("mc_trials", 0)),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec from a JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"spec file {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def describe(self) -> str:
+        """One-line human summary: ``12000 points: lps(2000) x accuracy(3) ...``"""
+        scanned = [f"{n}({len(self.axis_values(n))})" for n in self.scanned_axes]
+        grid = " x ".join(scanned) if scanned else "single point"
+        return f"{self.num_points} points: {grid}"

@@ -1,0 +1,152 @@
+"""Differential consistency: analytic pipeline == ASPEN == DES runtime.
+
+Three independent implementations of the paper's performance models exist
+in the repo: the closed-form :class:`SplitExecutionModel` pipeline, the
+ASPEN-evaluated listings (``core/aspen_backend.py``), and the
+discrete-event runtime (``runtime/des.py`` driving the Fig.-2 layer
+sequence).  On a shared scenario grid, all three must agree on the stage
+breakdowns — so the backends can never silently drift apart.
+
+Documented tolerances:
+
+* **analytic vs ASPEN** — relative 1e-12.  Both evaluate the same closed
+  forms; only floating-point association order may differ.
+* **analytic vs DES** — relative 1e-9 with an absolute floor of 1e-10 s.
+  The simulator *adds* stage durations as event timestamps (``now +
+  delay`` chains), so each span is a difference of two accumulated sums
+  of order the total latency; a span much smaller than the total (e.g.
+  the picosecond Stage-3 store at LPS=0 next to the 0.32 s init) carries
+  the *timestamps'* ULP as absolute error.  1e-10 s sits far above
+  float64 ULP at any latency in the grid (~1e-13 s at 607 s) and far
+  below any real scheduling bug (whole microseconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AspenStageModels, SplitExecutionModel
+from repro.runtime.layers import run_single_session
+
+# The shared small scenario grid: LPS spans the Fig. 9 range (0 exercises
+# the degenerate empty problem), the probability pairs cover loose and
+# tight accuracy targets at weak and strong single-run success.
+GRID_LPS = (0, 1, 5, 20, 50, 100)
+GRID_PROBS = ((0.5, 0.7), (0.99, 0.7), (0.9999, 0.61), (0.99, 0.9))
+
+ASPEN_RTOL = 1e-12
+DES_RTOL = 1e-9
+DES_ATOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def aspen() -> AspenStageModels:
+    return AspenStageModels()
+
+
+@pytest.fixture(scope="module")
+def model() -> SplitExecutionModel:
+    return SplitExecutionModel()
+
+
+def _grid():
+    return [(lps, acc, suc) for lps in GRID_LPS for acc, suc in GRID_PROBS]
+
+
+@pytest.mark.parametrize("lps,accuracy,success", _grid())
+class TestAnalyticVsAspen:
+    """Closed-form pipeline vs the ASPEN-evaluated listings, per stage."""
+
+    def test_stage_breakdowns_agree(self, model, aspen, lps, accuracy, success):
+        t = model.time_to_solution(lps, accuracy, success)
+        assert t.stage1_seconds == pytest.approx(aspen.stage1_seconds(lps), rel=ASPEN_RTOL)
+        assert t.stage2_seconds == pytest.approx(
+            aspen.stage2_seconds(accuracy * 100.0, success), rel=ASPEN_RTOL
+        )
+        assert t.stage3_seconds == pytest.approx(
+            aspen.stage3_seconds(lps, accuracy=accuracy, success=success), rel=ASPEN_RTOL
+        )
+
+    def test_totals_agree(self, model, aspen, lps, accuracy, success):
+        t = model.time_to_solution(lps, accuracy, success)
+        evaluated = (
+            aspen.stage1_seconds(lps)
+            + aspen.stage2_seconds(accuracy * 100.0, success)
+            + aspen.stage3_seconds(lps, accuracy=accuracy, success=success)
+        )
+        assert t.total_seconds == pytest.approx(evaluated, rel=ASPEN_RTOL)
+
+
+@pytest.mark.parametrize("lps,accuracy,success", _grid())
+class TestAnalyticVsRuntime:
+    """Closed-form pipeline vs the discrete-event Fig.-2 simulation."""
+
+    def test_end_to_end_latency(self, model, lps, accuracy, success):
+        t = model.time_to_solution(lps, accuracy, success)
+        profile = model.request_profile(lps, accuracy, success)
+        latency, _ = run_single_session(profile)
+        # The DES request additionally pays the two payload transfers the
+        # profile carries; subtract them to compare against the model total.
+        expected = t.total_seconds + 2 * profile.payload_transfer
+        assert latency == pytest.approx(expected, rel=DES_RTOL)
+        assert latency == pytest.approx(profile.total_service_time, rel=DES_RTOL)
+
+    def test_per_stage_spans(self, model, lps, accuracy, success):
+        t = model.time_to_solution(lps, accuracy, success)
+        profile = model.request_profile(lps, accuracy, success)
+        _, trace = run_single_session(profile)
+        spans = trace.total_by_operation()
+
+        s1 = t.stage1
+        assert spans["generate_ising"] == pytest.approx(
+            s1.ising_generation + s1.parameter_setting, rel=DES_RTOL, abs=DES_ATOL
+        )
+        assert spans["minor_embedding"] == pytest.approx(
+            s1.embedding_flops + s1.input_loads + s1.output_stores + s1.intracomm,
+            rel=DES_RTOL,
+            abs=DES_ATOL,
+        )
+        assert spans["program_processor"] == pytest.approx(
+            s1.processor_initialize, rel=DES_RTOL, abs=DES_ATOL
+        )
+        assert spans["anneal_and_readout"] == pytest.approx(
+            t.stage2_seconds, rel=DES_RTOL, abs=DES_ATOL
+        )
+        assert spans["postprocess_sort"] == pytest.approx(
+            t.stage3_seconds, rel=DES_RTOL, abs=DES_ATOL
+        )
+
+    def test_uncontended_run_never_queues(self, model, lps, accuracy, success):
+        profile = model.request_profile(lps, accuracy, success)
+        _, trace = run_single_session(profile)
+        assert "queue_wait" not in trace.total_by_operation()
+
+
+class TestThreeWayStudyGrid:
+    """One three-way sweep: the study executor's rows against both backends."""
+
+    def test_study_rows_match_aspen_and_des(self, aspen):
+        from repro.studies import ScenarioSpec, run_study
+
+        spec = ScenarioSpec(
+            axes={"lps": [1, 10, 50], "accuracy": [0.9, 0.99]}, name="three-way"
+        )
+        results = run_study(spec)
+        model = SplitExecutionModel()
+        for index in range(results.num_points):
+            point = spec.point(index)
+            row = results.table[index]
+            assert row["stage1_s"] == pytest.approx(
+                aspen.stage1_seconds(point["lps"]), rel=ASPEN_RTOL
+            )
+            assert row["stage2_s"] == pytest.approx(
+                aspen.stage2_seconds(point["accuracy"] * 100.0, point["success"]),
+                rel=ASPEN_RTOL,
+            )
+            profile = model.request_profile(
+                point["lps"], point["accuracy"], point["success"]
+            )
+            latency, _ = run_single_session(profile)
+            assert latency == pytest.approx(
+                row["total_s"] + 2 * profile.payload_transfer, rel=DES_RTOL
+            )

@@ -1,0 +1,121 @@
+"""Golden CLI snapshots: user-facing output pinned to frozen fixtures.
+
+``predict``, ``fig9``, and the ``study`` summary are the library's
+user-facing report surfaces; this suite pins their exact text to fixtures
+under ``tests/data/`` so formatting regressions fail loudly.  Volatile
+fields (wall-clock lines, artifact paths) are normalized before comparing.
+
+If an *intentional* formatting change breaks these tests, regenerate the
+fixtures with::
+
+    PYTHONPATH=src python tests/test_cli_golden.py --regen
+
+and review the fixture diff like any other code change.  Never regenerate
+to silence an unintended diff.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: Each golden case: fixture name -> CLI argv (argv may contain "{out}" which
+#: is substituted with a scratch artifact path at run time).
+GOLDEN_CASES: dict[str, list[str]] = {
+    "cli_predict.txt": ["predict", "--lps", "30"],
+    "cli_predict_offline.txt": ["predict", "--lps", "80", "--embedding-mode", "offline"],
+    "cli_fig9.txt": ["fig9", "--max-lps", "50"],
+    "cli_study.txt": [
+        "study",
+        "--lps", "1:31",
+        "--accuracy", "0.9,0.99",
+        "--embedding-mode", "online,offline",
+        "--mc-trials", "32",
+        "--seed", "11",
+        "--name", "golden",
+        "--out", "{out}",
+    ],
+}
+
+_VOLATILE = (
+    (re.compile(r"^elapsed: .*$", re.MULTILINE), "elapsed: <TIME>"),
+    (re.compile(r"^wrote .*$", re.MULTILINE), "wrote <PATH>"),
+)
+
+
+def normalize(text: str) -> str:
+    """Blank the wall-clock and filesystem-path lines of CLI output."""
+    for pattern, replacement in _VOLATILE:
+        text = pattern.sub(replacement, text)
+    return text
+
+
+def _run_case(argv: list[str], out_path: Path) -> str:
+    import contextlib
+    import io
+
+    from repro.cli import main
+
+    argv = [a.replace("{out}", str(out_path)) for a in argv]
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    assert code == 0, f"command {argv} exited {code}"
+    return normalize(buffer.getvalue())
+
+
+@pytest.mark.parametrize("fixture", sorted(GOLDEN_CASES))
+def test_cli_output_matches_golden(fixture, tmp_path):
+    path = DATA_DIR / fixture
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"`PYTHONPATH=src python tests/test_cli_golden.py --regen` and review the diff"
+    )
+    actual = _run_case(GOLDEN_CASES[fixture], tmp_path / "artifact.json")
+    expected = path.read_text()
+    assert actual == expected, (
+        f"CLI output drifted from {fixture}; if the change is intentional, "
+        f"regenerate via `PYTHONPATH=src python tests/test_cli_golden.py --regen` "
+        f"and review the fixture diff"
+    )
+
+
+def test_study_golden_artifact_column_sanity(tmp_path):
+    """The golden study's artifact stays loadable and internally consistent."""
+    import numpy as np
+
+    from repro.studies import StudyResults
+
+    out = tmp_path / "artifact.json"
+    _run_case(GOLDEN_CASES["cli_study.txt"], out)
+    results = StudyResults.load(out)
+    assert results.num_points == 120
+    total = (
+        results.column("stage1_s")
+        + results.column("stage2_s")
+        + results.column("stage3_s")
+    )
+    assert np.array_equal(total, results.column("total_s"))
+
+
+def _regen() -> None:
+    import tempfile
+
+    DATA_DIR.mkdir(exist_ok=True)
+    with tempfile.TemporaryDirectory() as scratch:
+        for fixture, argv in GOLDEN_CASES.items():
+            text = _run_case(argv, Path(scratch) / "artifact.json")
+            (DATA_DIR / fixture).write_text(text)
+            print(f"regenerated {DATA_DIR / fixture}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

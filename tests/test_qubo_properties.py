@@ -1,0 +1,193 @@
+"""Property-based / randomized invariants of the QUBO-Ising problem layer.
+
+The frozen goldens (``tests/data/golden_kernels.json``) pin exact outputs
+on fixed inputs; this suite complements them with *generative* coverage —
+hypothesis strategies and seeded random sweeps asserting the algebraic
+invariants the paper's Eqs. (2)-(5) rest on, whatever the coefficients:
+
+* the Qubo <-> Ising round trip is the identity;
+* batched ``energies`` agrees with an independent dense quadratic form and
+  with the brute-force ground truth on enumerable sizes;
+* energies are invariant under spin relabeling (graph isomorphism);
+* ``negated`` / ``scaled`` follow the affine algebra of the Hamiltonian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qubo import (
+    IsingModel,
+    Qubo,
+    brute_force_ising,
+    ising_to_qubo,
+    qubo_to_ising,
+    random_ising,
+    random_qubo,
+)
+
+settings.register_profile("repro-properties", deadline=None, max_examples=40)
+settings.load_profile("repro-properties")
+
+
+# --------------------------------------------------------------------- #
+# Strategies and reference implementations
+# --------------------------------------------------------------------- #
+# Coefficients bounded away from the subnormal regime: the round-trip
+# exactness claims rest on halving/quartering being exact exponent shifts,
+# which fails only when the result underflows (hypothesis found 5e-324).
+_coeff = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=8.0, allow_nan=False, width=64),
+    st.floats(min_value=-8.0, max_value=-1e-3, allow_nan=False, width=64),
+)
+
+
+@st.composite
+def ising_models(draw, max_spins: int = 8):
+    """A small random IsingModel with bounded, exactly-representable-ish coeffs."""
+    n = draw(st.integers(min_value=1, max_value=max_spins))
+    h = draw(st.lists(_coeff, min_size=n, max_size=n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))) if pairs else []
+    J = {pair: draw(_coeff) for pair in chosen}
+    offset = draw(_coeff)
+    return IsingModel(h, J, offset)
+
+
+@st.composite
+def qubos(draw, max_vars: int = 8):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    linear = draw(st.lists(_coeff, min_size=n, max_size=n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))) if pairs else []
+    quadratic = {pair: draw(_coeff) for pair in chosen}
+    offset = draw(_coeff)
+    return Qubo(linear, quadratic, offset)
+
+
+def _all_spins(n: int) -> np.ndarray:
+    """All 2^n spin configurations as a (2^n, n) array of {-1, +1}."""
+    idx = np.arange(1 << n)[:, None]
+    return (((idx >> np.arange(n)) & 1) * 2 - 1).astype(np.float64)
+
+
+def _dense_energy(model: IsingModel, S: np.ndarray) -> np.ndarray:
+    """Independent reference: dense quadratic form, different operation order."""
+    M = model.to_dense_coupling()
+    return S @ model.h + 0.5 * np.einsum("ki,ij,kj->k", S, M, S) + model.offset
+
+
+# --------------------------------------------------------------------- #
+# Round-trip exactness (Eqs. 4-5)
+# --------------------------------------------------------------------- #
+class TestRoundTrip:
+    @given(q=qubos())
+    def test_qubo_ising_qubo_is_identity(self, q):
+        back = ising_to_qubo(qubo_to_ising(q))
+        assert back.num_variables == q.num_variables
+        assert np.allclose(back.linear, q.linear, rtol=0, atol=1e-12)
+        r0, c0, v0 = q.quadratic_arrays()
+        r1, c1, v1 = back.quadratic_arrays()
+        assert np.array_equal(r0, r1) and np.array_equal(c0, c1)
+        # Halving and re-doubling is exact in binary floating point.
+        assert np.array_equal(v0, v1)
+        assert back.offset == pytest.approx(q.offset, abs=1e-12)
+
+    @given(m=ising_models())
+    def test_ising_qubo_ising_is_identity(self, m):
+        back = qubo_to_ising(ising_to_qubo(m))
+        assert np.allclose(back.h, m.h, rtol=0, atol=1e-12)
+        assert np.array_equal(back.coupling_arrays()[2], m.coupling_arrays()[2])
+        assert back.offset == pytest.approx(m.offset, abs=1e-12)
+
+    @given(q=qubos(max_vars=6))
+    def test_energies_preserved_configuration_by_configuration(self, q):
+        m = qubo_to_ising(q)
+        n = q.num_variables
+        S = _all_spins(n)
+        B = (S + 1.0) / 2.0
+        assert np.allclose(q.energies(B), m.energies(S), rtol=0, atol=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Energies vs ground truth
+# --------------------------------------------------------------------- #
+class TestEnergies:
+    @given(m=ising_models(max_spins=7))
+    def test_batched_energies_match_dense_reference(self, m):
+        S = _all_spins(m.num_spins)
+        assert np.allclose(m.energies(S), _dense_energy(m, S), rtol=1e-12, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_brute_force_finds_the_enumerated_minimum(self, seed):
+        m = random_ising(2 + seed, density=0.7, rng=seed)
+        S = _all_spins(m.num_spins)
+        energies = m.energies(S)
+        states, best = brute_force_ising(m, num_best=1)
+        assert best[0] == pytest.approx(float(np.min(energies)), rel=1e-12, abs=1e-12)
+        assert m.energy(states[0]) == pytest.approx(best[0], rel=1e-12, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sweep_energy_matches_polynomial(self, seed):
+        """Seeded sweep: energies == the literal Eq.-2 polynomial, term by term."""
+        rng = np.random.default_rng(seed)
+        m = random_ising(12, density=0.5, rng=seed)
+        S = (rng.integers(0, 2, size=(64, 12)) * 2 - 1).astype(np.float64)
+        expected = np.full(64, m.offset)
+        for k in range(64):
+            expected[k] += float(np.dot(m.h, S[k]))
+            for i, j, v in m.iter_couplings():
+                expected[k] += v * S[k, i] * S[k, j]
+        assert np.allclose(m.energies(S), expected, rtol=1e-12, atol=1e-10)
+
+
+# --------------------------------------------------------------------- #
+# Symmetry and algebra
+# --------------------------------------------------------------------- #
+class TestSymmetries:
+    @given(m=ising_models(), data=st.data())
+    def test_energy_invariant_under_spin_relabeling(self, m, data):
+        n = m.num_spins
+        perm = data.draw(st.permutations(range(n)))
+        relabeled = m.relabeled({i: perm[i] for i in range(n)})
+        S = _all_spins(min(n, 6)) if n <= 6 else _all_spins(6)
+        # Extend to n columns deterministically for larger models.
+        reps = -(-n // S.shape[1])
+        S = np.tile(S, (1, reps))[:, :n]
+        permuted = np.empty_like(S)
+        permuted[:, perm] = S
+        assert np.allclose(relabeled.energies(permuted), m.energies(S), rtol=0, atol=1e-9)
+
+    @given(m=ising_models())
+    def test_negated_is_an_energy_reflection_about_the_offset(self, m):
+        """negated flips (h, J) but keeps offset: E' = 2*offset - E."""
+        S = _all_spins(min(m.num_spins, 6))[:, : m.num_spins]
+        S = np.tile(S, (1, -(-m.num_spins // S.shape[1])))[:, : m.num_spins]
+        neg = m.negated()
+        assert np.allclose(
+            neg.energies(S), 2.0 * m.offset - m.energies(S), rtol=0, atol=1e-9
+        )
+        assert neg.negated() == m
+
+    @given(m=ising_models(), factor=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False))
+    def test_scaled_scales_every_energy(self, m, factor):
+        S = _all_spins(min(m.num_spins, 6))
+        S = np.tile(S, (1, -(-m.num_spins // S.shape[1])))[:, : m.num_spins]
+        scaled = m.scaled(factor)
+        assert np.allclose(scaled.energies(S), factor * m.energies(S), rtol=1e-12, atol=1e-9)
+
+    @given(m=ising_models())
+    def test_scaled_identity_and_composition(self, m):
+        assert m.scaled(1.0) == m
+        assert m.scaled(2.0).scaled(0.5) == m  # powers of two are exact
+
+    def test_ground_state_order_invariant_under_positive_scaling(self):
+        m = random_ising(10, density=0.6, rng=42)
+        states, energies = brute_force_ising(m, num_best=4)
+        states2, energies2 = brute_force_ising(m.scaled(2.0), num_best=4)
+        assert np.array_equal(states, states2)
+        assert np.allclose(energies2, 2.0 * np.asarray(energies), rtol=1e-12)

@@ -1,0 +1,148 @@
+"""Tests for the declarative scenario-spec layer: validation + enumeration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.studies import AXIS_ORDER, Axis, ScenarioSpec, axis_default
+
+
+class TestAxisValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValidationError, match="unknown axis"):
+            Axis("qubits", (1, 2))
+        with pytest.raises(ValidationError, match="unknown axes"):
+            ScenarioSpec(axes={"qubits": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError, match="at least one value"):
+            Axis("lps", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Axis("accuracy", (0.9, 0.9))
+
+    def test_lps_must_be_nonnegative_integers(self):
+        assert Axis("lps", (1, 2.0, 5)).values == (1, 2, 5)
+        with pytest.raises(ValidationError, match="integers"):
+            Axis("lps", (1.5,))
+        with pytest.raises(ValidationError, match="non-negative"):
+            Axis("lps", (-1,))
+
+    def test_probability_domains(self):
+        with pytest.raises(ValidationError, match="accuracy"):
+            Axis("accuracy", (1.0,))
+        with pytest.raises(ValidationError, match="success"):
+            Axis("success", (0.0,))
+        assert Axis("success", (1.0,)).values == (1.0,)
+
+    def test_embedding_mode_values(self):
+        assert Axis("embedding_mode", ("online", "offline")).values == ("online", "offline")
+        with pytest.raises(ValidationError, match="embedding_mode"):
+            Axis("embedding_mode", ("quantum",))
+
+    def test_machine_rates_positive(self):
+        with pytest.raises(ValidationError, match="positive"):
+            Axis("clock_hz", (0.0,))
+        with pytest.raises(ValidationError, match="finite"):
+            Axis("anneal_us", (float("inf"),))
+
+
+class TestGridGeometry:
+    def test_defaults_fill_absent_axes(self):
+        spec = ScenarioSpec(axes={"lps": [10, 20]})
+        assert spec.num_points == 2
+        point = spec.point(0)
+        assert set(point) == set(AXIS_ORDER)
+        assert point["accuracy"] == axis_default("accuracy")
+        assert point["success"] == axis_default("success")
+        assert point["embedding_mode"] == "online"
+
+    def test_enumeration_is_row_major_lps_innermost(self):
+        spec = ScenarioSpec(
+            axes={"lps": [1, 2, 3], "accuracy": [0.9, 0.99], "embedding_mode": ["online", "offline"]}
+        )
+        points = list(spec.iter_points())
+        assert [p["lps"] for p in points[:3]] == [1, 2, 3]
+        assert points[0]["accuracy"] == 0.9 and points[3]["accuracy"] == 0.99
+        assert points[0]["embedding_mode"] == "online"
+        assert points[6]["embedding_mode"] == "offline"
+        # point(i) agrees with the iterator everywhere
+        assert all(spec.point(i) == p for i, p in enumerate(points))
+
+    def test_point_index_bounds(self):
+        spec = ScenarioSpec(axes={"lps": [1]})
+        with pytest.raises(ValidationError, match="out of range"):
+            spec.point(1)
+
+    def test_config_blocks_tile_the_grid(self):
+        spec = ScenarioSpec(axes={"lps": [5, 10], "success": [0.6, 0.7, 0.8]})
+        blocks = list(spec.config_blocks())
+        assert len(blocks) == 3
+        assert [start for start, _, _ in blocks] == [0, 2, 4]
+        for start, config, lps_values in blocks:
+            assert lps_values == (5, 10)
+            for offset, lps in enumerate(lps_values):
+                point = spec.point(start + offset)
+                assert point["lps"] == lps
+                assert point["success"] == config["success"]
+
+    def test_axis_instances_accepted_as_values(self):
+        spec = ScenarioSpec(axes={"lps": Axis("lps", (1, 2)), "accuracy": [0.9]})
+        assert spec.lps_values == (1, 2)
+        assert spec == ScenarioSpec(axes={"lps": [1, 2], "accuracy": [0.9]})
+        with pytest.raises(ValidationError, match="stored under key"):
+            ScenarioSpec(axes={"lps": Axis("accuracy", (0.9,))})
+
+    def test_config_random_access_matches_enumeration(self):
+        spec = ScenarioSpec(
+            axes={"lps": [1, 2, 3], "success": [0.6, 0.7], "embedding_mode": ["online", "offline"]}
+        )
+        assert spec.num_configs == 4
+        for start, config, _ in spec.config_blocks():
+            assert spec.config(start // 3) == config
+        with pytest.raises(ValidationError, match="out of range"):
+            spec.config(4)
+
+    def test_scanned_axes_in_canonical_order(self):
+        spec = ScenarioSpec(axes={"lps": [1, 2], "embedding_mode": ["online", "offline"]})
+        assert spec.scanned_axes == ("embedding_mode", "lps")
+
+    def test_value_order_is_preserved_not_sorted(self):
+        spec = ScenarioSpec(axes={"lps": [50, 10, 30]})
+        assert spec.lps_values == (50, 10, 30)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = ScenarioSpec(
+            axes={"lps": [1, 2], "accuracy": [0.9, 0.99]},
+            name="rt",
+            mc_trials=16,
+            seed=5,
+        )
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"name": "f", "axes": {"lps": [3, 4]}}))
+        spec = ScenarioSpec.from_file(path)
+        assert spec.name == "f" and spec.lps_values == (3, 4)
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            ScenarioSpec.from_file(path)
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ValidationError, match="unknown spec keys"):
+            ScenarioSpec.from_dict({"axes": {}, "workers": 4})
+
+    def test_negative_mc_trials_rejected(self):
+        with pytest.raises(ValidationError, match="mc_trials"):
+            ScenarioSpec(axes={"lps": [1]}, mc_trials=-1)
