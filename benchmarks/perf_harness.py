@@ -3,7 +3,8 @@
 Times a fixed set of named reference workloads — the kernels the paper's
 headline result (Fig. 9) makes hot: SA sampling, batched energy evaluation,
 brute-force enumeration, CMR minor embedding, the Fig.-9 pipeline sweep,
-and the sharded scenario-study executor — and emits a machine-readable
+ASPEN paper-model loading, and the sharded scenario-study executor — and
+emits a machine-readable
 ``BENCH_PERF.json`` at the repository root so every PR's perf delta is
 visible in review.
 
@@ -59,6 +60,11 @@ SEED_BASELINE_SECONDS: dict[str, float | None] = {
     # when the study engine landed — the pre-engine way of producing these
     # numbers was exactly such a per-point Python loop.
     "study": 0.50354,
+    # The aspen_models baseline is the same workload (20 AspenStageModels
+    # constructions + a Stage-1 evaluation each) measured best-of-5 before
+    # load_paper_models() was memoized — every construction re-lexed and
+    # re-parsed the five bundled listing files.
+    "aspen_models": 0.11626,
 }
 
 
@@ -143,6 +149,21 @@ def _sweep(check: bool):
     return op, f"Fig.-9 sweep, {points.size} LPS points, {calls} calls"
 
 
+def _aspen_models(check: bool):
+    from repro.core import AspenStageModels
+
+    calls = 2 if check else 20
+
+    def op():
+        for _ in range(calls):
+            AspenStageModels().stage1_seconds(50)
+
+    return op, (
+        f"{calls} AspenStageModels constructions + Stage-1 evals "
+        f"(memoized paper-model registry)"
+    )
+
+
 def _study(check: bool):
     from repro.studies import ScenarioSpec, run_study
 
@@ -178,6 +199,7 @@ KERNELS = {
     "brute_force": _brute_force,
     "embed": _embed,
     "sweep": _sweep,
+    "aspen_models": _aspen_models,
     "study": _study,
 }
 

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # The repo's one-command verification gate.
 #
-#   ./scripts/ci_check.sh          # tier-1 tests + perf-harness smoke + coverage
-#   ./scripts/ci_check.sh --fast   # tier-1 tests + perf-harness smoke only
+#   ./scripts/ci_check.sh          # tier-1 + perf smoke + cache smoke + coverage
+#   ./scripts/ci_check.sh --fast   # tier-1 + perf smoke + cache smoke only
 #
-# Coverage: the floor below is enforced whenever pytest-cov is installed.
-# The reference container does not ship it, so the gate degrades to a loud
-# skip there rather than a silent pass — install pytest-cov to arm it.
+# Coverage: the floor below is enforced whenever the gate runs; a missing
+# pytest-cov plugin is a FAILURE (install the `[test]` extra declared in
+# setup.py), not a warning.  `--fast` is the only way to skip the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +23,30 @@ echo
 echo "== perf-harness smoke (--check) =="
 python -m benchmarks.perf_harness --check
 
+echo
+echo "== study-cache correctness smoke =="
+# The same tiny three-backend study twice against one cache: the second
+# run must be served entirely from cache and produce byte-identical bytes.
+CACHE_SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$CACHE_SCRATCH"' EXIT
+run_cached_study() {
+    python -m repro.cli study \
+        --lps 1:11 --accuracy 0.9,0.99 --backend closed_form,aspen,des \
+        --name ci-cache-smoke --no-summary \
+        --cache "$CACHE_SCRATCH/cache" --out "$1"
+}
+COLD_OUT="$(run_cached_study "$CACHE_SCRATCH/cold.json")"
+echo "$COLD_OUT"
+grep -q "cache: served 0/1 shards from cache" <<<"$COLD_OUT" || {
+    echo "ERROR: cold study run unexpectedly hit the cache" >&2; exit 1; }
+WARM_OUT="$(run_cached_study "$CACHE_SCRATCH/warm.json")"
+echo "$WARM_OUT"
+grep -q "cache: served 1/1 shards from cache" <<<"$WARM_OUT" || {
+    echo "ERROR: warm study run was not served from the cache" >&2; exit 1; }
+cmp "$CACHE_SCRATCH/cold.json" "$CACHE_SCRATCH/warm.json" || {
+    echo "ERROR: cache-served artifact differs from the cold run" >&2; exit 1; }
+echo "cache smoke: warm run byte-identical to cold run"
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo
     echo "ci_check: fast mode — coverage gate skipped by request"
@@ -31,12 +55,13 @@ fi
 
 echo
 echo "== coverage gate (floor: ${COVERAGE_FLOOR}%) =="
-if python -c "import pytest_cov" 2>/dev/null; then
-    python -m pytest -q --cov=repro --cov-report=term --cov-fail-under="${COVERAGE_FLOOR}"
-else
-    echo "WARNING: pytest-cov is not installed; coverage gate SKIPPED" >&2
-    echo "         (install pytest-cov to enforce the ${COVERAGE_FLOOR}% floor)" >&2
+if ! python -c "import pytest_cov" 2>/dev/null; then
+    echo "ERROR: pytest-cov is not installed; the coverage gate cannot run." >&2
+    echo "       Install the test extra (pip install -e '.[test]') or pass" >&2
+    echo "       --fast to skip coverage explicitly." >&2
+    exit 1
 fi
+python -m pytest -q --cov=repro --cov-report=term --cov-fail-under="${COVERAGE_FLOOR}"
 
 echo
 echo "ci_check: all gates passed"

@@ -30,6 +30,13 @@ Subpackages
     The paper's contribution: analytical stage models, the Eq.-6 repetition
     planner, the end-to-end pipeline model, scaling/crossover studies,
     calibration, and report generation (Fig. 9).
+``repro.backends``
+    The ``PerformanceBackend`` protocol and registry unifying the three
+    model realizations (closed forms, ASPEN listings, DES runtime).
+``repro.studies``
+    Declarative scenario studies: spec grids (with a ``backend`` axis),
+    the sharded deterministic executor, columnar results artifacts, the
+    content-addressed shard cache, and report generation.
 """
 
 from __future__ import annotations

@@ -1,0 +1,58 @@
+"""Unified performance backends: one protocol over three model realizations.
+
+The repo carries three independent implementations of the paper's
+split-execution performance model — the closed forms, the ASPEN-evaluated
+listings, and the discrete-event runtime.  This package puts them behind
+one :class:`~repro.backends.base.PerformanceBackend` protocol and a
+string-keyed registry::
+
+    from repro import backends
+
+    backends.available_backends()      # ('aspen', 'closed_form', 'des')
+    t = backends.get("aspen").evaluate(backends.full_point(lps=30))
+    cols = backends.get("des").sweep(backends.full_point(), [1, 10, 100])
+
+The scenario-study engine sweeps the registry through the spec's
+``backend`` axis, the CLI threads ``--backend`` through ``predict`` /
+``fig9`` / ``study``, and the differential suite parametrizes over the
+registry so each backend is held to its declared tolerance against the
+``closed_form`` reference.  New backends register entry-point style (a
+:func:`~repro.backends.base.register`-decorated class at import time).
+"""
+
+from .aspen import AspenBackend
+from .base import (
+    DEFAULT_BACKEND,
+    DEFAULT_OPERATING_POINT,
+    BackendCapabilities,
+    BackendTimings,
+    PerformanceBackend,
+    SweepColumns,
+    available_backends,
+    capabilities,
+    full_point,
+    get,
+    register,
+    unregister,
+)
+from .closed_form import ClosedFormBackend, model_for_config
+from .des import DesBackend
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DEFAULT_OPERATING_POINT",
+    "BackendCapabilities",
+    "BackendTimings",
+    "PerformanceBackend",
+    "SweepColumns",
+    "available_backends",
+    "capabilities",
+    "full_point",
+    "get",
+    "register",
+    "unregister",
+    "model_for_config",
+    "ClosedFormBackend",
+    "AspenBackend",
+    "DesBackend",
+]

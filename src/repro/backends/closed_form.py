@@ -1,0 +1,106 @@
+"""The closed-form pipeline as a registered performance backend.
+
+Wraps :class:`repro.core.pipeline.SplitExecutionModel` — the reference
+implementation every other backend's tolerance is declared against.  The
+batched entry point keeps the zero-copy ``sweep_arrays`` fast path: stage
+columns are the struct-of-arrays results themselves, no per-point Python
+objects, and (by the ``sweep_arrays`` guarantee, audited in
+``tests/test_pipeline_sweep_arrays.py``) bit-identical to the scalar
+``time_to_solution`` loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..core.pipeline import SplitExecutionModel, StageTimings
+from .base import (
+    DEFAULT_OPERATING_POINT,
+    BackendCapabilities,
+    BackendTimings,
+    PerformanceBackend,
+    SweepColumns,
+    register,
+)
+
+__all__ = ["ClosedFormBackend", "model_for_config"]
+
+#: Every study axis routes through ``SplitExecutionModel.with_overrides``.
+_ALL_AXES = frozenset(DEFAULT_OPERATING_POINT)
+
+
+def model_for_config(config: Mapping) -> SplitExecutionModel:
+    """The closed-form model realizing one config's operating constants.
+
+    The single knob-turning path shared by the ``closed_form`` and ``des``
+    backends (the DES runtime consumes closed-form stage durations as its
+    event-delay profile), so every "what if the machine were different"
+    question builds models the same way.  Absent keys fall back to the
+    paper's defaults.
+    """
+
+    def value(axis: str):
+        return config.get(axis, DEFAULT_OPERATING_POINT[axis])
+
+    return SplitExecutionModel().with_overrides(
+        embedding_mode=value("embedding_mode"),
+        anneal_us=value("anneal_us"),
+        clock_hz=value("clock_hz"),
+        memory_bandwidth_bytes_per_s=value("memory_bandwidth_bytes_per_s"),
+        pcie_bandwidth_bytes_per_s=value("pcie_bandwidth_bytes_per_s"),
+    )
+
+
+def _timings(name: str, point: Mapping, t: StageTimings) -> BackendTimings:
+    return BackendTimings(
+        backend=name,
+        lps=int(point["lps"]),
+        accuracy=float(point["accuracy"]),
+        success=float(point["success"]),
+        stage1_s=t.stage1_seconds,
+        stage2_s=t.stage2_seconds,
+        stage3_s=t.stage3_seconds,
+        repetitions=t.stage2.repetitions,
+    )
+
+
+@register
+class ClosedFormBackend(PerformanceBackend):
+    """Closed-form Stage 1-3 models composed by ``SplitExecutionModel``."""
+
+    name = "closed_form"
+    capabilities = BackendCapabilities(
+        supported_axes=_ALL_AXES,
+        rtol=0.0,
+        atol=0.0,
+        description="closed-form stage models (Figs. 6-8); the reference backend",
+    )
+
+    def evaluate(self, point: Mapping) -> BackendTimings:
+        model = model_for_config(point)
+        t = model.time_to_solution(
+            int(point["lps"]), float(point["accuracy"]), float(point["success"])
+        )
+        return _timings(self.name, point, t)
+
+    def sweep(self, config: Mapping, lps_values: Iterable[int]) -> SweepColumns:
+        model = model_for_config(config)
+        sweep = model.sweep_arrays(
+            np.asarray(list(lps_values), dtype=np.int64),
+            accuracy=float(config["accuracy"]),
+            success=float(config["success"]),
+        )
+        reps = np.full(len(sweep), sweep.stage2.repetitions, dtype=np.int64)
+        return SweepColumns(
+            stage1_s=sweep.stage1.total,
+            stage2_s=np.broadcast_to(
+                np.float64(sweep.stage2.total), (len(sweep),)
+            ).copy(),
+            stage3_s=sweep.stage3.total,
+            total_s=sweep.total_seconds,
+            quantum_fraction=sweep.quantum_fraction,
+            dominant_stage=sweep.dominant_stage(),
+            repetitions=reps,
+        )

@@ -1,0 +1,71 @@
+"""The discrete-event runtime as a registered performance backend.
+
+Drives the Fig.-2 layer sequence (:mod:`repro.runtime.layers`) for every
+operating point: the closed-form stage durations are packaged into a
+:class:`~repro.runtime.layers.RequestProfile`, one uncontended session is
+simulated, and the per-stage *spans* are read back off the event trace.
+The simulator accumulates stage durations as ``now + delay`` event
+timestamps, so each recovered span is a difference of two running sums —
+that timestamp round-off is the declared ``rtol=1e-9`` / ``atol=1e-10 s``
+envelope against the closed forms (see the differential suite's tolerance
+rationale).
+
+The DES engine itself is deterministic for a single session; stochastic
+runtime studies (arrival processes, contention) draw their randomness from
+the study executor's spawn-keyed shard streams (``repro._rng``), never
+from global state, which keeps sharded DES studies byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..runtime.layers import run_single_session
+from .base import (
+    DEFAULT_OPERATING_POINT,
+    BackendCapabilities,
+    BackendTimings,
+    PerformanceBackend,
+    register,
+)
+from .closed_form import model_for_config
+
+__all__ = ["DesBackend"]
+
+
+@register
+class DesBackend(PerformanceBackend):
+    """Stage timings recovered from simulated Fig.-2 request traces."""
+
+    name = "des"
+    capabilities = BackendCapabilities(
+        supported_axes=frozenset(DEFAULT_OPERATING_POINT),
+        rtol=1e-9,
+        atol=1e-10,
+        description=(
+            "discrete-event Fig.-2 runtime; spans read from event timestamps"
+        ),
+    )
+
+    def evaluate(self, point: Mapping) -> BackendTimings:
+        lps = int(point["lps"])
+        accuracy = float(point["accuracy"])
+        success = float(point["success"])
+        model = model_for_config(point)
+        profile = model.request_profile(lps, accuracy, success)
+        _, trace = run_single_session(profile)
+        spans = trace.total_by_operation()
+        return BackendTimings(
+            backend=self.name,
+            lps=lps,
+            accuracy=accuracy,
+            success=success,
+            stage1_s=(
+                spans["generate_ising"]
+                + spans["minor_embedding"]
+                + spans["program_processor"]
+            ),
+            stage2_s=spans["anneal_and_readout"],
+            stage3_s=spans["postprocess_sort"],
+            repetitions=model.stage2.repetitions(accuracy, success),
+        )

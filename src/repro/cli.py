@@ -10,6 +10,12 @@ Five commands cover the everyday uses of the library:
 * ``study``   — evaluate a declarative parameter-space study (a whole grid
   of operating points) through the sharded executor, write the results
   artifact, and print the dominance/scaling summary.
+
+``predict``, ``fig9``, and ``study`` accept ``--backend``: any name from
+the performance-backend registry (:mod:`repro.backends`) — for ``study``
+a comma list forming a grid axis, so one command sweeps the closed forms,
+the ASPEN listings, and the DES runtime side by side.  ``study --cache``
+points at a content-addressed shard store that repeated runs reuse.
 """
 
 from __future__ import annotations
@@ -39,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="online",
         help="inline CMR embedding vs precomputed lookup table",
     )
+    p.add_argument(
+        "--backend",
+        type=str,
+        default="closed_form",
+        help="performance backend (registry name: closed_form, aspen, des, ...)",
+    )
 
     p = sub.add_parser("solve", help="solve an Ising problem on the simulated QPU")
     p.add_argument("--file", type=str, default=None,
@@ -56,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig9", help="print the Fig. 9 series from the ASPEN models")
     p.add_argument("--max-lps", type=int, default=100)
+    p.add_argument(
+        "--backend",
+        type=str,
+        default="aspen",
+        help="performance backend evaluating the series (default: the ASPEN "
+        "artifacts; closed_form/des use the library defaults pa=0.99, ps=0.7)",
+    )
 
     p = sub.add_parser(
         "study",
@@ -73,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--success", type=str, default=None, help="success axis (comma list)")
     p.add_argument("--embedding-mode", type=str, default=None,
                    help="embedding-mode axis: online, offline, or online,offline")
+    p.add_argument("--backend", type=str, default=None,
+                   help="backend axis: comma list of registry names "
+                   "(e.g. closed_form,aspen,des)")
     p.add_argument("--anneal-us", type=str, default=None,
                    help="QPU anneal-duration axis in us (comma list)")
     p.add_argument("--clock-hz", type=str, default=None, help="host clock axis (comma list)")
@@ -86,6 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force the scalar reference loop instead of sweep_arrays")
     p.add_argument("--out", type=str, default=None,
                    help="write the results artifact JSON here")
+    p.add_argument("--cache", type=str, default=None,
+                   help="content-addressed shard cache directory; repeated "
+                   "studies over the same grid reuse stored shards")
     p.add_argument("--no-summary", action="store_true", help="skip the summary tables")
 
     return parser
@@ -93,20 +118,52 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     from .core import SplitExecutionModel, format_seconds
+    from .exceptions import ValidationError
 
-    model = SplitExecutionModel(embedding_mode=args.embedding_mode)
-    t = model.time_to_solution(args.lps, args.accuracy, args.success)
+    if args.backend == "closed_form":
+        # The closed forms expose the full per-contribution breakdown.
+        model = SplitExecutionModel(embedding_mode=args.embedding_mode)
+        t = model.time_to_solution(args.lps, args.accuracy, args.success)
+        print(f"split-execution prediction (LPS={args.lps}, pa={args.accuracy}, "
+              f"ps={args.success}, embedding={args.embedding_mode}):")
+        print(f"  stage 1 (classical pre-processing): {format_seconds(t.stage1_seconds)}")
+        print(f"    - embedding computation : {format_seconds(t.stage1.embedding_flops)}")
+        print(f"    - processor programming : {format_seconds(t.stage1.processor_initialize)}")
+        print(f"  stage 2 (quantum execution, {t.stage2.repetitions} reads): "
+              f"{format_seconds(t.stage2_seconds)}")
+        print(f"  stage 3 (post-processing)         : {format_seconds(t.stage3_seconds)}")
+        print(f"  total                             : {format_seconds(t.total_seconds)}")
+        print(f"  dominant stage                    : {t.dominant_stage}")
+        if t.stage2_seconds > 0:
+            print(f"  quantum fraction                  : {t.quantum_fraction:.3e}")
+        return 0
+
+    # Any other registered backend: the shared stage-total surface.
+    from . import backends
+
+    try:
+        backend = backends.get(args.backend)
+        t = backend.evaluate(
+            backends.full_point(
+                lps=args.lps,
+                accuracy=args.accuracy,
+                success=args.success,
+                embedding_mode=args.embedding_mode,
+            )
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"split-execution prediction (LPS={args.lps}, pa={args.accuracy}, "
-          f"ps={args.success}, embedding={args.embedding_mode}):")
-    print(f"  stage 1 (classical pre-processing): {format_seconds(t.stage1_seconds)}")
-    print(f"    - embedding computation : {format_seconds(t.stage1.embedding_flops)}")
-    print(f"    - processor programming : {format_seconds(t.stage1.processor_initialize)}")
-    print(f"  stage 2 (quantum execution, {t.stage2.repetitions} reads): "
-          f"{format_seconds(t.stage2_seconds)}")
-    print(f"  stage 3 (post-processing)         : {format_seconds(t.stage3_seconds)}")
+          f"ps={args.success}, embedding={args.embedding_mode}, "
+          f"backend={args.backend}):")
+    print(f"  stage 1 (classical pre-processing): {format_seconds(t.stage1_s)}")
+    print(f"  stage 2 (quantum execution, {t.repetitions} reads): "
+          f"{format_seconds(t.stage2_s)}")
+    print(f"  stage 3 (post-processing)         : {format_seconds(t.stage3_s)}")
     print(f"  total                             : {format_seconds(t.total_seconds)}")
     print(f"  dominant stage                    : {t.dominant_stage}")
-    if t.stage2_seconds > 0:
+    if t.stage2_s > 0:
         print(f"  quantum fraction                  : {t.quantum_fraction:.3e}")
     return 0
 
@@ -167,21 +224,55 @@ def _cmd_embed(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
-    from .core import AspenStageModels, format_seconds, format_table
+    from .core import format_seconds, format_table
+    from .exceptions import ValidationError
 
-    aspen = AspenStageModels()
     sizes = [n for n in (1, 2, 5, 10, 20, 30, 50, 75, 100) if n <= args.max_lps]
+    accuracies = (50.0, 90.0, 99.0, 99.9, 99.99)
+
+    if args.backend == "aspen":
+        # The paper's artifacts, evaluated with the listings' own defaults
+        # (Stage 3 uses the Fig.-8 listing's Success=0.75).
+        from .core import AspenStageModels
+
+        aspen = AspenStageModels()
+        stage13_rows = [
+            [n, format_seconds(aspen.stage1_seconds(n)),
+             format_seconds(aspen.stage3_seconds(n))] for n in sizes
+        ]
+        stage2_rows = [
+            [f"{a}%", format_seconds(aspen.stage2_seconds(a, 0.7))] for a in accuracies
+        ]
+    else:
+        from . import backends
+
+        try:
+            backend = backends.get(args.backend)
+            stage13_rows = []
+            for n in sizes:
+                t = backend.evaluate(backends.full_point(lps=n))
+                stage13_rows.append(
+                    [n, format_seconds(t.stage1_s), format_seconds(t.stage3_s)]
+                )
+            stage2_rows = []
+            for a in accuracies:
+                t = backend.evaluate(backends.full_point(accuracy=a / 100.0))
+                stage2_rows.append([f"{a}%", format_seconds(t.stage2_s)])
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"backend: {args.backend}")
+        print()
+
     print(format_table(
         ["LPS", "stage 1", "stage 3"],
-        [[n, format_seconds(aspen.stage1_seconds(n)),
-          format_seconds(aspen.stage3_seconds(n))] for n in sizes],
+        stage13_rows,
         title="Fig. 9(a)/(c): stage 1 and stage 3 vs problem size",
     ))
     print()
     print(format_table(
         ["accuracy", "stage 2 (ps=0.7)"],
-        [[f"{a}%", format_seconds(aspen.stage2_seconds(a, 0.7))]
-         for a in (50.0, 90.0, 99.0, 99.9, 99.99)],
+        stage2_rows,
         title="Fig. 9(b): stage 2 vs accuracy",
     ))
     return 0
@@ -240,6 +331,8 @@ def _build_study_spec(args: argparse.Namespace):
         axes["success"] = _parse_float_axis("--success", args.success)
     if args.embedding_mode is not None:
         axes["embedding_mode"] = [v for v in args.embedding_mode.split(",") if v]
+    if args.backend is not None:
+        axes["backend"] = [v for v in args.backend.split(",") if v]
     if args.anneal_us is not None:
         axes["anneal_us"] = _parse_float_axis("--anneal-us", args.anneal_us)
     if args.clock_hz is not None:
@@ -262,10 +355,11 @@ def _build_study_spec(args: argparse.Namespace):
 
 def _cmd_study(args: argparse.Namespace) -> int:
     from .exceptions import ValidationError
-    from .studies import run_study, study_summary
+    from .studies import StudyCache, run_study, study_summary
     from .studies.executor import DEFAULT_SHARD_SIZE
 
     shard_size = DEFAULT_SHARD_SIZE if args.shard_size is None else args.shard_size
+    cache = StudyCache(args.cache) if args.cache else None
     try:
         spec = _build_study_spec(args)
         t0 = time.perf_counter()
@@ -274,6 +368,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_size=shard_size,
             vectorize=not args.scalar,
+            cache=cache,
         )
     except (_StudyArgError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -286,6 +381,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(f"evaluated {results.num_points} points "
           f"(workers={args.workers}, shard_size={shard_size}, "
           f"{'scalar' if args.scalar else 'vectorized'})")
+    if cache is not None:
+        print(f"cache: served {cache.hits}/{cache.requests} shards from cache")
     print(f"elapsed: {wall:.3f} s")
     if args.out:
         path = results.save(args.out)

@@ -3,20 +3,32 @@
 The paper's headline claims are statements about *families* of operating
 points — scaling, dominance, and crossover over problem size, accuracy,
 success probability, and machine constants (Sec. 3.3, Fig. 9).  This
-subsystem evaluates such families wholesale:
+subsystem evaluates such families wholesale, through any registered
+performance backend (:mod:`repro.backends`):
 
 * :mod:`~repro.studies.spec` — a declarative :class:`ScenarioSpec` naming a
-  cartesian grid over the model's axes, with stable point enumeration;
+  cartesian grid over the model's axes (including the ``backend`` axis),
+  with stable point enumeration;
 * :mod:`~repro.studies.executor` — a sharded, optionally multi-process
-  runner whose results are byte-identical for any worker count;
+  runner whose results are byte-identical for any worker count, dispatching
+  each config block through its backend's batched ``sweep``;
 * :mod:`~repro.studies.results` — the columnar :class:`StudyResults` table
-  with its canonical JSON artifact and core-powered aggregations;
-* :mod:`~repro.studies.reportgen` — dominance/crossover/scaling summary
-  tables for reports and the CLI.
+  with its canonical JSON artifact, core-powered aggregations, and
+  cross-backend deviation analysis;
+* :mod:`~repro.studies.cache` — a content-addressed :class:`StudyCache`
+  that serves previously computed shards byte-identically;
+* :mod:`~repro.studies.reportgen` — dominance/crossover/scaling/backend
+  summary tables for reports and the CLI.
 """
 
+from .cache import StudyCache
 from .executor import DEFAULT_SHARD_SIZE, run_study, shard_ranges
-from .reportgen import dominance_summary, scaling_summary, study_summary
+from .reportgen import (
+    backend_summary,
+    dominance_summary,
+    scaling_summary,
+    study_summary,
+)
 from .results import ARTIFACT_SCHEMA_VERSION, RESULT_COLUMNS, StudyResults
 from .spec import AXIS_ORDER, Axis, ScenarioSpec, axis_default
 
@@ -28,9 +40,11 @@ __all__ = [
     "run_study",
     "shard_ranges",
     "DEFAULT_SHARD_SIZE",
+    "StudyCache",
     "StudyResults",
     "RESULT_COLUMNS",
     "ARTIFACT_SCHEMA_VERSION",
+    "backend_summary",
     "dominance_summary",
     "scaling_summary",
     "study_summary",

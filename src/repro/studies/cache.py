@@ -1,0 +1,182 @@
+"""Content-addressed shard store for study artifacts.
+
+Study results are a pure function of the spec's effective grid and the
+shard grid — no wall clocks, no hostnames, byte-identical across worker
+counts (the executor's determinism contract).  That makes them perfect
+cache material: a dashboard re-running yesterday's study, a CI trend line
+re-evaluating the same grid per commit, or a re-labelled copy of an
+existing study should reuse bytes, not burn CPU recomputing them.
+
+**Keying rule.**  A shard's content address is::
+
+    sha256(canonical_json({
+        "kind": "study-shard",
+        "code_version": repro.__version__,
+        "schema_version": <results.ARTIFACT_SCHEMA_VERSION>,
+        "columns": <results.RESULT_COLUMNS>,
+        "grid": spec.cache_identity(),   # effective axes + mc_trials + seed
+        "shard_size": shard_size,
+        "shard_index": shard_index,
+    }))
+
+Consequences, each load-bearing:
+
+* the package version is inside the key, so a persistent cache directory
+  shared across commits (dashboards, CI trend lines) can never serve
+  numbers computed by *older model code* — a release that changes any
+  model numerics must bump ``repro.__version__``, which retires every
+  stale entry at once;
+
+* the spec's display ``name`` is *not* hashed (``cache_identity``
+  excludes it), so re-labelled studies over the same grid share shards;
+* *effective* axis values are hashed, so an explicitly-spelled default
+  (``"lps": [50]``) and an absent axis produce the same key;
+* the column schema is inside the key, so changing the results dtype
+  silently invalidates every old entry instead of mis-parsing it;
+* ``shard_size`` is inside the key because it partitions the Monte-Carlo
+  streams — the same grid at a different shard size is different bytes;
+* the ``backend`` axis participates through the grid identity, so each
+  backend's sub-grid caches independently of what else a spec sweeps.
+
+Entries are raw structured-array bytes (``table.tobytes()``) written
+atomically (temp file + ``os.replace``); a corrupt or short entry is
+treated as a miss and rewritten.  The store is safe for concurrent
+readers and last-writer-wins for concurrent writers of the *same* key —
+both write identical bytes by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__ as _CODE_VERSION
+from ..exceptions import ValidationError
+from .results import ARTIFACT_SCHEMA_VERSION, RESULT_COLUMNS, table_dtype
+from .spec import ScenarioSpec
+
+__all__ = ["StudyCache"]
+
+
+class StudyCache:
+    """A directory-backed content-addressed store of study shards.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if absent).  Entries fan out into
+        two-hex-character subdirectories to keep listings manageable.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keying
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def shard_key(spec: ScenarioSpec, shard_size: int, shard_index: int) -> str:
+        """The content address (hex sha256) of one shard of one grid."""
+        if shard_size < 1:
+            raise ValidationError(f"shard_size must be >= 1, got {shard_size}")
+        payload = {
+            "kind": "study-shard",
+            "code_version": _CODE_VERSION,
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "columns": [list(column) for column in RESULT_COLUMNS],
+            "grid": spec.cache_identity(),
+            "shard_size": int(shard_size),
+            "shard_index": int(shard_index),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def shard_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.shard"
+
+    @staticmethod
+    def _shard_rows(spec: ScenarioSpec, shard_size: int, shard_index: int) -> int:
+        start = shard_index * shard_size
+        stop = min(start + shard_size, spec.num_points)
+        if not 0 <= start < spec.num_points:
+            raise ValidationError(
+                f"shard_index {shard_index} out of range for a "
+                f"{spec.num_points}-point grid at shard_size {shard_size}"
+            )
+        return stop - start
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+    # ------------------------------------------------------------------ #
+    def load_shard(
+        self, spec: ScenarioSpec, shard_size: int, shard_index: int
+    ) -> np.ndarray | None:
+        """The cached rows of one shard, or ``None`` on a miss.
+
+        A present-but-wrong-size entry (torn write, stale schema that
+        slipped past the key — defense in depth) counts as a miss.
+        """
+        rows = self._shard_rows(spec, shard_size, shard_index)
+        path = self.shard_path(self.shard_key(spec, shard_size, shard_index))
+        dtype = table_dtype()
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        if len(data) != rows * dtype.itemsize:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return np.frombuffer(data, dtype=dtype).copy()
+
+    def store_shard(
+        self,
+        spec: ScenarioSpec,
+        shard_size: int,
+        shard_index: int,
+        table: np.ndarray,
+    ) -> Path:
+        """Write one computed shard under its content address (atomic)."""
+        rows = self._shard_rows(spec, shard_size, shard_index)
+        if table.dtype != table_dtype() or table.shape != (rows,):
+            raise ValidationError(
+                f"shard table has dtype {table.dtype} / shape {table.shape}; "
+                f"expected {rows} rows of the results dtype"
+            )
+        path = self.shard_path(self.shard_key(spec, shard_size, shard_index))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(table.tobytes())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters accumulated over this cache object's lifetime."""
+        return {"hits": self.hits, "misses": self.misses, "requests": self.requests}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug nicety
+        return f"StudyCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -2,8 +2,14 @@
 
 The executor partitions a spec's point space into fixed-size shards and
 evaluates them — inline for ``workers=1``, across processes via
-``concurrent.futures`` otherwise.  Three properties make it safe to scale
-a study out and still trust the bytes:
+``concurrent.futures`` otherwise.  Evaluation is dispatched through the
+performance-backend registry (:mod:`repro.backends`): each config block
+names its backend (the spec's outermost axis) and the executor routes the
+block through that backend's batched ``sweep`` entry point, so one study
+can hold closed-form, ASPEN, and DES rows side by side.
+
+Three properties make it safe to scale a study out and still trust the
+bytes:
 
 * **Shard grid before scheduling.**  Shards are contiguous index ranges
   ``[k*shard_size, (k+1)*shard_size)`` derived from ``shard_size`` alone;
@@ -12,11 +18,11 @@ a study out and still trust the bytes:
   ``spawn_stream(spec.seed, shard_index)`` (see ``repro._rng``), keyed on
   the shard's logical index, so any worker count and any shard execution
   order consume identical streams.
-* **Vectorized == scalar, bit for bit.**  Each shard routes its contiguous
-  LPS runs through ``SplitExecutionModel.sweep_arrays``, whose elements
-  are documented (and tested) to match the scalar ``time_to_solution``
-  path exactly; ``vectorize=False`` forces the scalar loop for
-  cross-checking.
+* **Batched == scalar, bit for bit.**  Each shard routes its contiguous
+  LPS runs through the config's backend ``sweep``, which every backend
+  documents (and the differential suite tests) to match its per-point
+  ``evaluate`` loop exactly; ``vectorize=False`` forces that scalar loop
+  for cross-checking.
 
 Together: the results table (and hence the saved artifact) is
 byte-identical for 1, 2, or N workers, in-order or re-ordered shards, and
@@ -24,21 +30,31 @@ vectorized or scalar evaluation.  Changing ``shard_size`` re-partitions
 the Monte-Carlo stream grid and may legitimately change ``mc_accuracy``
 draws (never the model columns); it is part of the study's identity, not a
 tuning knob to vary mid-study.
+
+Because shard bytes are this reproducible, they are also *cacheable*:
+pass a :class:`~repro.studies.cache.StudyCache` and every shard is served
+from the content-addressed store when its key — the spec's effective grid
+plus the shard grid — has been computed before, with byte-identical
+results to a cold run.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .._rng import spawn_stream
-from ..core.pipeline import SplitExecutionModel
+from ..backends import SweepColumns, get as get_backend
 from ..core.repetition import achieved_accuracy
 from ..exceptions import ValidationError
 from .results import StudyResults, empty_table
 from .spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .cache import StudyCache
 
 __all__ = ["run_study", "shard_ranges", "DEFAULT_SHARD_SIZE"]
 
@@ -55,54 +71,15 @@ def shard_ranges(num_points: int, shard_size: int) -> list[tuple[int, int]]:
     ]
 
 
-def _model_for_config(config: dict) -> SplitExecutionModel:
-    """The split-execution model evaluating one config's operating constants."""
-    return SplitExecutionModel().with_overrides(
-        embedding_mode=config["embedding_mode"],
-        anneal_us=config["anneal_us"],
-        clock_hz=config["clock_hz"],
-        memory_bandwidth_bytes_per_s=config["memory_bandwidth_bytes_per_s"],
-        pcie_bandwidth_bytes_per_s=config["pcie_bandwidth_bytes_per_s"],
-    )
-
-
-def _fill_run_vectorized(
-    out: np.ndarray,
-    model: SplitExecutionModel,
-    config: dict,
-    lps_run: Sequence[int],
-) -> None:
-    """Evaluate one contiguous LPS run through the array fast path."""
-    sweep = model.sweep_arrays(
-        np.asarray(lps_run, dtype=np.int64),
-        accuracy=config["accuracy"],
-        success=config["success"],
-    )
-    out["stage1_s"] = sweep.stage1.total
-    out["stage2_s"] = sweep.stage2.total
-    out["stage3_s"] = sweep.stage3.total
-    out["total_s"] = sweep.total_seconds
-    out["quantum_fraction"] = sweep.quantum_fraction
-    out["dominant_stage"] = sweep.dominant_stage()
-    out["repetitions"] = sweep.stage2.repetitions
-
-
-def _fill_run_scalar(
-    out: np.ndarray,
-    model: SplitExecutionModel,
-    config: dict,
-    lps_run: Sequence[int],
-) -> None:
-    """Reference scalar loop; must match the vectorized fill bit for bit."""
-    for i, lps in enumerate(lps_run):
-        t = model.time_to_solution(int(lps), config["accuracy"], config["success"])
-        out["stage1_s"][i] = t.stage1_seconds
-        out["stage2_s"][i] = t.stage2_seconds
-        out["stage3_s"][i] = t.stage3_seconds
-        out["total_s"][i] = t.total_seconds
-        out["quantum_fraction"][i] = t.quantum_fraction
-        out["dominant_stage"][i] = t.dominant_stage
-        out["repetitions"][i] = t.stage2.repetitions
+def _fill_run(out: np.ndarray, cols: SweepColumns) -> None:
+    """Copy one backend sweep's columns into a results-table slice."""
+    out["stage1_s"] = cols.stage1_s
+    out["stage2_s"] = cols.stage2_s
+    out["stage3_s"] = cols.stage3_s
+    out["total_s"] = cols.total_s
+    out["quantum_fraction"] = cols.quantum_fraction
+    out["dominant_stage"] = cols.dominant_stage
+    out["repetitions"] = cols.repetitions
 
 
 def _run_shard(
@@ -115,13 +92,13 @@ def _run_shard(
     """Evaluate points ``[start, stop)`` of the spec into a results table slice.
 
     Top-level (picklable) so process pools can run it; reconstructs the
-    spec from its payload dict in the worker.
+    spec from its payload dict in the worker and resolves backends from
+    the worker's own registry.
     """
     spec = ScenarioSpec.from_dict(spec_payload)
     out = empty_table(max(stop - start, 0))
     if stop <= start:
         return out
-    fill = _fill_run_vectorized if vectorize else _fill_run_scalar
     mc_rng = spawn_stream(spec.seed, shard_index) if spec.mc_trials > 0 else None
 
     # Touch only the config blocks this shard intersects (random access via
@@ -131,6 +108,7 @@ def _run_shard(
     block = len(lps_values)
     for k in range(start // block, (stop - 1) // block + 1):
         config = spec.config(k)
+        backend = get_backend(config["backend"])
         block_start = k * block
         block_stop = block_start + block
         lo = max(start, block_start)
@@ -142,7 +120,14 @@ def _run_shard(
         for axis_name, value in config.items():
             run[axis_name] = value
         run["lps"] = lps_run
-        fill(run, _model_for_config(config), config, lps_run)
+        if vectorize:
+            cols = backend.sweep(config, lps_run)
+        else:
+            # The scalar reference loop every batched sweep must match.
+            cols = SweepColumns.from_timings(
+                [backend.evaluate({**config, "lps": int(n)}) for n in lps_run]
+            )
+        _fill_run(run, cols)
 
         if mc_rng is not None:
             # One simulated batch of mc_trials Eq.-6 ensembles per point:
@@ -160,6 +145,7 @@ def run_study(
     shard_size: int = DEFAULT_SHARD_SIZE,
     vectorize: bool = True,
     shard_order: Sequence[int] | None = None,
+    cache: "StudyCache | None" = None,
 ) -> StudyResults:
     """Evaluate every grid point of ``spec`` into a :class:`StudyResults`.
 
@@ -172,13 +158,18 @@ def run_study(
         Points per shard.  Fixes the shard grid and the Monte-Carlo stream
         partitioning (see the module docstring's determinism contract).
     vectorize:
-        Route contiguous LPS runs through ``sweep_arrays`` (the fast path)
-        instead of the scalar reference loop.  Both produce identical
-        tables; the scalar loop exists for cross-checks and as the
-        perf-harness baseline.
+        Route contiguous LPS runs through each backend's batched ``sweep``
+        (the fast path) instead of the scalar per-point ``evaluate`` loop.
+        Both produce identical tables; the scalar loop exists for
+        cross-checks and as the perf-harness baseline.
     shard_order:
         Optional permutation of shard indices controlling *submission*
         order — a determinism-audit hook, not a tuning knob.
+    cache:
+        Optional :class:`~repro.studies.cache.StudyCache`.  Shards whose
+        content key is already stored are loaded instead of recomputed
+        (byte-identical either way); freshly computed shards are stored
+        for future runs.
     """
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -192,17 +183,33 @@ def run_study(
     payload = spec.to_dict()
     table = empty_table(spec.num_points)
 
-    if workers == 1 or len(ranges) <= 1:
-        for k in order:
+    pending: list[int] = []
+    for k in order:
+        if cache is not None:
             start, stop = ranges[k]
-            table[start:stop] = _run_shard(payload, k, start, stop, vectorize)
+            cached = cache.load_shard(spec, shard_size, k)
+            if cached is not None:
+                table[start:stop] = cached
+                continue
+        pending.append(k)
+
+    if workers == 1 or len(pending) <= 1:
+        for k in pending:
+            start, stop = ranges[k]
+            shard = _run_shard(payload, k, start, stop, vectorize)
+            table[start:stop] = shard
+            if cache is not None:
+                cache.store_shard(spec, shard_size, k, shard)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 k: pool.submit(_run_shard, payload, k, ranges[k][0], ranges[k][1], vectorize)
-                for k in order
+                for k in pending
             }
             for k, future in futures.items():
                 start, stop = ranges[k]
-                table[start:stop] = future.result()
+                shard = future.result()
+                table[start:stop] = shard
+                if cache is not None:
+                    cache.store_shard(spec, shard_size, k, shard)
     return StudyResults(spec=spec, table=table)

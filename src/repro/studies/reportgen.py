@@ -19,7 +19,13 @@ from ..core.report import format_seconds, format_table
 from ..exceptions import ValidationError
 from .results import StudyResults
 
-__all__ = ["config_labels", "dominance_summary", "scaling_summary", "study_summary"]
+__all__ = [
+    "backend_summary",
+    "config_labels",
+    "dominance_summary",
+    "scaling_summary",
+    "study_summary",
+]
 
 #: Scanned axes that label report rows (everything but the LPS scan itself).
 _MAX_REPORT_CONFIGS = 64
@@ -109,6 +115,47 @@ def scaling_summary(results: StudyResults) -> str:
     return format_table(headers, rows, title="time-to-solution across the grid")
 
 
+def backend_summary(results: StudyResults) -> str:
+    """Per-backend agreement against the reference, vs declared tolerances.
+
+    One row per non-reference backend on the study's ``backend`` axis: the
+    declared envelope (``rtol``/``atol`` from the registry capabilities)
+    next to the worst observed effective relative deviation across the
+    stage columns (see :meth:`StudyResults.backend_deviation`), and whether
+    the backend stayed inside its envelope.  This is the differential test
+    suite's cross-backend assertion, rendered as a study report column.
+    """
+    from ..backends import capabilities as backend_capabilities
+
+    names = results.spec.backend_values
+    if len(names) < 2:
+        raise ValidationError(
+            "backend summary needs a scanned backend axis (>= 2 backends)"
+        )
+    reference = "closed_form" if "closed_form" in names else names[0]
+    deviations = results.backend_deviation(reference)
+    rows = []
+    for name, per_column in deviations.items():
+        caps = backend_capabilities(name)
+        worst_column = max(per_column, key=per_column.get)  # type: ignore[arg-type]
+        worst = per_column[worst_column]
+        rows.append(
+            [
+                name,
+                f"{caps.rtol:g}",
+                f"{caps.atol:g}",
+                f"{worst:.2e}" if worst > 0 else "0",
+                worst_column,
+                "ok" if worst <= caps.rtol else "EXCEEDS",
+            ]
+        )
+    return format_table(
+        ["backend", "rtol", "atol", "max rel dev", "worst column", "status"],
+        rows,
+        title=f"backend agreement vs {reference!r}",
+    )
+
+
 def study_summary(results: StudyResults) -> str:
     """The full study report: header, dominance table, scaling table."""
     spec = results.spec
@@ -127,4 +174,7 @@ def study_summary(results: StudyResults) -> str:
     lines.append(dominance_summary(results))
     lines.append("")
     lines.append(scaling_summary(results))
+    if len(spec.backend_values) > 1:
+        lines.append("")
+        lines.append(backend_summary(results))
     return "\n".join(lines)

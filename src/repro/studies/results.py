@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..backends.base import MAX_BACKEND_NAME_LENGTH
 from ..core.scaling import crossover_index, loglog_slope
 from ..core.sensitivity import elasticity_series
 from ..exceptions import ValidationError
@@ -30,12 +31,16 @@ from .spec import AXIS_ORDER, ScenarioSpec
 
 __all__ = ["StudyResults", "RESULT_COLUMNS", "ARTIFACT_SCHEMA_VERSION"]
 
-ARTIFACT_SCHEMA_VERSION = 1
+#: Version 2 added the ``backend`` axis column (the registry-dispatched
+#: performance-backend axis of the spec grid).
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Column name -> structured dtype.  Axis columns first (canonical order),
 #: then the model outputs.  ``mc_accuracy`` is NaN when the spec disabled
-#: Monte-Carlo sampling.
+#: Monte-Carlo sampling.  The ``backend`` width is the registry's name
+#: ceiling, so no registrable name can be truncated on table assignment.
 RESULT_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("backend", f"U{MAX_BACKEND_NAME_LENGTH}"),
     ("embedding_mode", "U7"),
     ("clock_hz", "f8"),
     ("memory_bandwidth_bytes_per_s", "f8"),
@@ -172,6 +177,80 @@ class StudyResults:
         mask = self.select(**fixed)
         stages, counts = np.unique(self.column("dominant_stage")[mask], return_counts=True)
         return {str(s): int(c) for s, c in zip(stages, counts)}
+
+    # ------------------------------------------------------------------ #
+    # Cross-backend comparison
+    # ------------------------------------------------------------------ #
+    def backend_rows(self, backend: str) -> slice:
+        """The contiguous row block backend ``backend`` owns.
+
+        ``backend`` is the outermost axis, so each swept backend's sub-grid
+        is one block of ``num_points / num_backends`` rows in identical
+        point order — which is what makes per-backend columns directly
+        comparable row by row.
+        """
+        names = self.spec.backend_values
+        if backend not in names:
+            raise ValidationError(
+                f"backend {backend!r} is not in this study's backend axis {names}"
+            )
+        block = self.num_points // len(names)
+        index = names.index(backend)
+        return slice(index * block, (index + 1) * block)
+
+    def backend_deviation(
+        self,
+        reference: str = "closed_form",
+        columns: tuple[str, ...] = _STAGE_COLUMNS,
+    ) -> dict[str, dict[str, float]]:
+        """Effective relative deviation of each swept backend vs ``reference``.
+
+        For every non-reference backend and stage column, the maximum over
+        rows of ``max(0, |x - ref| - atol) / |ref|`` with ``atol`` taken
+        from the backend's declared capabilities — i.e. the relative
+        deviation *after* the absolute floor, directly comparable to the
+        declared ``rtol`` (``deviation <= rtol`` iff every row satisfies
+        ``|x - ref| <= atol + rtol * |ref|``).  Rows where the reference is
+        zero contribute 0 when within ``atol`` and ``inf`` otherwise.
+        """
+        from ..backends import capabilities as backend_capabilities
+
+        names = self.spec.backend_values
+        if reference not in names:
+            raise ValidationError(
+                f"reference backend {reference!r} is not swept by this study "
+                f"(backend axis: {names})"
+            )
+        ref_rows = self.backend_rows(reference)
+        out: dict[str, dict[str, float]] = {}
+        for name in names:
+            if name == reference:
+                continue
+            atol = backend_capabilities(name).atol
+            rows = self.backend_rows(name)
+            per_column: dict[str, float] = {}
+            for column in columns:
+                ref = np.abs(self.column(column)[ref_rows])
+                diff = np.maximum(
+                    np.abs(self.column(column)[rows] - self.column(column)[ref_rows])
+                    - atol,
+                    0.0,
+                )
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    rel = np.where(diff == 0.0, 0.0, diff / ref)
+                per_column[column] = float(np.max(rel)) if rel.size else 0.0
+            out[name] = per_column
+        return out
+
+    def backends_within_tolerance(self, reference: str = "closed_form") -> dict[str, bool]:
+        """Whether each swept backend meets its declared envelope vs ``reference``."""
+        from ..backends import capabilities as backend_capabilities
+
+        return {
+            name: max(per_column.values(), default=0.0)
+            <= backend_capabilities(name).rtol
+            for name, per_column in self.backend_deviation(reference).items()
+        }
 
     # ------------------------------------------------------------------ #
     # Artifact serialization

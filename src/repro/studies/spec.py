@@ -1,20 +1,30 @@
 """Declarative scenario-study specifications: parameter-space grids.
 
 A :class:`ScenarioSpec` names a cartesian grid over the split-execution
-model's operating-point axes — problem size, target accuracy, success
-probability, embedding mode, and the host/QPU machine constants — and the
-study executor (:mod:`repro.studies.executor`) evaluates the performance
-models over every point of that grid.  The paper's Fig. 9 is one tiny
-instance of such a study (three series over LPS and accuracy); a spec can
-describe the whole families of operating points Sec. 3.3 reasons about.
+model's operating-point axes — the performance backend, problem size,
+target accuracy, success probability, embedding mode, and the host/QPU
+machine constants — and the study executor (:mod:`repro.studies.executor`)
+evaluates the performance models over every point of that grid.  The
+paper's Fig. 9 is one tiny instance of such a study (three series over LPS
+and accuracy); a spec can describe the whole families of operating points
+Sec. 3.3 reasons about, evaluated by all three model realizations side by
+side through the ``backend`` axis.
 
 Point enumeration is *stable by construction*: axes are ordered by the
-canonical :data:`AXIS_ORDER` (machine constants outermost, ``lps``
-innermost) and points enumerate row-major over that order, so point ``i``
-of a spec means the same operating point forever — artifacts, shards, and
-golden tests all key on it.  ``lps`` varying fastest is also what lets the
-executor route each contiguous run of points through the vectorized
-``SplitExecutionModel.sweep_arrays`` fast path.
+canonical :data:`AXIS_ORDER` (``backend`` outermost, then machine
+constants, ``lps`` innermost) and points enumerate row-major over that
+order, so point ``i`` of a spec means the same operating point forever —
+artifacts, shards, and golden tests all key on it.  ``lps`` varying
+fastest is also what lets the executor route each contiguous run of
+points through a backend's batched ``sweep`` fast path; ``backend``
+varying slowest keeps each backend's sub-grid one contiguous block for
+per-backend comparison columns.
+
+Backend values are validated against the live registry
+(:mod:`repro.backends`), and each backend's capability descriptor is
+enforced at spec-construction time: an axis the backend does not honor
+may only sit at its single default value, so a spec never silently sweeps
+a knob a backend ignores.
 """
 
 from __future__ import annotations
@@ -26,15 +36,21 @@ from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..core.machine_params import XEON_E5_2680
+from ..backends import (
+    DEFAULT_BACKEND,
+    DEFAULT_OPERATING_POINT,
+    available_backends,
+    capabilities as backend_capabilities,
+)
 from ..exceptions import ValidationError
-from ..hardware.timing import DW2_TIMING
 
 __all__ = ["Axis", "ScenarioSpec", "AXIS_ORDER", "axis_default"]
 
 #: Canonical axis order, outermost first.  ``lps`` is always innermost
-#: (fastest varying) so every config block is one contiguous LPS run.
+#: (fastest varying) so every config block is one contiguous LPS run;
+#: ``backend`` is outermost so each backend owns one contiguous sub-grid.
 AXIS_ORDER = (
+    "backend",
     "embedding_mode",
     "clock_hz",
     "memory_bandwidth_bytes_per_s",
@@ -54,16 +70,9 @@ _EMBEDDING_MODES = ("online", "offline")
 
 def _default_values() -> dict[str, tuple]:
     """Single-point default for every absent axis (the paper's operating point)."""
-    return {
-        "embedding_mode": ("online",),
-        "clock_hz": (XEON_E5_2680.clock_hz,),
-        "memory_bandwidth_bytes_per_s": (XEON_E5_2680.memory_bandwidth_bytes_per_s,),
-        "pcie_bandwidth_bytes_per_s": (XEON_E5_2680.pcie_bandwidth_bytes_per_s,),
-        "anneal_us": (DW2_TIMING.anneal_us,),
-        "success": (0.7,),
-        "accuracy": (0.99,),
-        "lps": (50,),
-    }
+    defaults = {"backend": (DEFAULT_BACKEND,)}
+    defaults.update((name, (value,)) for name, value in DEFAULT_OPERATING_POINT.items())
+    return defaults
 
 
 def axis_default(name: str):
@@ -84,6 +93,14 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
     if len(set(vals)) != len(vals):
         raise ValidationError(f"axis {name!r} has duplicate values")
 
+    if name == "backend":
+        known = available_backends()
+        for v in vals:
+            if v not in known:
+                raise ValidationError(
+                    f"unknown backend {v!r}; registered backends: {known}"
+                )
+        return vals
     if name == "embedding_mode":
         for v in vals:
             if v not in _EMBEDDING_MODES:
@@ -196,6 +213,27 @@ class ScenarioSpec:
             raise ValidationError(
                 f"grid has {self.num_points} points, exceeding MAX_POINTS={MAX_POINTS}"
             )
+        self._check_backend_capabilities()
+
+    def _check_backend_capabilities(self) -> None:
+        """Every swept backend must honor every axis the grid moves.
+
+        An axis outside a backend's ``supported_axes`` may only sit at its
+        single default value — otherwise the study would silently record
+        identical numbers for "different" operating points of that backend.
+        """
+        for backend_name in self.axis_values("backend"):
+            caps = backend_capabilities(backend_name)
+            for axis_name in AXIS_ORDER[1:]:
+                if axis_name in caps.supported_axes:
+                    continue
+                values = self.axis_values(axis_name)
+                if values != (axis_default(axis_name),):
+                    raise ValidationError(
+                        f"backend {backend_name!r} does not support axis "
+                        f"{axis_name!r} away from its default "
+                        f"{axis_default(axis_name)!r} (spec scans {values})"
+                    )
 
     # ------------------------------------------------------------------ #
     # Grid geometry
@@ -223,6 +261,10 @@ class ScenarioSpec:
     @property
     def lps_values(self) -> tuple[int, ...]:
         return self.axis_values("lps")
+
+    @property
+    def backend_values(self) -> tuple[str, ...]:
+        return self.axis_values("backend")
 
     def point(self, index: int) -> dict:
         """Full parameter dict of grid point ``index`` (row-major enumeration)."""
@@ -283,6 +325,21 @@ class ScenarioSpec:
         value_lists = [self.axis_values(n) for n in config_axes]
         for k, combo in enumerate(itertools.product(*value_lists)):
             yield k * block, dict(zip(config_axes, combo)), lps_values
+
+    def cache_identity(self) -> dict:
+        """The grid identity the artifact cache hashes (see ``studies.cache``).
+
+        *Effective* axis values — absent axes and explicitly-spelled
+        defaults collapse to the same payload — plus the Monte-Carlo
+        parameters that shape the ``mc_accuracy`` column.  The display
+        ``name`` is deliberately excluded: a re-labelled study evaluates
+        the same grid and must reuse the same cached shards.
+        """
+        return {
+            "axes": {n: list(self.axis_values(n)) for n in AXIS_ORDER},
+            "mc_trials": self.mc_trials,
+            "seed": self.seed,
+        }
 
     # ------------------------------------------------------------------ #
     # Serialization

@@ -1,31 +1,36 @@
-"""Differential consistency: analytic pipeline == ASPEN == DES runtime.
+"""Differential consistency: every registered backend vs the closed forms.
 
 Three independent implementations of the paper's performance models exist
-in the repo: the closed-form :class:`SplitExecutionModel` pipeline, the
-ASPEN-evaluated listings (``core/aspen_backend.py``), and the
-discrete-event runtime (``runtime/des.py`` driving the Fig.-2 layer
-sequence).  On a shared scenario grid, all three must agree on the stage
-breakdowns — so the backends can never silently drift apart.
+in the repo — the closed-form pipeline, the ASPEN-evaluated listings, and
+the discrete-event runtime — and all of them are reachable through the
+``repro.backends`` registry.  This suite parametrizes over that registry:
+every non-reference backend is held, per stage, to the tolerance envelope
+*it declares in its capabilities descriptor*, so registering a new
+backend automatically enrolls it here.
 
-Documented tolerances:
+Documented tolerance rationale (mirrored by the declared capabilities):
 
-* **analytic vs ASPEN** — relative 1e-12.  Both evaluate the same closed
-  forms; only floating-point association order may differ.
-* **analytic vs DES** — relative 1e-9 with an absolute floor of 1e-10 s.
-  The simulator *adds* stage durations as event timestamps (``now +
-  delay`` chains), so each span is a difference of two accumulated sums
-  of order the total latency; a span much smaller than the total (e.g.
-  the picosecond Stage-3 store at LPS=0 next to the 0.32 s init) carries
-  the *timestamps'* ULP as absolute error.  1e-10 s sits far above
-  float64 ULP at any latency in the grid (~1e-13 s at 607 s) and far
-  below any real scheduling bug (whole microseconds).
+* **aspen** — relative 1e-12.  Both it and the closed forms evaluate the
+  same closed-form expressions; only floating-point association order may
+  differ.
+* **des** — relative 1e-9 with an absolute floor of 1e-10 s.  The
+  simulator *adds* stage durations as event timestamps (``now + delay``
+  chains), so each span is a difference of two accumulated sums of order
+  the total latency; a span much smaller than the total (e.g. the
+  picosecond Stage-3 store at LPS=0 next to the 0.32 s init) carries the
+  *timestamps'* ULP as absolute error.  1e-10 s sits far above float64
+  ULP at any latency in the grid (~1e-13 s at 607 s) and far below any
+  real scheduling bug (whole microseconds).
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core import AspenStageModels, SplitExecutionModel
+from repro import backends
+from repro.backends import PerformanceBackend, full_point
+from repro.core import SplitExecutionModel
 from repro.runtime.layers import run_single_session
 
 # The shared small scenario grid: LPS spans the Fig. 9 range (0 exercises
@@ -34,14 +39,15 @@ from repro.runtime.layers import run_single_session
 GRID_LPS = (0, 1, 5, 20, 50, 100)
 GRID_PROBS = ((0.5, 0.7), (0.99, 0.7), (0.9999, 0.61), (0.99, 0.9))
 
-ASPEN_RTOL = 1e-12
 DES_RTOL = 1e-9
 DES_ATOL = 1e-10
 
-
-@pytest.fixture(scope="module")
-def aspen() -> AspenStageModels:
-    return AspenStageModels()
+#: Every registered backend except the reference itself.  Computed at
+#: import time from the live registry — a new registered backend is
+#: differential-tested without touching this file.
+NON_REFERENCE_BACKENDS = tuple(
+    name for name in backends.available_backends() if name != "closed_form"
+)
 
 
 @pytest.fixture(scope="module")
@@ -53,33 +59,57 @@ def _grid():
     return [(lps, acc, suc) for lps in GRID_LPS for acc, suc in GRID_PROBS]
 
 
+@pytest.mark.parametrize("name", NON_REFERENCE_BACKENDS)
 @pytest.mark.parametrize("lps,accuracy,success", _grid())
-class TestAnalyticVsAspen:
-    """Closed-form pipeline vs the ASPEN-evaluated listings, per stage."""
+class TestRegistryDifferential:
+    """Each backend vs the closed-form reference, at its declared envelope."""
 
-    def test_stage_breakdowns_agree(self, model, aspen, lps, accuracy, success):
-        t = model.time_to_solution(lps, accuracy, success)
-        assert t.stage1_seconds == pytest.approx(aspen.stage1_seconds(lps), rel=ASPEN_RTOL)
-        assert t.stage2_seconds == pytest.approx(
-            aspen.stage2_seconds(accuracy * 100.0, success), rel=ASPEN_RTOL
-        )
-        assert t.stage3_seconds == pytest.approx(
-            aspen.stage3_seconds(lps, accuracy=accuracy, success=success), rel=ASPEN_RTOL
+    def test_stage_breakdowns_agree(self, name, lps, accuracy, success):
+        caps = backends.capabilities(name)
+        point = full_point(lps=lps, accuracy=accuracy, success=success)
+        t = backends.get(name).evaluate(point)
+        r = backends.get("closed_form").evaluate(point)
+        for field in ("stage1_s", "stage2_s", "stage3_s"):
+            assert getattr(t, field) == pytest.approx(
+                getattr(r, field), rel=caps.rtol, abs=caps.atol
+            ), field
+        assert t.total_seconds == pytest.approx(
+            r.total_seconds, rel=caps.rtol, abs=caps.atol
         )
 
-    def test_totals_agree(self, model, aspen, lps, accuracy, success):
-        t = model.time_to_solution(lps, accuracy, success)
-        evaluated = (
-            aspen.stage1_seconds(lps)
-            + aspen.stage2_seconds(accuracy * 100.0, success)
-            + aspen.stage3_seconds(lps, accuracy=accuracy, success=success)
-        )
-        assert t.total_seconds == pytest.approx(evaluated, rel=ASPEN_RTOL)
+    def test_derived_quantities_agree(self, name, lps, accuracy, success):
+        point = full_point(lps=lps, accuracy=accuracy, success=success)
+        t = backends.get(name).evaluate(point)
+        r = backends.get("closed_form").evaluate(point)
+        assert t.repetitions == r.repetitions
+        assert t.dominant_stage == r.dominant_stage
+
+
+@pytest.mark.parametrize("name", NON_REFERENCE_BACKENDS)
+class TestSweepContract:
+    """Batched sweep == per-point evaluate loop, bit for bit, per backend."""
+
+    @pytest.mark.parametrize("accuracy,success", GRID_PROBS)
+    def test_sweep_matches_evaluate_loop(self, name, accuracy, success):
+        backend = backends.get(name)
+        config = full_point(accuracy=accuracy, success=success)
+        cols = backend.sweep(config, GRID_LPS)
+        loop = PerformanceBackend.sweep(backend, config, GRID_LPS)
+        for field in (
+            "stage1_s", "stage2_s", "stage3_s", "total_s",
+            "quantum_fraction", "dominant_stage", "repetitions",
+        ):
+            assert np.array_equal(getattr(cols, field), getattr(loop, field)), field
 
 
 @pytest.mark.parametrize("lps,accuracy,success", _grid())
 class TestAnalyticVsRuntime:
-    """Closed-form pipeline vs the discrete-event Fig.-2 simulation."""
+    """Closed-form pipeline vs the discrete-event Fig.-2 simulation.
+
+    Trace-level checks the backend surface cannot express: end-to-end
+    latency accounting (payload transfers included), per-operation span
+    recovery, and queue behavior.
+    """
 
     def test_end_to_end_latency(self, model, lps, accuracy, success):
         t = model.time_to_solution(lps, accuracy, success)
@@ -123,30 +153,24 @@ class TestAnalyticVsRuntime:
 
 
 class TestThreeWayStudyGrid:
-    """One three-way sweep: the study executor's rows against both backends."""
+    """One three-backend sweep through the study executor itself."""
 
-    def test_study_rows_match_aspen_and_des(self, aspen):
+    def test_study_backend_blocks_agree(self):
         from repro.studies import ScenarioSpec, run_study
 
         spec = ScenarioSpec(
-            axes={"lps": [1, 10, 50], "accuracy": [0.9, 0.99]}, name="three-way"
+            axes={
+                "backend": ["closed_form", "aspen", "des"],
+                "lps": [1, 10, 50],
+                "accuracy": [0.9, 0.99],
+            },
+            name="three-way",
         )
         results = run_study(spec)
-        model = SplitExecutionModel()
-        for index in range(results.num_points):
-            point = spec.point(index)
-            row = results.table[index]
-            assert row["stage1_s"] == pytest.approx(
-                aspen.stage1_seconds(point["lps"]), rel=ASPEN_RTOL
-            )
-            assert row["stage2_s"] == pytest.approx(
-                aspen.stage2_seconds(point["accuracy"] * 100.0, point["success"]),
-                rel=ASPEN_RTOL,
-            )
-            profile = model.request_profile(
-                point["lps"], point["accuracy"], point["success"]
-            )
-            latency, _ = run_single_session(profile)
-            assert latency == pytest.approx(
-                row["total_s"] + 2 * profile.payload_transfer, rel=DES_RTOL
+        assert results.backends_within_tolerance() == {"aspen": True, "des": True}
+        # Repetition counts are exactly shared across backend blocks.
+        reference = results.column("repetitions")[results.backend_rows("closed_form")]
+        for name in ("aspen", "des"):
+            assert np.array_equal(
+                results.column("repetitions")[results.backend_rows(name)], reference
             )

@@ -48,3 +48,36 @@ class TestCommands:
         assert main(["fig9", "--max-lps", "30"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 9(a)" in out and "Fig. 9(b)" in out
+
+    def test_predict_backend_variants(self, capsys):
+        assert main(["predict", "--lps", "30", "--backend", "aspen"]) == 0
+        assert "backend=aspen" in capsys.readouterr().out
+        assert main(["predict", "--lps", "30", "--backend", "des"]) == 0
+        assert "backend=des" in capsys.readouterr().out
+
+    def test_predict_unknown_backend_exits_2(self, capsys):
+        assert main(["predict", "--backend", "warp"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_predict_backend_capability_violation_exits_2(self, capsys):
+        code = main([
+            "predict", "--backend", "aspen", "--embedding-mode", "offline",
+        ])
+        assert code == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_fig9_backend_variant(self, capsys):
+        assert main(["fig9", "--max-lps", "10", "--backend", "closed_form"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("backend: closed_form")
+        assert "Fig. 9(a)" in out
+        assert main(["fig9", "--backend", "warp"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_study_backend_axis_flag(self, capsys):
+        assert main([
+            "study", "--lps", "1:4", "--backend", "closed_form,des", "--no-summary",
+        ]) == 0
+        assert "evaluated 6 points" in capsys.readouterr().out
+        assert main(["study", "--lps", "1:4", "--backend", "warp"]) == 2
+        assert "unknown backend" in capsys.readouterr().err

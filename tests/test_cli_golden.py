@@ -29,6 +29,8 @@ DATA_DIR = Path(__file__).parent / "data"
 GOLDEN_CASES: dict[str, list[str]] = {
     "cli_predict.txt": ["predict", "--lps", "30"],
     "cli_predict_offline.txt": ["predict", "--lps", "80", "--embedding-mode", "offline"],
+    "cli_predict_aspen.txt": ["predict", "--lps", "30", "--backend", "aspen"],
+    "cli_predict_des.txt": ["predict", "--lps", "80", "--backend", "des"],
     "cli_fig9.txt": ["fig9", "--max-lps", "50"],
     "cli_study.txt": [
         "study",
@@ -38,6 +40,32 @@ GOLDEN_CASES: dict[str, list[str]] = {
         "--mc-trials", "32",
         "--seed", "11",
         "--name", "golden",
+        "--out", "{out}",
+    ],
+    "cli_study_aspen.txt": [
+        "study",
+        "--lps", "1:31",
+        "--accuracy", "0.9,0.99",
+        "--backend", "aspen",
+        "--mc-trials", "32",
+        "--seed", "11",
+        "--name", "golden-aspen",
+        "--out", "{out}",
+    ],
+    "cli_study_des.txt": [
+        "study",
+        "--lps", "1:11",
+        "--embedding-mode", "online,offline",
+        "--backend", "des",
+        "--name", "golden-des",
+        "--out", "{out}",
+    ],
+    "cli_study_backends.txt": [
+        "study",
+        "--lps", "1:11",
+        "--accuracy", "0.9,0.99",
+        "--backend", "closed_form,aspen,des",
+        "--name", "golden-backends",
         "--out", "{out}",
     ],
 }
