@@ -1,0 +1,25 @@
+"""Canonical JSON: the one serialization every byte-identity contract uses.
+
+Artifact bytes (`StudyResults.to_json`), cache/content keys
+(`studies.cache`), the spec wire format (`ScenarioSpec.to_json`), and the
+service's response bodies (`service.protocol`) must all stay in lockstep —
+a drift in any one of them (separators, key order, ascii escaping) silently
+breaks cross-layer byte identity.  They all call these two helpers so the
+invariant is structural, not a convention.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["canonical_dumps", "canonical_line"]
+
+
+def canonical_dumps(payload) -> str:
+    """``payload`` as canonical JSON: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_line(payload) -> str:
+    """Canonical JSON plus the trailing newline every stored/wire form carries."""
+    return canonical_dumps(payload) + "\n"

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Five commands cover the everyday uses of the library:
+Seven commands cover the everyday uses of the library:
 
 * ``predict`` — stage-resolved time-to-solution from the performance models
   (the paper's Fig. 9 numbers for one operating point);
@@ -9,13 +9,19 @@ Five commands cover the everyday uses of the library:
 * ``fig9``    — print the three Fig. 9 series from the ASPEN artifacts;
 * ``study``   — evaluate a declarative parameter-space study (a whole grid
   of operating points) through the sharded executor, write the results
-  artifact, and print the dominance/scaling summary.
+  artifact, and print the dominance/scaling summary;
+* ``serve``   — run the study job service (:mod:`repro.service`): an HTTP
+  server accepting spec submissions and serving byte-stable artifacts;
+* ``submit``  — send a study to a running service, wait for it, and write
+  the served artifact (byte-identical to a local ``study`` of the same
+  spec).
 
 ``predict``, ``fig9``, and ``study`` accept ``--backend``: any name from
 the performance-backend registry (:mod:`repro.backends`) — for ``study``
 a comma list forming a grid axis, so one command sweeps the closed forms,
 the ASPEN listings, and the DES runtime side by side.  ``study --cache``
-points at a content-addressed shard store that repeated runs reuse.
+and ``serve --cache`` point at a content-addressed shard store that
+repeated runs (local or served) reuse.
 """
 
 from __future__ import annotations
@@ -84,6 +90,64 @@ def build_parser() -> argparse.ArgumentParser:
         "file (--spec) or inline axis flags; axis flags accept comma lists "
         "(0.9,0.99) and, for --lps, start:stop[:step] ranges.",
     )
+    _add_spec_flags(p)
+    p.add_argument("--workers", type=int, default=1, help="executor process count")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="points per shard (fixes the shard grid; see DESIGN.md)")
+    p.add_argument("--scalar", action="store_true",
+                   help="force the scalar reference loop instead of sweep_arrays")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the results artifact JSON here")
+    p.add_argument("--cache", type=str, default=None,
+                   help="content-addressed shard cache directory; repeated "
+                   "studies over the same grid reuse stored shards")
+    p.add_argument("--no-summary", action="store_true", help="skip the summary tables")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the study job service (HTTP server over the study executor)",
+        description="Serve POST /studies, GET /studies/<id>[/artifact], "
+        "GET /backends, and GET /healthz on a ThreadingHTTPServer.  Served "
+        "artifacts are byte-identical to a local `study` run of the same "
+        "spec; identical grids deduplicate onto one content-hash job id.",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port (0 picks an ephemeral port and prints it)")
+    p.add_argument("--cache", type=str, default=None,
+                   help="content-addressed shard cache directory shared by all jobs")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="bounded job-queue capacity (full queue rejects with 429)")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="worker threads executing queued studies")
+    p.add_argument("--executor-workers", type=int, default=1,
+                   help="run_study process count per job")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="points per shard for every served job (part of job identity)")
+    p.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a study to a running service and fetch its artifact",
+        description="Send a ScenarioSpec (same --spec/axis flags as `study`) "
+        "to a study service, poll the job until it finishes, and write the "
+        "served artifact — byte-identical to running `study` locally.",
+    )
+    p.add_argument("--url", type=str, required=True,
+                   help="base URL of the service (e.g. http://127.0.0.1:8321)")
+    _add_spec_flags(p)
+    p.add_argument("--out", type=str, default=None,
+                   help="write the served artifact JSON here")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the job before giving up")
+    p.add_argument("--poll", type=float, default=0.1,
+                   help="status poll interval in seconds")
+
+    return parser
+
+
+def _add_spec_flags(p: argparse.ArgumentParser) -> None:
+    """The ScenarioSpec-shaping flags shared by ``study`` and ``submit``."""
     p.add_argument("--spec", type=str, default=None, help="JSON ScenarioSpec file")
     p.add_argument("--name", type=str, default=None, help="study label for the artifact")
     p.add_argument("--lps", type=str, default=None,
@@ -101,19 +165,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mc-trials", type=int, default=None,
                    help="Monte-Carlo ensembles per point (0 disables the column)")
     p.add_argument("--seed", type=int, default=None, help="root seed for the MC streams")
-    p.add_argument("--workers", type=int, default=1, help="executor process count")
-    p.add_argument("--shard-size", type=int, default=None,
-                   help="points per shard (fixes the shard grid; see DESIGN.md)")
-    p.add_argument("--scalar", action="store_true",
-                   help="force the scalar reference loop instead of sweep_arrays")
-    p.add_argument("--out", type=str, default=None,
-                   help="write the results artifact JSON here")
-    p.add_argument("--cache", type=str, default=None,
-                   help="content-addressed shard cache directory; repeated "
-                   "studies over the same grid reuse stored shards")
-    p.add_argument("--no-summary", action="store_true", help="skip the summary tables")
-
-    return parser
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -390,12 +441,80 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .backends import available_backends
+    from .service import StudyServer
+    from .studies.executor import DEFAULT_SHARD_SIZE
+
+    server = StudyServer(
+        host=args.host,
+        port=args.port,
+        cache=args.cache,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        executor_workers=args.executor_workers,
+        shard_size=DEFAULT_SHARD_SIZE if args.shard_size is None else args.shard_size,
+        log=None if args.quiet else lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    # Flushed eagerly so wrappers (the CI smoke) can scrape the bound port
+    # even when stdout is a pipe.
+    print(f"study service listening on {server.url}", flush=True)
+    print(f"  backends: {', '.join(available_backends())}", flush=True)
+    print(f"  cache: {args.cache if args.cache else 'none (in-process job dedup only)'}",
+          flush=True)
+    print(f"  queue: {args.queue_size} jobs, {args.job_workers} workers", flush=True)
+    server.run_forever()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceError, StudyServiceClient
+
+    client = StudyServiceClient(args.url)
+    try:
+        spec = _build_study_spec(args)
+    except _StudyArgError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        submitted = client.submit(spec)
+        job_id = submitted["job_id"]
+        print(f"submitted {spec.name!r} to {args.url}: job {job_id}")
+        if submitted["deduplicated"]:
+            print("job: deduplicated (grid already known to the service)")
+        print(f"grid: {submitted['num_points']} points, "
+              f"{submitted['progress']['shards_total']} shard(s)")
+        snapshot = client.wait(job_id, timeout=args.timeout, poll_interval=args.poll)
+        progress = snapshot["progress"]
+        print(f"state: {snapshot['state']} ({progress['shards_done']}/"
+              f"{progress['shards_total']} shards, "
+              f"{progress['shards_from_cache']} from cache)")
+        if snapshot["state"] == "failed":
+            error = snapshot.get("error") or {}
+            print(f"error: [{error.get('code')}] {error.get('message')}", file=sys.stderr)
+            return 1
+        artifact = client.artifact(job_id)
+    except ServiceError as exc:
+        print(f"error: [{exc.code}] {exc.message}", file=sys.stderr)
+        return 2
+    print(f"artifact: {len(artifact.body)} bytes, "
+          f"served-from-cache={'true' if artifact.served_from_cache else 'false'}")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_bytes(artifact.body)
+        print(f"wrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "predict": _cmd_predict,
     "solve": _cmd_solve,
     "embed": _cmd_embed,
     "fig9": _cmd_fig9,
     "study": _cmd_study,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -1,0 +1,45 @@
+"""The study service: an async job server over the study executor.
+
+The ROADMAP's serving story, built from parts the repo already pinned
+down: :func:`repro.studies.run_study` produces *byte-stable* artifacts,
+the content-addressed :class:`~repro.studies.StudyCache` makes recomputing
+a known grid free, and :func:`~repro.studies.cache.study_key` gives every
+grid a content-hash identity.  This package puts an HTTP face on that
+stack — stdlib only, no new runtime dependencies:
+
+* :mod:`~repro.service.protocol` — routes, headers, structured error
+  codes, and the :class:`ServiceError` both sides share;
+* :mod:`~repro.service.jobs` — the :class:`JobManager`: a bounded queue of
+  :class:`Job` records with deterministic ``queued -> running ->
+  done/failed`` transitions, executed on a small worker-thread pool, with
+  per-shard progress and honest cache accounting;
+* :mod:`~repro.service.server` — :class:`StudyServer`, the
+  ``ThreadingHTTPServer`` front end (``POST /studies``, ``GET
+  /studies/<id>``, ``GET /studies/<id>/artifact``, ``GET /backends``,
+  ``GET /healthz``);
+* :mod:`~repro.service.client` — :class:`StudyServiceClient`, the
+  ``urllib``-based client the ``cli submit`` subcommand drives.
+
+The load-bearing property, asserted end to end by ``tests/test_service.py``
+and smoked by ``scripts/ci_check.sh``: an HTTP-served artifact is
+**byte-identical** to a direct ``run_study(...).save(...)`` of the same
+spec, and a repeated submission is answered from the job table / shard
+cache without re-executing anything (the
+``X-Study-Served-From-Cache`` header says so truthfully).
+"""
+
+from .client import ArtifactResponse, StudyServiceClient
+from .jobs import Job, JobManager, JobState
+from .protocol import API_VERSION, ServiceError
+from .server import StudyServer
+
+__all__ = [
+    "API_VERSION",
+    "ArtifactResponse",
+    "Job",
+    "JobManager",
+    "JobState",
+    "ServiceError",
+    "StudyServer",
+    "StudyServiceClient",
+]

@@ -1,0 +1,189 @@
+"""Stdlib client for the study job service.
+
+A thin, dependency-free wrapper over ``urllib.request`` speaking the wire
+protocol of :mod:`repro.service.protocol`: submit a spec, poll its job,
+fetch the canonical artifact.  Every structured error the server returns
+is raised as :class:`~repro.service.protocol.ServiceError` carrying the
+machine-readable code, so callers dispatch on ``exc.code`` instead of
+parsing message text; transport failures raise the same type with the
+client-side ``connection-failed`` code.
+
+The blocking convenience :meth:`StudyServiceClient.run` is submit + wait +
+fetch in one call::
+
+    client = StudyServiceClient("http://127.0.0.1:8321")
+    artifact = client.run(spec)            # ArtifactResponse
+    results = artifact.results()           # parsed StudyResults
+    artifact.served_from_cache             # True iff no shard was executed
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from ..studies import ScenarioSpec, StudyResults
+from .protocol import (
+    ERR_CONNECTION,
+    ERR_TIMEOUT,
+    HEADER_CACHE_SHARDS,
+    HEADER_SERVED_FROM_CACHE,
+    ServiceError,
+)
+
+__all__ = ["ArtifactResponse", "StudyServiceClient"]
+
+#: Job states that will never change again — polling can stop.
+_TERMINAL_STATES = frozenset({"done", "failed"})
+
+
+@dataclass(frozen=True)
+class ArtifactResponse:
+    """One fetched artifact: the canonical bytes plus the cache accounting."""
+
+    job_id: str
+    body: bytes
+    served_from_cache: bool
+    cache_shards: str
+    etag: str
+
+    def results(self) -> StudyResults:
+        """The artifact parsed back into a :class:`StudyResults`."""
+        return StudyResults.from_dict(json.loads(self.body))
+
+
+class StudyServiceClient:
+    """A client bound to one service base URL.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running :class:`~repro.service.StudyServer`.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        """``(status, headers, body_bytes)`` of one exchange; 4xx/5xx raise."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                error = json.loads(body)["error"]
+                code, message = error["code"], error["message"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                code, message = "http-error", body.decode("utf-8", "replace").strip()
+            raise ServiceError(code, message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                ERR_CONNECTION, f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+        except (TimeoutError, http.client.HTTPException, OSError) as exc:
+            # urlopen only wraps *connect*-phase failures in URLError; a
+            # socket that times out or drops mid-response raises raw
+            # socket/http.client errors.  Same structured type either way.
+            raise ServiceError(
+                ERR_CONNECTION, f"transport failure talking to {self.base_url}: {exc!r}"
+            ) from exc
+
+    def _get_json(self, path: str) -> dict:
+        _, _, body = self._request("GET", path)
+        return json.loads(body)
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._get_json("/healthz")
+
+    def backends(self) -> dict:
+        """The server's performance-backend registry listing."""
+        return self._get_json("/backends")
+
+    def submit(self, spec: ScenarioSpec | dict) -> dict:
+        """Submit a spec (instance or payload dict); returns the job snapshot.
+
+        The snapshot's ``deduplicated`` field is ``True`` when the server
+        already knew this grid and attached the submission to the existing
+        job instead of enqueueing a new one.
+        """
+        payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
+        _, _, body = self._request("POST", "/studies", payload)
+        return json.loads(body)
+
+    def status(self, job_id: str) -> dict:
+        return self._get_json(f"/studies/{job_id}")
+
+    def artifact(self, job_id: str) -> ArtifactResponse:
+        """Fetch the canonical artifact of a ``done`` job."""
+        _, headers, body = self._request("GET", f"/studies/{job_id}/artifact")
+        return ArtifactResponse(
+            job_id=job_id,
+            body=body,
+            served_from_cache=headers.get(HEADER_SERVED_FROM_CACHE) == "true",
+            cache_shards=headers.get(HEADER_CACHE_SHARDS, ""),
+            etag=headers.get("ETag", ""),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its snapshot.
+
+        Raises :class:`ServiceError` with the client-side ``client-timeout``
+        code when the deadline expires first (the job keeps running server
+        side — a later :meth:`wait` can pick it back up).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in _TERMINAL_STATES:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    ERR_TIMEOUT,
+                    f"job {job_id} still {snapshot['state']} after {timeout:g}s",
+                )
+            time.sleep(poll_interval)
+
+    def run(
+        self, spec: ScenarioSpec | dict, timeout: float = 60.0, poll_interval: float = 0.05
+    ) -> ArtifactResponse:
+        """Submit, wait, and fetch in one blocking call.
+
+        A failed job raises :class:`ServiceError` with the server's
+        recorded execution error.
+        """
+        submitted = self.submit(spec)
+        snapshot = self.wait(submitted["job_id"], timeout, poll_interval)
+        if snapshot["state"] == "failed":
+            error = snapshot.get("error") or {}
+            raise ServiceError(
+                error.get("code", "execution-error"),
+                error.get("message", "study execution failed"),
+            )
+        return self.artifact(snapshot["job_id"])

@@ -1,0 +1,331 @@
+"""The study job manager: a bounded queue of deterministic study runs.
+
+A :class:`Job` is one execution of :func:`repro.studies.run_study` for one
+:class:`~repro.studies.ScenarioSpec`.  Its identity *is* the study's
+content address (:func:`repro.studies.cache.study_key` over the effective
+grid + shard grid + column schema + code version), which buys three
+properties the HTTP layer leans on:
+
+* **idempotent submission** — the same grid submitted twice is the same
+  job; the second submission attaches to the first (``deduplicated``),
+  whatever state it is in, and never re-executes anything;
+* **deterministic state transitions** — ``queued -> running -> done``
+  or ``queued -> running -> failed``, enforced by :meth:`Job.transition`;
+  a job can never move backwards or skip ``running``;
+* **honest cache accounting** — per-shard progress distinguishes shards
+  served from the content-addressed :class:`~repro.studies.StudyCache`
+  from shards actually computed, so an artifact response can truthfully
+  declare whether it was answered without re-execution.
+
+Execution happens on a small pool of daemon worker threads consuming a
+bounded :class:`queue.Queue`; a full queue rejects the submission (the
+HTTP layer maps that to 429) instead of buffering unboundedly.  Finished
+jobs are equally bounded: beyond ``max_retained_jobs`` the oldest-finished
+entries (artifact bytes included) are evicted — with a ``StudyCache``
+configured their bytes remain reproducible for free, so an evicted grid
+simply resubmits as a fresh cache-served job.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from ..exceptions import ValidationError
+from ..studies import ScenarioSpec, StudyCache, run_study, shard_ranges, study_key
+from ..studies.executor import DEFAULT_SHARD_SIZE
+from .protocol import ERR_EXECUTION, ERR_QUEUE_FULL, ServiceError
+
+__all__ = ["Job", "JobManager", "JobState"]
+
+
+class JobState(str, Enum):
+    """Lifecycle of one study job (transitions only ever move rightwards)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: The legal transition edges.  Everything else is a programming error.
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING}),
+    JobState.RUNNING: frozenset({JobState.DONE, JobState.FAILED}),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+}
+
+
+@dataclass
+class Job:
+    """One study execution and its observable progress.
+
+    Mutable fields are only touched under the owning manager's lock; the
+    HTTP layer reads consistent snapshots via :meth:`snapshot`.
+    """
+
+    job_id: str
+    spec: ScenarioSpec
+    shard_size: int
+    state: JobState = JobState.QUEUED
+    shards_total: int = 0
+    shards_done: int = 0
+    shards_from_cache: int = 0
+    artifact: bytes | None = None
+    error: dict | None = None
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``; illegal edges raise (never silently skip)."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ValidationError(
+                f"illegal job transition {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def shards_computed(self) -> int:
+        return self.shards_done - self.shards_from_cache
+
+    @property
+    def served_from_cache(self) -> bool:
+        """Whether this job's bytes were produced without executing a shard."""
+        return self.state is JobState.DONE and self.shards_computed == 0
+
+    def snapshot(self) -> dict:
+        """A JSON-ready status view (no artifact bytes; those have their own route)."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "state": self.state.value,
+            "num_points": self.spec.num_points,
+            "shard_size": self.shard_size,
+            "progress": {
+                "shards_done": self.shards_done,
+                "shards_total": self.shards_total,
+                "shards_from_cache": self.shards_from_cache,
+            },
+            "served_from_cache": self.served_from_cache,
+            "error": self.error,
+        }
+
+
+class JobManager:
+    """Owns the job table, the bounded queue, and the worker threads.
+
+    Parameters
+    ----------
+    cache:
+        Optional shard store shared by every job.  With a cache, a job
+        whose grid was ever computed before (by any prior job, process, or
+        server) is served byte-identically without re-executing shards.
+    queue_size:
+        Bound on jobs waiting to run.  A full queue rejects submissions
+        with :data:`~repro.service.protocol.ERR_QUEUE_FULL`.
+    job_workers:
+        Worker threads executing jobs.  ``0`` starts none — submissions
+        queue up but never run (used by tests to observe ``queued`` state
+        and queue overflow deterministically).
+    executor_workers / shard_size / vectorize:
+        Passed through to :func:`repro.studies.run_study` for every job.
+        ``shard_size`` is part of each job's identity (it partitions the
+        Monte-Carlo streams), so one service instance uses one value.
+    max_retained_jobs:
+        Retention bound on *finished* jobs (done or failed).  Beyond it the
+        oldest-finished jobs (artifact bytes included) are evicted from the
+        in-memory table, so a long-running server cannot grow without
+        bound; an evicted grid resubmits as a fresh job whose shards the
+        ``StudyCache`` serves byte-identically.
+    """
+
+    def __init__(
+        self,
+        cache: StudyCache | None = None,
+        queue_size: int = 64,
+        job_workers: int = 2,
+        executor_workers: int = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        vectorize: bool = True,
+        max_retained_jobs: int = 1024,
+    ) -> None:
+        if queue_size < 1:
+            raise ValidationError(f"queue_size must be >= 1, got {queue_size}")
+        if job_workers < 0:
+            raise ValidationError(f"job_workers must be >= 0, got {job_workers}")
+        if max_retained_jobs < 1:
+            raise ValidationError(
+                f"max_retained_jobs must be >= 1, got {max_retained_jobs}"
+            )
+        self.cache = cache
+        self.shard_size = shard_size
+        self.executor_workers = executor_workers
+        self.vectorize = vectorize
+        self.max_retained_jobs = max_retained_jobs
+        self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=queue_size)
+        self._jobs: dict[str, Job] = {}
+        self._finished_order: deque[str] = deque()
+        self._lock = threading.RLock()
+        self._threads: list[threading.Thread] = []
+        self._job_workers = job_workers
+        self._started = False
+        self._stopping = False
+        #: Total shards actually computed (not cache-served) across all jobs —
+        #: what the "no re-execution" tests assert against.
+        self.executed_shards = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for i in range(self._job_workers):
+                thread = threading.Thread(
+                    target=self._worker, name=f"study-job-worker-{i}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop the workers (idle ones exit immediately; busy ones finish
+        their current job first).  Queued jobs stay queued — the backlog
+        is *not* executed on the way down."""
+        with self._lock:
+            threads, self._threads = self._threads, []
+            self._started = False
+            self._stopping = True
+        try:
+            # Drain unstarted jobs so the sentinel puts below cannot block on
+            # a full queue and no worker picks up new work (jobs stay QUEUED
+            # in the table); a worker that races a job out of the queue here
+            # sees the stopping flag and re-queues nothing.
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            for _ in threads:
+                self._queue.put(None)
+            for thread in threads:
+                thread.join()
+        finally:
+            self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # Submission / lookup
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: ScenarioSpec) -> tuple[dict, bool]:
+        """Enqueue ``spec``; returns ``(status_snapshot, deduplicated)``.
+
+        Identical grids (same :func:`study_key`) deduplicate onto the
+        existing job regardless of its state.  A full queue raises
+        :class:`ServiceError` with :data:`ERR_QUEUE_FULL`.
+        """
+        job_id = study_key(spec, self.shard_size)
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return existing.snapshot(), True
+            job = Job(
+                job_id=job_id,
+                spec=spec,
+                shard_size=self.shard_size,
+                shards_total=len(shard_ranges(spec.num_points, self.shard_size)),
+            )
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                raise ServiceError(
+                    ERR_QUEUE_FULL,
+                    f"job queue is full ({self._queue.maxsize} pending); retry later",
+                    status=429,
+                ) from None
+            self._jobs[job_id] = job
+            return job.snapshot(), False
+
+    def status(self, job_id: str) -> dict | None:
+        """Status snapshot of ``job_id``, or ``None`` if unknown."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return None if job is None else job.snapshot()
+
+    def artifact(self, job_id: str) -> tuple[bytes, dict] | None:
+        """``(artifact_bytes, status_snapshot)`` of ``job_id``, or ``None``.
+
+        Only meaningful for ``done`` jobs; callers branch on the snapshot's
+        state for the not-ready/failed responses.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            return job.artifact, job.snapshot()
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (the health endpoint's queue gauge)."""
+        with self._lock:
+            out = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                out[job.state.value] += 1
+            return out
+
+    @property
+    def queue_capacity(self) -> int:
+        return self._queue.maxsize
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if self._stopping:
+                continue  # shutdown in progress: leave the job queued, await sentinel
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            job.transition(JobState.RUNNING)
+
+        def on_progress(shard_index: int, from_cache: bool, done: int, total: int) -> None:
+            with self._lock:
+                job.shards_done = done
+                job.shards_total = total
+                if from_cache:
+                    job.shards_from_cache += 1
+                else:
+                    self.executed_shards += 1
+
+        try:
+            results = run_study(
+                job.spec,
+                workers=self.executor_workers,
+                shard_size=self.shard_size,
+                vectorize=self.vectorize,
+                cache=self.cache,
+                progress=on_progress,
+            )
+            artifact = results.artifact_bytes()
+        except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
+            with self._lock:
+                job.error = {"code": ERR_EXECUTION, "message": str(exc)}
+                job.transition(JobState.FAILED)
+                self._retire(job)
+            return
+        with self._lock:
+            job.artifact = artifact
+            job.transition(JobState.DONE)
+            self._retire(job)
+
+    def _retire(self, job: Job) -> None:
+        """Record a finished job and evict beyond the retention bound (locked)."""
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > self.max_retained_jobs:
+            self._jobs.pop(self._finished_order.popleft(), None)

@@ -1,0 +1,126 @@
+"""The study service's wire protocol: routes, headers, and error bodies.
+
+One module both sides import, so the server's responses and the client's
+expectations can never drift apart — and so tests can assert against the
+same constants the implementation uses.
+
+**Endpoints** (all bodies are JSON):
+
+========  ===========================  ==========================================
+method    path                         meaning
+========  ===========================  ==========================================
+POST      ``/studies``                 submit a :class:`~repro.studies.ScenarioSpec`
+                                       payload; 202 with the job id (200 when the
+                                       identical grid is already a known job)
+GET       ``/studies/<id>``            job status + per-shard progress
+GET       ``/studies/<id>/artifact``   the canonical byte-stable results artifact
+GET       ``/backends``                the performance-backend registry
+GET       ``/healthz``                 liveness + job-queue counters
+========  ===========================  ==========================================
+
+**Job ids are content addresses.**  A job id is
+:func:`repro.studies.cache.study_key` — the sha256 of the spec's effective
+grid, the shard grid, the column schema, and the code version.  Identical
+grids map to the same job by construction (submission is idempotent), and
+an artifact response can be cached forever under its id.
+
+**Errors are structured.**  Every non-2xx response body is::
+
+    {"error": {"code": "<machine-readable-slug>", "message": "<human text>"}}
+
+(plus optional detail fields), with the code drawn from the ``ERR_*``
+constants below.  Clients dispatch on the code, never on message text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .._json import canonical_line
+
+__all__ = [
+    "API_VERSION",
+    "HEADER_CACHE_SHARDS",
+    "HEADER_SERVED_FROM_CACHE",
+    "ERR_INVALID_JSON",
+    "ERR_INVALID_SPEC",
+    "ERR_UNKNOWN_BACKEND",
+    "ERR_UNKNOWN_JOB",
+    "ERR_JOB_NOT_READY",
+    "ERR_JOB_FAILED",
+    "ERR_QUEUE_FULL",
+    "ERR_NOT_FOUND",
+    "ERR_METHOD_NOT_ALLOWED",
+    "ERR_EXECUTION",
+    "ERR_CONNECTION",
+    "ERR_TIMEOUT",
+    "JOB_ID_PATTERN",
+    "ServiceError",
+    "dump_body",
+    "error_body",
+    "job_links",
+]
+
+API_VERSION = 1
+
+#: ``true`` on an artifact response whose job executed zero shards — every
+#: shard was served from the content-addressed :class:`StudyCache` (or the
+#: request deduplicated onto an already-completed job), i.e. the bytes were
+#: answered without re-execution.
+HEADER_SERVED_FROM_CACHE = "X-Study-Served-From-Cache"
+
+#: ``"<cache-served>/<total>"`` shard accounting for the artifact's job.
+HEADER_CACHE_SHARDS = "X-Study-Cache-Shards"
+
+# Error codes (4xx unless noted).
+ERR_INVALID_JSON = "invalid-json"            # 400: body is not JSON
+ERR_INVALID_SPEC = "invalid-spec"            # 400: JSON is not a valid spec
+ERR_UNKNOWN_BACKEND = "unknown-backend"      # 400: backend axis names nobody registered
+ERR_UNKNOWN_JOB = "unknown-job"              # 404: no such job id
+ERR_JOB_NOT_READY = "job-not-ready"          # 409: artifact requested before done
+ERR_JOB_FAILED = "job-failed"                # 409: artifact of a failed job
+ERR_QUEUE_FULL = "queue-full"                # 429: bounded job queue is full
+ERR_NOT_FOUND = "not-found"                  # 404: no such route
+ERR_METHOD_NOT_ALLOWED = "method-not-allowed"  # 405
+ERR_EXECUTION = "execution-error"            # job-status error field: run_study raised
+ERR_CONNECTION = "connection-failed"         # client side: server unreachable
+ERR_TIMEOUT = "client-timeout"               # client side: wait() deadline expired
+
+#: Job ids are full hex sha256 digests (see :func:`repro.studies.cache.study_key`).
+JOB_ID_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+
+class ServiceError(Exception):
+    """A structured study-service error (server-detected or client-side).
+
+    Carries the machine-readable ``code`` (an ``ERR_*`` constant), the
+    human ``message``, and the HTTP ``status`` (0 for client-side errors
+    that never reached the server, e.g. connection failures).
+    """
+
+    def __init__(self, code: str, message: str, status: int = 0) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+def error_body(code: str, message: str, **details) -> dict:
+    """The canonical error-response payload."""
+    body = {"error": {"code": code, "message": message}}
+    if details:
+        body["error"].update(details)
+    return body
+
+
+def dump_body(payload: dict) -> bytes:
+    """Serialize a response/request body (canonical JSON, one line)."""
+    return canonical_line(payload).encode("utf-8")
+
+
+def job_links(job_id: str) -> dict:
+    """The hypermedia links a submission response advertises."""
+    return {
+        "status": f"/studies/{job_id}",
+        "artifact": f"/studies/{job_id}/artifact",
+    }

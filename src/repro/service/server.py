@@ -1,0 +1,384 @@
+"""The study job server: ``http.server`` over the study executor.
+
+Stdlib only — a :class:`ThreadingHTTPServer` accepting connections, a
+:class:`~repro.service.jobs.JobManager` executing studies on a bounded
+worker pool, and the canonical byte-stable artifact as the one response
+payload that matters.  The determinism stack underneath (byte-identical
+artifacts, content-addressed shard cache, content-hash job ids) is what
+makes this server boring in the best way: responses are pure functions of
+the submitted grid, submission is idempotent, and "serve it from cache"
+is always byte-identical to "compute it again".
+
+Request handling is thread-per-connection (``ThreadingHTTPServer``);
+everything mutable lives behind the job manager's lock.  Study execution
+never happens on a request thread — requests only enqueue, poll, and
+serve bytes, so a heavy study cannot stall the health endpoint.
+
+Embedding in-process (tests, notebooks)::
+
+    with StudyServer(cache=StudyCache(dir)) as server:
+        client = StudyServiceClient(server.url)
+        ...
+
+Standalone (the CLI's ``serve`` subcommand)::
+
+    StudyServer(host, port, cache=...).run_forever()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from .. import __version__
+from ..backends import DEFAULT_BACKEND, available_backends, capabilities
+from ..exceptions import ValidationError
+from ..studies import StudyCache
+from ..studies.executor import DEFAULT_SHARD_SIZE
+from .jobs import JobManager, JobState
+from .protocol import (
+    API_VERSION,
+    ERR_INVALID_JSON,
+    ERR_INVALID_SPEC,
+    ERR_JOB_FAILED,
+    ERR_JOB_NOT_READY,
+    ERR_METHOD_NOT_ALLOWED,
+    ERR_NOT_FOUND,
+    ERR_UNKNOWN_BACKEND,
+    ERR_UNKNOWN_JOB,
+    HEADER_CACHE_SHARDS,
+    HEADER_SERVED_FROM_CACHE,
+    JOB_ID_PATTERN,
+    ServiceError,
+    dump_body,
+    error_body,
+    job_links,
+)
+
+__all__ = ["StudyServer"]
+
+#: Reject request bodies larger than this (a spec is a few KB; anything
+#: bigger is a mistake or abuse, not a study).
+MAX_BODY_BYTES = 1 << 20
+
+
+def _parse_spec(raw: bytes):
+    """Decode and validate a submitted spec; raises :class:`ServiceError`."""
+    from ..studies import ScenarioSpec
+
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServiceError(
+            ERR_INVALID_JSON, f"request body is not valid JSON: {exc}", status=400
+        ) from exc
+    # Distinguish "you asked for a backend nobody registered" from every
+    # other way a spec can be malformed — it is the one error a client can
+    # fix by consulting GET /backends.
+    if isinstance(payload, dict) and isinstance(payload.get("axes"), dict):
+        requested = payload["axes"].get("backend")
+        if isinstance(requested, (list, tuple)):
+            known = available_backends()
+            unknown = sorted(
+                {str(v) for v in requested if not isinstance(v, str) or v not in known}
+            )
+            if unknown:
+                raise ServiceError(
+                    ERR_UNKNOWN_BACKEND,
+                    f"unknown backends {unknown}; registered backends: {list(known)}",
+                    status=400,
+                )
+    try:
+        return ScenarioSpec.from_dict(payload)
+    except ValidationError as exc:
+        raise ServiceError(ERR_INVALID_SPEC, str(exc), status=400) from exc
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning server's job manager."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-study-service/{__version__}"
+    sys_version = ""
+    #: Per-connection socket timeout so an abandoned keep-alive connection
+    #: cannot pin a handler thread forever.
+    timeout = 60
+
+    # -- plumbing ------------------------------------------------------- #
+    @property
+    def manager(self) -> JobManager:
+        return self.server.study_server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log = self.server.study_server.log  # type: ignore[attr-defined]
+        if log is not None:
+            log(f"{self.address_string()} - {format % args}")
+
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict[str, str] | None = None
+    ) -> None:
+        self._send_bytes(status, dump_body(payload), extra_headers)
+
+    def _send_bytes(
+        self, status: int, body: bytes, extra_headers: dict[str, str] | None = None
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_body(self, exc: ServiceError, **details) -> None:
+        self._send_json(exc.status, error_body(exc.code, exc.message, **details))
+
+    # -- routing -------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            return self._get_healthz()
+        if path == "/backends":
+            return self._get_backends()
+        parts = path.strip("/").split("/")
+        if parts[0] == "studies" and len(parts) == 2:
+            return self._get_status(parts[1])
+        if parts[0] == "studies" and len(parts) == 3 and parts[2] == "artifact":
+            return self._get_artifact(parts[1])
+        self._send_json(404, error_body(ERR_NOT_FOUND, f"no route for {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/studies":
+            self._send_json(404, error_body(ERR_NOT_FOUND, f"no route for {path!r}"))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 <= length <= MAX_BODY_BYTES:
+            self._send_json(
+                400,
+                error_body(
+                    ERR_INVALID_JSON,
+                    f"Content-Length must be between 0 and {MAX_BODY_BYTES} bytes",
+                ),
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            spec = _parse_spec(raw)
+            snapshot, deduplicated = self.manager.submit(spec)
+        except ServiceError as exc:
+            self._send_error_body(exc)
+            return
+        body = {
+            "api_version": API_VERSION,
+            "deduplicated": deduplicated,
+            "links": job_links(snapshot["job_id"]),
+            **snapshot,
+        }
+        self._send_json(200 if deduplicated else 202, body)
+
+    def _method_not_allowed(self) -> None:
+        self._send_json(
+            405,
+            error_body(
+                ERR_METHOD_NOT_ALLOWED, f"{self.command} is not supported on {self.path!r}"
+            ),
+        )
+
+    do_PUT = do_DELETE = do_PATCH = _method_not_allowed
+
+    # -- endpoints ------------------------------------------------------ #
+    def _get_healthz(self) -> None:
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "api_version": API_VERSION,
+                "jobs": self.manager.counts(),
+                "queue_capacity": self.manager.queue_capacity,
+            },
+        )
+
+    def _get_backends(self) -> None:
+        entries = []
+        for name in available_backends():
+            caps = capabilities(name)
+            entries.append(
+                {
+                    "name": name,
+                    "description": caps.description,
+                    "rtol": caps.rtol,
+                    "atol": caps.atol,
+                    "supported_axes": sorted(caps.supported_axes),
+                }
+            )
+        self._send_json(
+            200, {"api_version": API_VERSION, "default": DEFAULT_BACKEND, "backends": entries}
+        )
+
+    def _lookup(self, job_id: str) -> dict | None:
+        if not JOB_ID_PATTERN.match(job_id):
+            return None
+        return self.manager.status(job_id)
+
+    def _get_status(self, job_id: str) -> None:
+        snapshot = self._lookup(job_id)
+        if snapshot is None:
+            self._send_json(
+                404, error_body(ERR_UNKNOWN_JOB, f"no job with id {job_id!r}")
+            )
+            return
+        self._send_json(
+            200, {"api_version": API_VERSION, "links": job_links(job_id), **snapshot}
+        )
+
+    def _get_artifact(self, job_id: str) -> None:
+        found = None
+        if JOB_ID_PATTERN.match(job_id):
+            found = self.manager.artifact(job_id)
+        if found is None:
+            self._send_json(
+                404, error_body(ERR_UNKNOWN_JOB, f"no job with id {job_id!r}")
+            )
+            return
+        artifact, snapshot = found
+        state = snapshot["state"]
+        if state == JobState.FAILED.value:
+            self._send_json(
+                409,
+                error_body(
+                    ERR_JOB_FAILED,
+                    f"job {job_id} failed; see its status error field",
+                    job_error=snapshot["error"],
+                ),
+            )
+            return
+        if artifact is None:
+            self._send_json(
+                409,
+                error_body(
+                    ERR_JOB_NOT_READY,
+                    f"job {job_id} is {state}; poll its status until done",
+                    state=state,
+                ),
+            )
+            return
+        progress = snapshot["progress"]
+        self._send_bytes(
+            200,
+            artifact,
+            {
+                "ETag": f'"{job_id}"',
+                HEADER_SERVED_FROM_CACHE: "true" if snapshot["served_from_cache"] else "false",
+                HEADER_CACHE_SHARDS: (
+                    f"{progress['shards_from_cache']}/{progress['shards_total']}"
+                ),
+            },
+        )
+
+
+class StudyServer:
+    """The assembled service: HTTP front end + job manager back end.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` / :attr:`url`) — what the tests and the CI smoke
+        use so parallel runs never collide.
+    cache:
+        A :class:`StudyCache`, a directory path to back one, or ``None``
+        to serve without a shard store (jobs still deduplicate in-process
+        by content-hash id).
+    queue_size, job_workers, executor_workers, shard_size, vectorize:
+        Forwarded to :class:`JobManager`.
+    log:
+        Optional callable receiving one line per handled request; ``None``
+        keeps the server silent (the test default).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: StudyCache | str | Path | None = None,
+        queue_size: int = 64,
+        job_workers: int = 2,
+        executor_workers: int = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        vectorize: bool = True,
+        max_retained_jobs: int = 1024,
+        log=None,
+    ) -> None:
+        if isinstance(cache, (str, Path)):
+            cache = StudyCache(cache)
+        self.cache = cache
+        self.log = log
+        self.manager = JobManager(
+            cache=cache,
+            queue_size=queue_size,
+            job_workers=job_workers,
+            executor_workers=executor_workers,
+            shard_size=shard_size,
+            vectorize=vectorize,
+            max_retained_jobs=max_retained_jobs,
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.study_server = self  # type: ignore[attr-defined]
+        self._serve_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "StudyServer":
+        """Start the job workers and serve requests on a background thread."""
+        self.manager.start()
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever, name="study-http-server", daemon=True
+            )
+            self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and the job workers (in that order)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+        self.manager.stop()
+
+    def run_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self.manager.start()
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+            self.manager.stop()
+
+    def __enter__(self) -> "StudyServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -21,7 +21,7 @@ performance backend (:mod:`repro.backends`):
   summary tables for reports and the CLI.
 """
 
-from .cache import StudyCache
+from .cache import StudyCache, study_key
 from .executor import DEFAULT_SHARD_SIZE, run_study, shard_ranges
 from .reportgen import (
     backend_summary,
@@ -41,6 +41,7 @@ __all__ = [
     "shard_ranges",
     "DEFAULT_SHARD_SIZE",
     "StudyCache",
+    "study_key",
     "StudyResults",
     "RESULT_COLUMNS",
     "ARTIFACT_SCHEMA_VERSION",

@@ -48,7 +48,6 @@ both write identical bytes by construction.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import tempfile
 from pathlib import Path
@@ -56,11 +55,52 @@ from pathlib import Path
 import numpy as np
 
 from .. import __version__ as _CODE_VERSION
+from .._json import canonical_dumps
 from ..exceptions import ValidationError
 from .results import ARTIFACT_SCHEMA_VERSION, RESULT_COLUMNS, table_dtype
 from .spec import ScenarioSpec
 
-__all__ = ["StudyCache"]
+__all__ = ["StudyCache", "study_key"]
+
+
+def _identity_payload(spec: ScenarioSpec, shard_size: int) -> dict:
+    """The shared content-identity fields every cache/job key hashes."""
+    if shard_size < 1:
+        raise ValidationError(f"shard_size must be >= 1, got {shard_size}")
+    return {
+        "code_version": _CODE_VERSION,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "columns": [list(column) for column in RESULT_COLUMNS],
+        "grid": spec.cache_identity(),
+        "shard_size": int(shard_size),
+    }
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(canonical_dumps(payload).encode("utf-8")).hexdigest()
+
+
+def study_key(spec: ScenarioSpec, shard_size: int) -> str:
+    """The content address (hex sha256) of one whole study artifact.
+
+    Hashes exactly what determines the artifact bytes: the spec's full
+    canonical payload (``to_dict`` — unlike shard keys, the display
+    ``name`` and the explicit-axes spelling are *included*, because both
+    appear verbatim in the artifact's ``spec`` field), the shard grid
+    (``shard_size`` partitions the Monte-Carlo streams), the column
+    schema, and the code version.  The study service derives its job ids
+    from this key, so submitting the same payload twice is the same job by
+    construction and a response cache can never serve stale or mislabeled
+    bytes — while a re-labelled copy of a known grid becomes a *new* job
+    whose shards are all served from this cache.
+    """
+    return _digest(
+        {
+            "kind": "study",
+            **_identity_payload(spec, shard_size),
+            "spec": spec.to_dict(),
+        }
+    )
 
 
 class StudyCache:
@@ -85,19 +125,12 @@ class StudyCache:
     @staticmethod
     def shard_key(spec: ScenarioSpec, shard_size: int, shard_index: int) -> str:
         """The content address (hex sha256) of one shard of one grid."""
-        if shard_size < 1:
-            raise ValidationError(f"shard_size must be >= 1, got {shard_size}")
         payload = {
             "kind": "study-shard",
-            "code_version": _CODE_VERSION,
-            "schema_version": ARTIFACT_SCHEMA_VERSION,
-            "columns": [list(column) for column in RESULT_COLUMNS],
-            "grid": spec.cache_identity(),
-            "shard_size": int(shard_size),
+            **_identity_payload(spec, shard_size),
             "shard_index": int(shard_index),
         }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return _digest(payload)
 
     def shard_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.shard"

@@ -40,7 +40,7 @@ results to a cold run.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -56,9 +56,17 @@ from .spec import ScenarioSpec
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from .cache import StudyCache
 
-__all__ = ["run_study", "shard_ranges", "DEFAULT_SHARD_SIZE"]
+__all__ = ["run_study", "shard_ranges", "DEFAULT_SHARD_SIZE", "ProgressCallback"]
 
 DEFAULT_SHARD_SIZE = 4096
+
+#: Signature of the optional ``run_study`` progress hook:
+#: ``progress(shard_index, from_cache, shards_done, shards_total)``, called
+#: once per shard as it lands in the results table (cache-served shards
+#: report during the cache pre-pass).  ``shards_done`` counts monotonically
+#: to ``shards_total``; completion *order* is a scheduling detail and not
+#: part of the determinism contract — the table bytes are.
+ProgressCallback = Callable[[int, bool, int, int], None]
 
 
 def shard_ranges(num_points: int, shard_size: int) -> list[tuple[int, int]]:
@@ -146,6 +154,7 @@ def run_study(
     vectorize: bool = True,
     shard_order: Sequence[int] | None = None,
     cache: "StudyCache | None" = None,
+    progress: ProgressCallback | None = None,
 ) -> StudyResults:
     """Evaluate every grid point of ``spec`` into a :class:`StudyResults`.
 
@@ -170,6 +179,10 @@ def run_study(
         content key is already stored are loaded instead of recomputed
         (byte-identical either way); freshly computed shards are stored
         for future runs.
+    progress:
+        Optional :data:`ProgressCallback` invoked once per landed shard —
+        the study service's per-shard status feed.  Exceptions raised by
+        the callback propagate and abort the run.
     """
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -183,6 +196,8 @@ def run_study(
     payload = spec.to_dict()
     table = empty_table(spec.num_points)
 
+    done = 0
+    total = len(ranges)
     pending: list[int] = []
     for k in order:
         if cache is not None:
@@ -190,6 +205,9 @@ def run_study(
             cached = cache.load_shard(spec, shard_size, k)
             if cached is not None:
                 table[start:stop] = cached
+                done += 1
+                if progress is not None:
+                    progress(k, True, done, total)
                 continue
         pending.append(k)
 
@@ -200,6 +218,9 @@ def run_study(
             table[start:stop] = shard
             if cache is not None:
                 cache.store_shard(spec, shard_size, k, shard)
+            done += 1
+            if progress is not None:
+                progress(k, False, done, total)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -212,4 +233,7 @@ def run_study(
                 table[start:stop] = shard
                 if cache is not None:
                     cache.store_shard(spec, shard_size, k, shard)
+                done += 1
+                if progress is not None:
+                    progress(k, False, done, total)
     return StudyResults(spec=spec, table=table)

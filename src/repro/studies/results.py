@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .._json import canonical_line
 from ..backends.base import MAX_BACKEND_NAME_LENGTH
 from ..core.scaling import crossover_index, loglog_slope
 from ..core.sensitivity import elasticity_series
@@ -305,12 +306,18 @@ class StudyResults:
 
     def to_json(self) -> str:
         """Canonical artifact text: sorted keys, fixed separators, trailing newline."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        return canonical_line(self.to_dict())
+
+    def artifact_bytes(self) -> bytes:
+        """The canonical artifact as UTF-8 bytes — exactly what :meth:`save`
+        writes and what the study service puts on the wire, so HTTP-served
+        and directly-saved artifacts compare byte for byte."""
+        return self.to_json().encode("utf-8")
 
     def save(self, path: str | Path) -> Path:
         """Write the artifact; identical results always produce identical bytes."""
         path = Path(path)
-        path.write_text(self.to_json())
+        path.write_bytes(self.artifact_bytes())
         return path
 
     @classmethod

@@ -36,6 +36,7 @@ from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .._json import canonical_line
 from ..backends import (
     DEFAULT_BACKEND,
     DEFAULT_OPERATING_POINT,
@@ -366,6 +367,25 @@ class ScenarioSpec:
             mc_trials=int(payload.get("mc_trials", 0)),
             seed=int(payload.get("seed", 0)),
         )
+
+    def to_json(self) -> str:
+        """Canonical JSON text of the spec (sorted keys, fixed separators).
+
+        The wire format of the study service (``repro.service``): a spec
+        round-trips exactly through ``from_json(spec.to_json())``, and two
+        specs over the same grid serialize to the same bytes whenever their
+        explicit axes match.
+        """
+        return canonical_line(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "ScenarioSpec":
+        """Parse a spec from JSON text (the inverse of :meth:`to_json`)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"spec text is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
 
     @classmethod
     def from_file(cls, path: str | Path) -> "ScenarioSpec":

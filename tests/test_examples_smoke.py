@@ -1,0 +1,52 @@
+"""Examples smoke tier: every script in ``examples/`` must actually run.
+
+The examples are the library's front door, but nothing exercised them —
+an API refactor could silently rot all six.  This module runs each script
+in-process (``runpy`` under ``__main__``, stdout captured), asserting it
+exits cleanly and prints something.
+
+The tier is marked ``examples`` and deselected by default (the scripts
+deliberately do real work — embeddings, annealing sweeps, studies — and
+would triple the tier-1 wall clock).  ``scripts/ci_check.sh`` runs it as
+its own gate::
+
+    python -m pytest -q -m examples
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import runpy
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.examples
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """The smoke tier discovers scripts; an empty glob means a broken path."""
+    assert len(EXAMPLE_SCRIPTS) >= 6, (
+        f"expected the six known example scripts under {EXAMPLES_DIR}, "
+        f"found {[p.name for p in EXAMPLE_SCRIPTS]}"
+    )
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script, tmp_path, monkeypatch):
+    # Guard against examples growing filesystem side effects: run from a
+    # scratch cwd so any relative-path writes land in tmp_path, then check
+    # nothing appeared.
+    monkeypatch.chdir(tmp_path)
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        runpy.run_path(str(script), run_name="__main__")
+    assert stdout.getvalue().strip(), f"{script.name} printed nothing"
+    leftovers = [p.name for p in tmp_path.iterdir()]
+    assert not leftovers, f"{script.name} wrote files into its cwd: {leftovers}"

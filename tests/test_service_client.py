@@ -1,0 +1,197 @@
+"""End-to-end tests of ``repro.service.client`` against a live server.
+
+Where ``tests/test_service.py`` pins the wire protocol with raw
+``http.client`` calls, this suite exercises the supported client library:
+submit/wait/fetch convenience, structured :class:`ServiceError` raising
+(dispatch on ``exc.code``, never message text), timeout behavior, and the
+failed-job path via a deliberately broken custom backend.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.service import ServiceError, StudyServer, StudyServiceClient
+from repro.service.protocol import (
+    ERR_CONNECTION,
+    ERR_INVALID_SPEC,
+    ERR_JOB_FAILED,
+    ERR_JOB_NOT_READY,
+    ERR_TIMEOUT,
+    ERR_UNKNOWN_BACKEND,
+    ERR_UNKNOWN_JOB,
+)
+from repro.studies import ScenarioSpec, run_study
+
+SPEC = ScenarioSpec(
+    axes={"lps": [1, 2, 3, 4, 5], "accuracy": [0.9, 0.99]}, name="client-e2e"
+)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with StudyServer(cache=tmp_path / "cache", job_workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return StudyServiceClient(server.url)
+
+
+@pytest.fixture()
+def paused_client():
+    with StudyServer(job_workers=0, queue_size=4) as srv:
+        yield StudyServiceClient(srv.url)
+
+
+# --------------------------------------------------------------------- #
+# Happy path
+# --------------------------------------------------------------------- #
+def test_run_round_trips_the_exact_study_bytes(client):
+    artifact = client.run(SPEC)
+    assert artifact.body == run_study(SPEC).artifact_bytes()
+    assert artifact.served_from_cache is False
+    assert artifact.cache_shards == "0/1"
+    assert artifact.etag == f'"{artifact.job_id}"'
+
+    results = artifact.results()
+    assert results.num_points == SPEC.num_points
+    assert results.spec == SPEC
+    assert np.array_equal(
+        results.column("total_s"), run_study(SPEC).column("total_s")
+    )
+
+
+def test_submit_accepts_spec_instances_and_payload_dicts(client):
+    from_instance = client.submit(SPEC)
+    from_payload = client.submit(SPEC.to_dict())
+    assert from_payload["job_id"] == from_instance["job_id"]
+    assert from_payload["deduplicated"] is True
+
+
+def test_second_run_is_answered_without_reexecution(server, client):
+    first = client.run(SPEC)
+    executed = server.manager.executed_shards
+    second = client.run(SPEC)
+    assert second.body == first.body
+    assert server.manager.executed_shards == executed
+
+
+def test_healthz_and_backends_views(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    listing = client.backends()
+    assert {b["name"] for b in listing["backends"]} >= {"aspen", "closed_form", "des"}
+    assert listing["default"] == "closed_form"
+
+
+def test_wait_returns_promptly_for_finished_jobs(client):
+    job_id = client.submit(SPEC)["job_id"]
+    snapshot = client.wait(job_id, timeout=60.0)
+    assert snapshot["state"] == "done"
+    # Waiting again on a terminal job returns immediately with the same view.
+    assert client.wait(job_id, timeout=0.001) == snapshot
+
+
+# --------------------------------------------------------------------- #
+# Structured errors
+# --------------------------------------------------------------------- #
+def test_invalid_spec_raises_coded_service_error(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"axes": {"lps": []}})
+    assert excinfo.value.code == ERR_INVALID_SPEC
+    assert excinfo.value.status == 400
+
+
+def test_unknown_backend_raises_coded_service_error(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"axes": {"lps": [1], "backend": ["warp_drive"]}})
+    assert excinfo.value.code == ERR_UNKNOWN_BACKEND
+    assert excinfo.value.status == 400
+
+
+def test_unknown_job_raises_coded_service_error(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.status("f" * 64)
+    assert excinfo.value.code == ERR_UNKNOWN_JOB
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client.artifact("f" * 64)
+    assert excinfo.value.code == ERR_UNKNOWN_JOB
+
+
+def test_artifact_of_unfinished_job_raises_not_ready(paused_client):
+    job_id = paused_client.submit(SPEC)["job_id"]
+    with pytest.raises(ServiceError) as excinfo:
+        paused_client.artifact(job_id)
+    assert excinfo.value.code == ERR_JOB_NOT_READY
+    assert excinfo.value.status == 409
+
+
+def test_wait_deadline_raises_client_timeout(paused_client):
+    job_id = paused_client.submit(SPEC)["job_id"]
+    with pytest.raises(ServiceError) as excinfo:
+        paused_client.wait(job_id, timeout=0.15, poll_interval=0.02)
+    assert excinfo.value.code == ERR_TIMEOUT
+    assert excinfo.value.status == 0  # never reached the server
+
+
+def test_unreachable_server_raises_connection_error():
+    # Grab a port that is definitely closed right now.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    client = StudyServiceClient(f"http://127.0.0.1:{port}", timeout=2.0)
+    with pytest.raises(ServiceError) as excinfo:
+        client.healthz()
+    assert excinfo.value.code == ERR_CONNECTION
+
+
+# --------------------------------------------------------------------- #
+# Failed jobs
+# --------------------------------------------------------------------- #
+class _ExplodingBackend(backends.PerformanceBackend):
+    """A registered backend whose evaluation always fails at run time."""
+
+    name = "exploding"
+    capabilities = backends.BackendCapabilities(
+        supported_axes=frozenset(backends.DEFAULT_OPERATING_POINT),
+        rtol=0.0,
+        atol=0.0,
+        description="always raises (failed-job test double)",
+    )
+
+    def evaluate(self, point):
+        raise RuntimeError("boom: deliberate test failure")
+
+
+@pytest.fixture()
+def exploding_backend():
+    backends.register(_ExplodingBackend)
+    try:
+        yield
+    finally:
+        backends.unregister("exploding")
+
+
+def test_failed_job_surfaces_execution_error(client, exploding_backend):
+    spec = {"name": "boom", "axes": {"lps": [1, 2], "backend": ["exploding"]}}
+    job_id = client.submit(spec)["job_id"]
+    snapshot = client.wait(job_id, timeout=30.0)
+    assert snapshot["state"] == "failed"
+    assert snapshot["error"]["code"] == "execution-error"
+    assert "boom" in snapshot["error"]["message"]
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.artifact(job_id)
+    assert excinfo.value.code == ERR_JOB_FAILED
+    assert excinfo.value.status == 409
+
+    with pytest.raises(ServiceError) as excinfo:
+        client.run(spec, timeout=30.0)
+    assert excinfo.value.code == "execution-error"

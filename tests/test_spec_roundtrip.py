@@ -1,0 +1,160 @@
+"""Property tests: ``ScenarioSpec.to_json``/``from_json`` is a true round trip.
+
+The study service's wire format is the spec's canonical JSON, and its job
+ids / shard cache keys hash what that JSON describes — so serialization
+must preserve *everything* the executor consumes.  Hypothesis drives
+arbitrary valid axis grids through the round trip and asserts the three
+load-bearing invariants:
+
+* the parsed spec equals the original (axes, name, mc_trials, seed);
+* the grid re-enumerates to the **identical row-major point sequence**
+  (point ``i`` means the same operating point on both sides of the wire);
+* the content addresses are identical — the study key (job identity) and
+  every shard key (cache identity) — so a spec shipped through the
+  service hits exactly the cache entries a local run would.
+
+Backend choice shapes what may sweep (capability enforcement: an axis a
+backend does not honor may only sit at its default), so the strategy
+draws the backend axis first and constrains the rest accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.studies import ScenarioSpec, StudyCache, study_key
+from repro.studies.executor import shard_ranges
+
+#: Axes every registered backend honors (aspen's supported set).
+_UNIVERSAL_AXES = ("lps", "accuracy", "success")
+#: Axes only the full-surface backends (closed_form, des) honor.
+_FULL_SURFACE_AXES = ("embedding_mode", "anneal_us", "clock_hz")
+
+_VALUE_STRATEGIES = {
+    "lps": st.lists(st.integers(0, 2000), min_size=1, max_size=4, unique=True),
+    "accuracy": st.lists(
+        st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+        min_size=1, max_size=3, unique=True,
+    ),
+    "success": st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1, max_size=3, unique=True,
+    ),
+    "anneal_us": st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=1, max_size=3, unique=True,
+    ),
+    "clock_hz": st.lists(
+        st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+        min_size=1, max_size=3, unique=True,
+    ),
+    "embedding_mode": st.sampled_from(
+        [["online"], ["offline"], ["online", "offline"], ["offline", "online"]]
+    ),
+}
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    axes: dict = {}
+    # Backend axis first: sweeping aspen forbids sweeping full-surface axes.
+    backend_axis = draw(
+        st.sampled_from(
+            [
+                None,
+                ["closed_form"],
+                ["des"],
+                ["closed_form", "des"],
+                ["aspen"],
+                ["closed_form", "aspen", "des"],
+            ]
+        )
+    )
+    sweepable = list(_UNIVERSAL_AXES)
+    if backend_axis is None or "aspen" not in backend_axis:
+        sweepable += _FULL_SURFACE_AXES
+    if backend_axis is not None:
+        axes["backend"] = backend_axis
+    for axis_name in sweepable:
+        if draw(st.booleans()):
+            axes[axis_name] = draw(_VALUE_STRATEGIES[axis_name])
+    return ScenarioSpec(
+        axes=axes,
+        name=draw(st.text(alphabet="abcXYZ 019_-/é", min_size=1, max_size=12)),
+        mc_trials=draw(st.integers(0, 4)),
+        seed=draw(st.integers(0, 2**32 - 1)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=scenario_specs())
+def test_to_json_from_json_round_trips_exactly(spec):
+    text = spec.to_json()
+    parsed = ScenarioSpec.from_json(text)
+    assert parsed == spec
+    assert parsed.name == spec.name
+    assert parsed.mc_trials == spec.mc_trials
+    assert parsed.seed == spec.seed
+    # Serialization is idempotent: the canonical text is a fixed point.
+    assert parsed.to_json() == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=scenario_specs())
+def test_round_trip_re_enumerates_the_identical_row_major_grid(spec):
+    parsed = ScenarioSpec.from_json(spec.to_json())
+    assert parsed.shape == spec.shape
+    assert parsed.num_points == spec.num_points
+    assert list(parsed.iter_points()) == list(spec.iter_points())
+    # Random access agrees with enumeration on both sides of the wire.
+    last = spec.num_points - 1
+    assert parsed.point(0) == spec.point(0)
+    assert parsed.point(last) == spec.point(last)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=scenario_specs(), shard_size=st.sampled_from([1, 3, 64, 4096]))
+def test_round_trip_preserves_every_cache_key(spec, shard_size):
+    parsed = ScenarioSpec.from_json(spec.to_json())
+    # Job identity (the service's content-hash job id) ...
+    assert study_key(parsed, shard_size) == study_key(spec, shard_size)
+    # ... and every shard's content address in the StudyCache.
+    for index, _ in enumerate(shard_ranges(spec.num_points, shard_size)):
+        assert StudyCache.shard_key(parsed, shard_size, index) == StudyCache.shard_key(
+            spec, shard_size, index
+        )
+
+
+# --------------------------------------------------------------------- #
+# Deterministic edge cases
+# --------------------------------------------------------------------- #
+def test_explicit_default_axis_shares_shards_but_not_the_job():
+    """Spelling out a default keeps the *shard* identity (effective grids
+    collapse) but changes the *job* identity — the artifact's ``spec``
+    field records the explicit spelling, so the bytes differ."""
+    implicit = ScenarioSpec(axes={"accuracy": [0.9, 0.99]})
+    explicit = ScenarioSpec(axes={"accuracy": [0.9, 0.99], "lps": [50]})
+    assert StudyCache.shard_key(implicit, 64, 0) == StudyCache.shard_key(explicit, 64, 0)
+    assert study_key(implicit, 64) != study_key(explicit, 64)
+
+
+def test_relabelled_spec_shares_shards_but_not_the_job():
+    one = ScenarioSpec(axes={"lps": [1, 2, 3]}, name="one")
+    two = ScenarioSpec(axes={"lps": [1, 2, 3]}, name="two")
+    assert StudyCache.shard_key(one, 64, 0) == StudyCache.shard_key(two, 64, 0)
+    assert study_key(one, 64) != study_key(two, 64)
+
+
+def test_study_key_depends_on_the_shard_grid():
+    spec = ScenarioSpec(axes={"lps": [1, 2, 3]})
+    assert study_key(spec, 64) != study_key(spec, 128)
+
+
+def test_from_json_rejects_malformed_text():
+    with pytest.raises(ValidationError, match="not valid JSON"):
+        ScenarioSpec.from_json("{nope")
+    with pytest.raises(ValidationError):
+        ScenarioSpec.from_json('{"axes": {"lps": []}}')
