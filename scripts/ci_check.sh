@@ -102,6 +102,86 @@ cmp "$CACHE_SCRATCH/served.json" "$CACHE_SCRATCH/served2.json" || {
 kill "$SERVICE_PID" 2>/dev/null || true
 echo "service smoke: served artifact byte-identical to direct run, repeat cache-served"
 
+echo
+echo "== executor chaos smoke (REPRO_FAULTS) =="
+# Chaos determinism gate: a run that suffers an injected transient shard
+# failure AND an injected cache read error must still produce bytes
+# identical to the fault-free run.  The cache is warmed first so the
+# cache-read fault actually bites (forcing a recompute), and the recompute
+# then trips the shard-eval fault (forcing a retry).
+run_chaos_study() {
+    python -m repro.cli study \
+        --lps 1:11 --accuracy 0.9,0.99 --backend closed_form,aspen,des \
+        --name ci-chaos-smoke --no-summary \
+        --cache "$CACHE_SCRATCH/chaos-cache" --out "$1"
+}
+run_chaos_study "$CACHE_SCRATCH/chaos-clean.json" > /dev/null
+REPRO_FAULTS='{"seed":0,"rules":[{"site":"shard-eval","keys":[0],"times":1},{"site":"cache-read","times":1}]}' \
+    run_chaos_study "$CACHE_SCRATCH/chaos-faulted.json" > /dev/null
+cmp "$CACHE_SCRATCH/chaos-clean.json" "$CACHE_SCRATCH/chaos-faulted.json" || {
+    echo "ERROR: fault-injected study artifact differs from the fault-free run" >&2
+    exit 1; }
+echo "executor chaos: fault-injected artifact byte-identical to the clean run"
+
+echo
+echo "== service chaos smoke (journal + kill -9 + connection reset) =="
+# Durability gate: a server with a journal is killed with SIGKILL after
+# finishing a job; a restarted server over the same journal + cache must
+# recover the job and re-serve its artifact byte-identically without
+# re-executing anything.  The first server also injects one connection
+# reset, which the client's default retry budget must absorb silently.
+JOURNAL="$CACHE_SCRATCH/journal.jsonl"
+CHAOS_LOG="$CACHE_SCRATCH/serve-chaos.log"
+REPRO_FAULTS='{"rules":[{"site":"http-connection","times":1}]}' \
+    python -m repro.cli serve --port 0 --quiet \
+    --cache "$CACHE_SCRATCH/chaos-service-cache" --journal "$JOURNAL" \
+    > "$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+trap 'kill "$SERVICE_PID" "$CHAOS_PID" 2>/dev/null || true; rm -rf "$CACHE_SCRATCH"' EXIT
+CHAOS_URL=""
+for _ in $(seq 1 100); do
+    CHAOS_URL="$(grep -oE 'http://[0-9.]+:[0-9]+' "$CHAOS_LOG" | head -1 || true)"
+    [[ -n "$CHAOS_URL" ]] && break
+    kill -0 "$CHAOS_PID" 2>/dev/null || {
+        echo "ERROR: chaos study service exited during startup:" >&2
+        cat "$CHAOS_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n "$CHAOS_URL" ]] || {
+    echo "ERROR: chaos study service never reported its URL:" >&2
+    cat "$CHAOS_LOG" >&2; exit 1; }
+submit_chaos_study() {
+    python -m repro.cli submit --url "$1" \
+        --lps 1:11 --accuracy 0.9,0.99 --backend closed_form,aspen,des \
+        --name ci-chaos-service --out "$2"
+}
+# The very first request eats the injected reset; default --retries rides it out.
+submit_chaos_study "$CHAOS_URL" "$CACHE_SCRATCH/chaos-served.json" > /dev/null
+kill -9 "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+python -m repro.cli serve --port 0 --quiet \
+    --cache "$CACHE_SCRATCH/chaos-service-cache" --journal "$JOURNAL" \
+    > "$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+CHAOS_URL=""
+for _ in $(seq 1 100); do
+    CHAOS_URL="$(grep -oE 'http://[0-9.]+:[0-9]+' "$CHAOS_LOG" | head -1 || true)"
+    [[ -n "$CHAOS_URL" ]] && break
+    kill -0 "$CHAOS_PID" 2>/dev/null || {
+        echo "ERROR: restarted study service exited during startup:" >&2
+        cat "$CHAOS_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "1 job(s) recovered" "$CHAOS_LOG" || {
+    echo "ERROR: restarted server did not recover the journaled job:" >&2
+    cat "$CHAOS_LOG" >&2; exit 1; }
+submit_chaos_study "$CHAOS_URL" "$CACHE_SCRATCH/chaos-recovered.json" > /dev/null
+cmp "$CACHE_SCRATCH/chaos-served.json" "$CACHE_SCRATCH/chaos-recovered.json" || {
+    echo "ERROR: artifact served after kill -9 + journal recovery differs" >&2
+    exit 1; }
+kill "$CHAOS_PID" 2>/dev/null || true
+echo "service chaos: kill -9 + restart re-served the journaled job byte-identically"
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo
     echo "ci_check: fast mode — coverage gate skipped by request"

@@ -124,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run_study process count per job")
     p.add_argument("--shard-size", type=int, default=None,
                    help="points per shard for every served job (part of job identity)")
+    p.add_argument("--journal", type=str, default=None,
+                   help="append-only JSONL job journal; a restarted server replays "
+                   "it to re-serve finished grids and complete interrupted jobs")
     p.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
 
     p = sub.add_parser(
@@ -141,7 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=300.0,
                    help="seconds to wait for the job before giving up")
     p.add_argument("--poll", type=float, default=0.1,
-                   help="status poll interval in seconds")
+                   help="initial status poll interval in seconds (backs off to ~1s)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="transient-failure retries per request (connection resets, "
+                   "5xx, 429); safe because job ids are content hashes")
 
     return parser
 
@@ -454,6 +460,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         executor_workers=args.executor_workers,
         shard_size=DEFAULT_SHARD_SIZE if args.shard_size is None else args.shard_size,
+        journal=args.journal,
         log=None if args.quiet else lambda line: print(line, file=sys.stderr, flush=True),
     )
     # Flushed eagerly so wrappers (the CI smoke) can scrape the bound port
@@ -463,6 +470,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"  cache: {args.cache if args.cache else 'none (in-process job dedup only)'}",
           flush=True)
     print(f"  queue: {args.queue_size} jobs, {args.job_workers} workers", flush=True)
+    if args.journal:
+        print(f"  journal: {args.journal} "
+              f"({server.manager.recovered_jobs} job(s) recovered)", flush=True)
     server.run_forever()
     return 0
 
@@ -470,7 +480,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import ServiceError, StudyServiceClient
 
-    client = StudyServiceClient(args.url)
+    client = StudyServiceClient(args.url, retries=args.retries)
     try:
         spec = _build_study_spec(args)
     except _StudyArgError as exc:

@@ -18,6 +18,7 @@ __all__ = [
     "EmbeddingError",
     "InvalidEmbeddingError",
     "SamplerError",
+    "ShardError",
     "SimulationError",
 ]
 
@@ -78,6 +79,28 @@ class InvalidEmbeddingError(EmbeddingError, ValidationError):
 
 class SamplerError(ReproError):
     """A sampler was invoked with invalid arguments or reached an invalid state."""
+
+
+class ShardError(ReproError):
+    """A study shard exhausted its retry budget.
+
+    Attributes
+    ----------
+    shard_index:
+        Logical index of the failing shard in the study's shard grid.
+    attempts:
+        Human-readable history, one entry per failed attempt (including
+        worker deaths charged to the shard), oldest first.
+    """
+
+    def __init__(self, shard_index: int, attempts: list[str] | tuple[str, ...]):
+        self.shard_index = int(shard_index)
+        self.attempts = list(attempts)
+        last = self.attempts[-1] if self.attempts else "unknown error"
+        super().__init__(
+            f"shard {self.shard_index} failed after {len(self.attempts)} attempt(s); "
+            f"last: {last}"
+        )
 
 
 class SimulationError(ReproError):

@@ -13,12 +13,18 @@ stack — stdlib only, no new runtime dependencies:
   :class:`Job` records with deterministic ``queued -> running ->
   done/failed`` transitions, executed on a small worker-thread pool, with
   per-shard progress and honest cache accounting;
+* :mod:`~repro.service.journal` — the :class:`JobJournal`: an append-only,
+  fsync'd JSONL event log the manager replays on restart, so job state
+  survives ``kill -9`` (finished grids re-serve byte-identically through
+  the cache; interrupted jobs re-queue);
 * :mod:`~repro.service.server` — :class:`StudyServer`, the
-  ``ThreadingHTTPServer`` front end (``POST /studies``, ``GET
-  /studies/<id>``, ``GET /studies/<id>/artifact``, ``GET /backends``,
-  ``GET /healthz``);
+  ``ThreadingHTTPServer`` front end (``POST /studies``, ``GET /studies``,
+  ``GET /studies/<id>``, ``GET /studies/<id>/artifact``, ``GET
+  /backends``, ``GET /healthz``);
 * :mod:`~repro.service.client` — :class:`StudyServiceClient`, the
-  ``urllib``-based client the ``cli submit`` subcommand drives.
+  ``urllib``-based client the ``cli submit`` subcommand drives, with
+  bounded retry/backoff on transient failures (safe because job ids are
+  content hashes — a retried submission deduplicates, never re-executes).
 
 The load-bearing property, asserted end to end by ``tests/test_service.py``
 and smoked by ``scripts/ci_check.sh``: an HTTP-served artifact is
@@ -30,6 +36,7 @@ cache without re-executing anything (the
 
 from .client import ArtifactResponse, StudyServiceClient
 from .jobs import Job, JobManager, JobState
+from .journal import JobJournal
 from .protocol import API_VERSION, ServiceError
 from .server import StudyServer
 
@@ -37,6 +44,7 @@ __all__ = [
     "API_VERSION",
     "ArtifactResponse",
     "Job",
+    "JobJournal",
     "JobManager",
     "JobState",
     "ServiceError",

@@ -8,6 +8,14 @@ machine-readable code, so callers dispatch on ``exc.code`` instead of
 parsing message text; transport failures raise the same type with the
 client-side ``connection-failed`` code.
 
+Transient failures are retried with bounded exponential backoff:
+connection failures, 5xx responses, and 429 (honoring the server's
+``Retry-After`` hint).  Other 4xx responses are *never* retried — the
+request itself is wrong, and repeating it cannot help.  Retrying a
+submission is always safe because job ids are content hashes: re-sending
+the same spec lands on the same job (idempotent by construction), so the
+client cannot double-execute a study by retrying.
+
 The blocking convenience :meth:`StudyServiceClient.run` is submit + wait +
 fetch in one call::
 
@@ -40,6 +48,10 @@ __all__ = ["ArtifactResponse", "StudyServiceClient"]
 #: Job states that will never change again — polling can stop.
 _TERMINAL_STATES = frozenset({"done", "failed"})
 
+#: HTTP statuses worth retrying: server-side trouble (5xx) and explicit
+#: backpressure (429).  No other 4xx ever qualifies.
+_RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
 
 @dataclass(frozen=True)
 class ArtifactResponse:
@@ -65,17 +77,62 @@ class StudyServiceClient:
         ``http://host:port`` of a running :class:`~repro.service.StudyServer`.
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Transient-failure retries per request (on top of the first
+        attempt).  ``0`` disables retrying.
+    backoff:
+        Base delay of the exponential retry schedule
+        (``backoff * 2**attempt``, capped at ``backoff_cap``); a 429's
+        ``Retry-After`` hint takes precedence when larger.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0 or backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
+    def _retry_delay(self, attempt: int, exc: ServiceError) -> float:
+        delay = min(self.backoff * (2.0 ** attempt), self.backoff_cap)
+        if exc.retry_after is not None:
+            delay = max(delay, exc.retry_after)
+        return delay
+
     def _request(self, method: str, path: str, payload: dict | None = None):
-        """``(status, headers, body_bytes)`` of one exchange; 4xx/5xx raise."""
+        """``(status, headers, body_bytes)`` of one exchange; 4xx/5xx raise.
+
+        Connection failures, 5xx, and 429 are retried up to ``retries``
+        times with exponential backoff — safe even for POST, because job
+        ids are content hashes (resubmission deduplicates server-side).
+        Any other 4xx raises immediately.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                retryable = exc.code == ERR_CONNECTION or exc.status in _RETRYABLE_STATUSES
+                if not retryable or attempt >= self.retries:
+                    raise
+                delay = self._retry_delay(attempt, exc)
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _request_once(self, method: str, path: str, payload: dict | None = None):
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -94,7 +151,13 @@ class StudyServiceClient:
                 code, message = error["code"], error["message"]
             except (json.JSONDecodeError, KeyError, TypeError):
                 code, message = "http-error", body.decode("utf-8", "replace").strip()
-            raise ServiceError(code, message, status=exc.code) from None
+            try:
+                retry_after = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServiceError(
+                code, message, status=exc.code, retry_after=retry_after
+            ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(
                 ERR_CONNECTION, f"cannot reach {self.base_url}: {exc.reason}"
@@ -135,6 +198,10 @@ class StudyServiceClient:
     def status(self, job_id: str) -> dict:
         return self._get_json(f"/studies/{job_id}")
 
+    def list_studies(self) -> dict:
+        """Every job the server knows (state + timestamps), oldest first."""
+        return self._get_json("/studies")
+
     def artifact(self, job_id: str) -> ArtifactResponse:
         """Fetch the canonical artifact of a ``done`` job."""
         _, headers, body = self._request("GET", f"/studies/{job_id}/artifact")
@@ -150,25 +217,35 @@ class StudyServiceClient:
     # Convenience
     # ------------------------------------------------------------------ #
     def wait(
-        self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.05
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 1.0,
     ) -> dict:
         """Poll until the job reaches a terminal state; returns its snapshot.
 
-        Raises :class:`ServiceError` with the client-side ``client-timeout``
-        code when the deadline expires first (the job keeps running server
+        Polling starts at ``poll_interval`` (low first-poll latency for
+        short jobs) and backs off geometrically to ``max_poll_interval``,
+        so waiting on a long study doesn't hammer the server.  Raises
+        :class:`ServiceError` with the client-side ``client-timeout`` code
+        when the deadline expires first (the job keeps running server
         side — a later :meth:`wait` can pick it back up).
         """
         deadline = time.monotonic() + timeout
+        interval = poll_interval
         while True:
             snapshot = self.status(job_id)
             if snapshot["state"] in _TERMINAL_STATES:
                 return snapshot
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     ERR_TIMEOUT,
                     f"job {job_id} still {snapshot['state']} after {timeout:g}s",
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(interval, max(deadline - now, 0.0)))
+            interval = min(interval * 2.0, max_poll_interval)
 
     def run(
         self, spec: ScenarioSpec | dict, timeout: float = 60.0, poll_interval: float = 0.05

@@ -24,19 +24,32 @@ jobs are equally bounded: beyond ``max_retained_jobs`` the oldest-finished
 entries (artifact bytes included) are evicted — with a ``StudyCache``
 configured their bytes remain reproducible for free, so an evicted grid
 simply resubmits as a fresh cache-served job.
+
+With a :class:`~repro.service.journal.JobJournal` configured, every
+lifecycle event is durably appended before it is acknowledged, and a
+fresh manager over the same journal *recovers* the job table: failed
+jobs are restored as failed (error preserved), everything else —
+queued, interrupted ``running``, and finished ``done`` jobs alike — is
+re-queued and re-executed.  Through a shared ``StudyCache`` that
+re-execution is a byte-identical re-serve of every previously computed
+shard, which is exactly how a restarted server re-serves finished grids
+with identical bytes and completes the interrupted ones.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
+from pathlib import Path
 
 from ..exceptions import ValidationError
 from ..studies import ScenarioSpec, StudyCache, run_study, shard_ranges, study_key
 from ..studies.executor import DEFAULT_SHARD_SIZE
+from .journal import JobJournal
 from .protocol import ERR_EXECUTION, ERR_QUEUE_FULL, ServiceError
 
 __all__ = ["Job", "JobManager", "JobState"]
@@ -77,6 +90,11 @@ class Job:
     shards_from_cache: int = 0
     artifact: bytes | None = None
     error: dict | None = None
+    #: Wall-clock submission/finish times (unix seconds).  Observability
+    #: only — they live in status snapshots and the journal, never in the
+    #: artifact, which stays free of volatile fields.
+    submitted_unix: float = 0.0
+    finished_unix: float | None = None
 
     def transition(self, new_state: JobState) -> None:
         """Move to ``new_state``; illegal edges raise (never silently skip)."""
@@ -110,6 +128,8 @@ class Job:
             },
             "served_from_cache": self.served_from_cache,
             "error": self.error,
+            "submitted_unix": self.submitted_unix,
+            "finished_unix": self.finished_unix,
         }
 
 
@@ -139,6 +159,16 @@ class JobManager:
         in-memory table, so a long-running server cannot grow without
         bound; an evicted grid resubmits as a fresh job whose shards the
         ``StudyCache`` serves byte-identically.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` (or a path to
+        back one).  Lifecycle events are durably appended, and this
+        constructor *replays* any existing journal into the job table
+        before the workers start: failed jobs are restored as failed,
+        everything else is re-queued (recovered jobs that would overflow
+        the bounded queue are left in the journal for a roomier restart).
+        Recovery skips entries whose recorded job id no longer matches the
+        recomputed content hash — a code-version bump retires stale
+        journal entries exactly like it retires stale cache entries.
     """
 
     def __init__(
@@ -150,6 +180,7 @@ class JobManager:
         shard_size: int = DEFAULT_SHARD_SIZE,
         vectorize: bool = True,
         max_retained_jobs: int = 1024,
+        journal: JobJournal | str | Path | None = None,
     ) -> None:
         if queue_size < 1:
             raise ValidationError(f"queue_size must be >= 1, got {queue_size}")
@@ -175,6 +206,13 @@ class JobManager:
         #: Total shards actually computed (not cache-served) across all jobs —
         #: what the "no re-execution" tests assert against.
         self.executed_shards = 0
+        if isinstance(journal, (str, Path)):
+            journal = JobJournal(journal)
+        self.journal = journal
+        #: Jobs rebuilt from the journal by this manager (health telemetry).
+        self.recovered_jobs = 0
+        if self.journal is not None:
+            self._recover()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -236,6 +274,7 @@ class JobManager:
                 spec=spec,
                 shard_size=self.shard_size,
                 shards_total=len(shard_ranges(spec.num_points, self.shard_size)),
+                submitted_unix=time.time(),
             )
             try:
                 self._queue.put_nowait(job)
@@ -246,6 +285,13 @@ class JobManager:
                     status=429,
                 ) from None
             self._jobs[job_id] = job
+            self._journal_event(
+                "submitted",
+                job,
+                spec=spec.to_dict(),
+                shard_size=job.shard_size,
+                unix=job.submitted_unix,
+            )
             return job.snapshot(), False
 
     def status(self, job_id: str) -> dict | None:
@@ -274,6 +320,13 @@ class JobManager:
                 out[job.state.value] += 1
             return out
 
+    def list_jobs(self) -> list[dict]:
+        """Status snapshots of every known job, oldest submission first."""
+        with self._lock:
+            snapshots = [job.snapshot() for job in self._jobs.values()]
+        snapshots.sort(key=lambda s: (s["submitted_unix"], s["job_id"]))
+        return snapshots
+
     @property
     def queue_capacity(self) -> int:
         return self._queue.maxsize
@@ -293,6 +346,7 @@ class JobManager:
     def _run_job(self, job: Job) -> None:
         with self._lock:
             job.transition(JobState.RUNNING)
+            self._journal_event("running", job)
 
         def on_progress(shard_index: int, from_cache: bool, done: int, total: int) -> None:
             with self._lock:
@@ -307,7 +361,7 @@ class JobManager:
             results = run_study(
                 job.spec,
                 workers=self.executor_workers,
-                shard_size=self.shard_size,
+                shard_size=job.shard_size,
                 vectorize=self.vectorize,
                 cache=self.cache,
                 progress=on_progress,
@@ -316,12 +370,16 @@ class JobManager:
         except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
             with self._lock:
                 job.error = {"code": ERR_EXECUTION, "message": str(exc)}
+                job.finished_unix = time.time()
                 job.transition(JobState.FAILED)
+                self._journal_event("failed", job, error=job.error, unix=job.finished_unix)
                 self._retire(job)
             return
         with self._lock:
             job.artifact = artifact
+            job.finished_unix = time.time()
             job.transition(JobState.DONE)
+            self._journal_event("done", job, unix=job.finished_unix)
             self._retire(job)
 
     def _retire(self, job: Job) -> None:
@@ -329,3 +387,50 @@ class JobManager:
         self._finished_order.append(job.job_id)
         while len(self._finished_order) > self.max_retained_jobs:
             self._jobs.pop(self._finished_order.popleft(), None)
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def _journal_event(self, event: str, job: Job, **fields) -> None:
+        if self.journal is not None:
+            self.journal.append({"event": event, "job_id": job.job_id, **fields})
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the journal (constructor-time, unlocked).
+
+        Failed jobs come back as failed records.  Every other journaled
+        job — queued, interrupted ``running``, or ``done`` — is re-queued
+        for execution: artifact bytes are never journaled, but they are a
+        pure function of the spec, so re-running (through the shared
+        ``StudyCache``, a pure re-serve for finished grids) reproduces
+        them byte-identically.
+        """
+        for job_id, record in JobJournal.replay(self.journal.load()).items():
+            try:
+                spec = ScenarioSpec.from_dict(record["spec"])
+            except ValidationError:
+                continue  # e.g. a custom backend not registered in this process
+            shard_size = record["shard_size"]
+            if not isinstance(shard_size, int) or study_key(spec, shard_size) != job_id:
+                continue  # stale code version or hand-edited journal: distrust
+            job = Job(
+                job_id=job_id,
+                spec=spec,
+                shard_size=shard_size,
+                shards_total=len(shard_ranges(spec.num_points, shard_size)),
+                submitted_unix=float(record["submitted_unix"] or 0.0),
+            )
+            if record["state"] == "failed":
+                job.state = JobState.FAILED
+                job.error = record["error"]
+                finished = record["finished_unix"]
+                job.finished_unix = None if finished is None else float(finished)
+                self._jobs[job_id] = job
+                self._finished_order.append(job_id)
+            else:
+                try:
+                    self._queue.put_nowait(job)
+                except queue.Full:
+                    continue  # stays in the journal for a roomier restart
+                self._jobs[job_id] = job
+            self.recovered_jobs += 1

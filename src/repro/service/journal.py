@@ -1,0 +1,129 @@
+"""Durable job journal: append-only JSONL the server replays on restart.
+
+The job table in :class:`~repro.service.jobs.JobManager` is in-memory;
+without a journal, killing the server forgets every job.  With one, each
+lifecycle event is appended as a single canonical-JSON line
+(:func:`repro._json.canonical_line`) and fsync'd before the state change
+is acknowledged, so the file survives ``kill -9``:
+
+``{"event": "submitted", "job_id": ..., "spec": {...}, "shard_size": ..., "unix": ...}``
+    A new job entered the queue (the only event carrying the spec).
+``{"event": "running", "job_id": ...}``
+    A worker picked the job up.
+``{"event": "done", "job_id": ..., "unix": ...}`` /
+``{"event": "failed", "job_id": ..., "error": {...}, "unix": ...}``
+    Terminal states.  Artifact bytes are *not* journaled — they are a
+    pure function of the spec, so recovery re-derives them (through the
+    :class:`~repro.studies.StudyCache` this is a re-serve, not a
+    recompute) and the determinism contract guarantees identical bytes.
+
+**Replay** folds the event stream into one record per job — last state
+wins, spec and submission time from the ``submitted`` event — preserving
+submission order.  A job may legitimately cycle ``running``/``done``
+more than once in the file (each recovery re-runs non-failed jobs and
+appends fresh events); replay handles that by construction.
+
+**Corrupt-tail tolerance.**  ``kill -9`` can tear the final line.  Reads
+stop at the first unparsable line and trust everything before it; the
+next append simply extends the file (a torn tail is at worst one lost
+*event*, never a corrupted table — and the very same grid resubmits
+idempotently under the same content-hash id anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections.abc import Mapping
+from pathlib import Path
+
+from .._json import canonical_line
+
+__all__ = ["JobJournal"]
+
+
+class JobJournal:
+    """An append-only JSONL event log backing one :class:`JobManager`.
+
+    Thread-safe; appends hold a lock across write+flush+fsync so lines
+    never interleave.  The file handle opens lazily on first append and
+    the journal can be re-read at any time (reads go through the path,
+    not the handle).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = None
+        self._lock = threading.Lock()
+
+    def append(self, record: Mapping) -> None:
+        """Durably append one event (canonical JSON line, fsync'd)."""
+        line = canonical_line(dict(record)).encode("utf-8")
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "ab")
+            self._file.write(line)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def load(self) -> list[dict]:
+        """Every trusted event, oldest first; stops at the first corrupt line."""
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return []
+        records: list[dict] = []
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail (or worse): trust nothing at or after it
+            if not isinstance(record, dict) or "event" not in record:
+                break
+            records.append(record)
+        return records
+
+    @staticmethod
+    def replay(records: list[dict]) -> dict[str, dict]:
+        """Fold events into ``{job_id: {spec, shard_size, state, error, ...}}``.
+
+        Jobs appear in submission order.  Events for ids never submitted
+        (possible only with a hand-edited file) are ignored.
+        """
+        jobs: dict[str, dict] = {}
+        for record in records:
+            event = record.get("event")
+            job_id = record.get("job_id")
+            if event == "submitted":
+                if not isinstance(record.get("spec"), dict):
+                    continue
+                jobs[job_id] = {
+                    "spec": record["spec"],
+                    "shard_size": record.get("shard_size"),
+                    "state": "queued",
+                    "error": None,
+                    "submitted_unix": record.get("unix"),
+                    "finished_unix": None,
+                }
+            elif event in ("running", "done", "failed") and job_id in jobs:
+                jobs[job_id]["state"] = event if event != "running" else "running"
+                if event == "failed":
+                    jobs[job_id]["error"] = record.get("error")
+                if event in ("done", "failed"):
+                    jobs[job_id]["finished_unix"] = record.get("unix")
+                else:
+                    jobs[job_id]["finished_unix"] = None
+        return jobs
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug nicety
+        return f"JobJournal({str(self.path)!r})"

@@ -12,11 +12,18 @@ method    path                         meaning
 POST      ``/studies``                 submit a :class:`~repro.studies.ScenarioSpec`
                                        payload; 202 with the job id (200 when the
                                        identical grid is already a known job)
+GET       ``/studies``                 list every known job (state + timestamps),
+                                       oldest submission first — the view that
+                                       makes journal recovery observable
 GET       ``/studies/<id>``            job status + per-shard progress
 GET       ``/studies/<id>/artifact``   the canonical byte-stable results artifact
 GET       ``/backends``                the performance-backend registry
 GET       ``/healthz``                 liveness + job-queue counters
 ========  ===========================  ==========================================
+
+**Backpressure is advertised.**  A 429 (``queue-full``) response carries
+``Retry-After: <seconds>`` (:data:`RETRY_AFTER_SECONDS`); the client's
+bounded retry loop honors it before its own backoff schedule.
 
 **Job ids are content addresses.**  A job id is
 :func:`repro.studies.cache.study_key` — the sha256 of the spec's effective
@@ -40,6 +47,7 @@ from .._json import canonical_line
 
 __all__ = [
     "API_VERSION",
+    "RETRY_AFTER_SECONDS",
     "HEADER_CACHE_SHARDS",
     "HEADER_SERVED_FROM_CACHE",
     "ERR_INVALID_JSON",
@@ -62,6 +70,9 @@ __all__ = [
 ]
 
 API_VERSION = 1
+
+#: Seconds a 429 response tells the client to wait (the Retry-After header).
+RETRY_AFTER_SECONDS = 1
 
 #: ``true`` on an artifact response whose job executed zero shards — every
 #: shard was served from the content-addressed :class:`StudyCache` (or the
@@ -96,13 +107,22 @@ class ServiceError(Exception):
     Carries the machine-readable ``code`` (an ``ERR_*`` constant), the
     human ``message``, and the HTTP ``status`` (0 for client-side errors
     that never reached the server, e.g. connection failures).
+    ``retry_after`` is the server's Retry-After hint in seconds, when the
+    response carried one (429 does).
     """
 
-    def __init__(self, code: str, message: str, status: int = 0) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int = 0,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
         self.status = status
+        self.retry_after = retry_after
 
 
 def error_body(code: str, message: str, **details) -> dict:

@@ -29,15 +29,18 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from .. import __version__
 from ..backends import DEFAULT_BACKEND, available_backends, capabilities
 from ..exceptions import ValidationError
+from ..faults import SITE_HTTP_CONNECTION, SITE_HTTP_SLOW, FaultPlan
 from ..studies import StudyCache
 from ..studies.executor import DEFAULT_SHARD_SIZE
 from .jobs import JobManager, JobState
+from .journal import JobJournal
 from .protocol import (
     API_VERSION,
     ERR_INVALID_JSON,
@@ -51,6 +54,7 @@ from .protocol import (
     HEADER_CACHE_SHARDS,
     HEADER_SERVED_FROM_CACHE,
     JOB_ID_PATTERN,
+    RETRY_AFTER_SECONDS,
     ServiceError,
     dump_body,
     error_body,
@@ -102,14 +106,42 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = f"repro-study-service/{__version__}"
     sys_version = ""
-    #: Per-connection socket timeout so an abandoned keep-alive connection
-    #: cannot pin a handler thread forever.
-    timeout = 60
+    #: Per-connection socket timeout (covers request reads) so an abandoned
+    #: or glacial connection cannot pin a handler thread forever; the
+    #: instance value comes from ``StudyServer(request_timeout=)``.
+    timeout = 60.0
+
+    def setup(self) -> None:
+        self.timeout = self.server.study_server.request_timeout  # type: ignore[attr-defined]
+        super().setup()
 
     # -- plumbing ------------------------------------------------------- #
     @property
     def manager(self) -> JobManager:
         return self.server.study_server.manager  # type: ignore[attr-defined]
+
+    def _inject_http_fault(self) -> bool:
+        """Apply any active HTTP-site fault; True when the request was eaten.
+
+        ``http-connection`` closes the connection before a status line is
+        written (the client observes a reset / empty response);
+        ``http-slow`` sleeps before normal handling continues.
+        """
+        plan = self.server.study_server.faults  # type: ignore[attr-defined]
+        if plan is None:
+            return False
+        rule = plan.fires_counted(SITE_HTTP_CONNECTION)
+        if rule is not None:
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            return True
+        rule = plan.fires_counted(SITE_HTTP_SLOW)
+        if rule is not None:
+            time.sleep(rule.delay_s)
+        return False
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         log = self.server.study_server.log  # type: ignore[attr-defined]
@@ -133,15 +165,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_body(self, exc: ServiceError, **details) -> None:
-        self._send_json(exc.status, error_body(exc.code, exc.message, **details))
+        # 429 advertises when to come back; the client's retry loop honors it.
+        extra = {"Retry-After": str(RETRY_AFTER_SECONDS)} if exc.status == 429 else None
+        self._send_bytes(exc.status, dump_body(error_body(exc.code, exc.message, **details)), extra)
 
     # -- routing -------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self._inject_http_fault():
+            return
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             return self._get_healthz()
         if path == "/backends":
             return self._get_backends()
+        if path == "/studies":
+            return self._get_studies()
         parts = path.strip("/").split("/")
         if parts[0] == "studies" and len(parts) == 2:
             return self._get_status(parts[1])
@@ -150,6 +188,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(404, error_body(ERR_NOT_FOUND, f"no route for {path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self._inject_http_fault():
+            return
         path = self.path.split("?", 1)[0].rstrip("/")
         if path != "/studies":
             self._send_json(404, error_body(ERR_NOT_FOUND, f"no route for {path!r}"))
@@ -201,7 +241,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "api_version": API_VERSION,
                 "jobs": self.manager.counts(),
                 "queue_capacity": self.manager.queue_capacity,
+                "recovered_jobs": self.manager.recovered_jobs,
             },
+        )
+
+    def _get_studies(self) -> None:
+        jobs = self.manager.list_jobs()
+        self._send_json(
+            200, {"api_version": API_VERSION, "count": len(jobs), "jobs": jobs}
         )
 
     def _get_backends(self) -> None:
@@ -297,6 +344,20 @@ class StudyServer:
         by content-hash id).
     queue_size, job_workers, executor_workers, shard_size, vectorize:
         Forwarded to :class:`JobManager`.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` (or path):
+        durable job state, replayed on construction so a restarted server
+        re-serves finished grids and completes interrupted ones (see
+        :class:`JobManager`).
+    request_timeout:
+        Per-connection socket timeout in seconds, covering request reads —
+        a client that connects and never sends a request cannot pin a
+        handler thread.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` for the HTTP injection
+        sites (connection reset, slow response).  Defaults to the
+        ``REPRO_FAULTS`` environment hook, which is how the e2e chaos
+        smoke injects faults into a stock server process.
     log:
         Optional callable receiving one line per handled request; ``None``
         keeps the server silent (the test default).
@@ -313,12 +374,19 @@ class StudyServer:
         shard_size: int = DEFAULT_SHARD_SIZE,
         vectorize: bool = True,
         max_retained_jobs: int = 1024,
+        journal: JobJournal | str | Path | None = None,
+        request_timeout: float = 60.0,
+        faults: FaultPlan | None = None,
         log=None,
     ) -> None:
         if isinstance(cache, (str, Path)):
             cache = StudyCache(cache)
         self.cache = cache
         self.log = log
+        if request_timeout <= 0:
+            raise ValidationError(f"request_timeout must be > 0, got {request_timeout}")
+        self.request_timeout = request_timeout
+        self.faults = FaultPlan.from_env() if faults is None else faults
         self.manager = JobManager(
             cache=cache,
             queue_size=queue_size,
@@ -327,6 +395,7 @@ class StudyServer:
             shard_size=shard_size,
             vectorize=vectorize,
             max_retained_jobs=max_retained_jobs,
+            journal=journal,
         )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True

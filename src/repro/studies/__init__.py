@@ -22,7 +22,7 @@ performance backend (:mod:`repro.backends`):
 """
 
 from .cache import StudyCache, study_key
-from .executor import DEFAULT_SHARD_SIZE, run_study, shard_ranges
+from .executor import DEFAULT_SHARD_SIZE, RetryPolicy, run_study, shard_ranges
 from .reportgen import (
     backend_summary,
     dominance_summary,
@@ -37,6 +37,7 @@ __all__ = [
     "Axis",
     "ScenarioSpec",
     "axis_default",
+    "RetryPolicy",
     "run_study",
     "shard_ranges",
     "DEFAULT_SHARD_SIZE",

@@ -36,12 +36,36 @@ pass a :class:`~repro.studies.cache.StudyCache` and every shard is served
 from the content-addressed store when its key — the spec's effective grid
 plus the shard grid — has been computed before, with byte-identical
 results to a cold run.
+
+Fault tolerance
+---------------
+Shard execution is retried: a failing attempt (an exception from the
+shard body, or a worker process dying under the pool) is re-run up to
+:class:`RetryPolicy` limits with exponential backoff whose jitter is
+drawn from a *dedicated* spawn stream — ``spawn_stream(seed,
+_BACKOFF_DOMAIN, shard_index)`` — so retries never advance the MC
+streams.  A shard that exhausts its budget raises
+:class:`~repro.exceptions.ShardError` carrying the attempt history.
+Cache faults degrade gracefully: a failed load is a miss (the shard is
+recomputed), a failed store is ignored (the shard still lands in the
+table).  When the process pool keeps dying, the executor rebuilds it up
+to ``RetryPolicy.max_pool_restarts`` times, then falls back to running
+the remaining shards in-process.  Everything the resilience layer did is
+reported in :class:`~repro.faults.FaultStats` on the returned results —
+*outside* the canonical artifact, which stays byte-identical with and
+without faults.  Deterministic fault injection for tests and the CI
+chaos smoke comes from :mod:`repro.faults` via ``run_study(faults=)`` or
+the ``REPRO_FAULTS`` environment hook.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import os
+import time
+from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -49,16 +73,40 @@ import numpy as np
 from .._rng import spawn_stream
 from ..backends import SweepColumns, get as get_backend
 from ..core.repetition import achieved_accuracy
-from ..exceptions import ValidationError
+from ..exceptions import ShardError, ValidationError
+from ..faults import (
+    SITE_CACHE_READ,
+    SITE_CACHE_WRITE,
+    SITE_SHARD_EVAL,
+    SITE_WORKER_DEATH,
+    FaultInjected,
+    FaultPlan,
+    FaultStats,
+)
 from .results import StudyResults, empty_table
 from .spec import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from .cache import StudyCache
 
-__all__ = ["run_study", "shard_ranges", "DEFAULT_SHARD_SIZE", "ProgressCallback"]
+__all__ = [
+    "run_study",
+    "shard_ranges",
+    "DEFAULT_SHARD_SIZE",
+    "ProgressCallback",
+    "RetryPolicy",
+]
 
 DEFAULT_SHARD_SIZE = 4096
+
+#: Spawn-key domain for retry-backoff jitter streams.  MC streams use a
+#: single key component (``spawn_stream(seed, k)``); backoff uses two
+#: (``spawn_stream(seed, _BACKOFF_DOMAIN, k)``), so the two families can
+#: never collide and retries leave the MC draws untouched.
+_BACKOFF_DOMAIN = 0xB0FF
+
+#: Exit code an injected worker death uses; only ever seen by the pool.
+_WORKER_DEATH_EXIT = 117
 
 #: Signature of the optional ``run_study`` progress hook:
 #: ``progress(shard_index, from_cache, shards_done, shards_total)``, called
@@ -67,6 +115,40 @@ DEFAULT_SHARD_SIZE = 4096
 #: to ``shards_total``; completion *order* is a scheduling detail and not
 #: part of the determinism contract — the table bytes are.
 ProgressCallback = Callable[[int, bool, int, int], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shard retry/backoff budget for :func:`run_study`.
+
+    ``delay(rng, attempt)`` is ``base_delay_s * 2**attempt`` capped at
+    ``max_delay_s``, scaled by a jitter factor in ``[1 - jitter, 1]``
+    drawn from the shard's dedicated backoff stream.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValidationError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_pool_restarts < 0:
+            raise ValidationError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts}"
+            )
+
+    def delay(self, rng: np.random.Generator, attempt: int) -> float:
+        base = min(self.base_delay_s * (2.0 ** attempt), self.max_delay_s)
+        if base <= 0.0:
+            return 0.0
+        return base * (1.0 - self.jitter * rng.random())
 
 
 def shard_ranges(num_points: int, shard_size: int) -> list[tuple[int, int]]:
@@ -96,13 +178,33 @@ def _run_shard(
     start: int,
     stop: int,
     vectorize: bool,
+    faults: Mapping | None = None,
+    attempt: int = 0,
+    in_worker: bool = False,
 ) -> np.ndarray:
     """Evaluate points ``[start, stop)`` of the spec into a results table slice.
 
     Top-level (picklable) so process pools can run it; reconstructs the
     spec from its payload dict in the worker and resolves backends from
-    the worker's own registry.
+    the worker's own registry.  ``faults``/``attempt`` carry the fault
+    plan payload and the parent-owned attempt number across the process
+    boundary (a respawned worker must not reset the fault schedule);
+    ``in_worker`` gates the worker-death site — inline execution raises
+    instead of killing the caller's process.
     """
+    if faults is not None:
+        plan = FaultPlan.from_dict(faults)
+        if plan.fires(SITE_WORKER_DEATH, key=shard_index, attempt=attempt) is not None:
+            if in_worker:
+                os._exit(_WORKER_DEATH_EXIT)
+            raise FaultInjected(
+                f"injected worker death at shard {shard_index}, attempt {attempt} "
+                "(inline execution: raised instead of exiting)"
+            )
+        if plan.fires(SITE_SHARD_EVAL, key=shard_index, attempt=attempt) is not None:
+            raise FaultInjected(
+                f"injected shard-eval failure at shard {shard_index}, attempt {attempt}"
+            )
     spec = ScenarioSpec.from_dict(spec_payload)
     out = empty_table(max(stop - start, 0))
     if stop <= start:
@@ -147,6 +249,97 @@ def _run_shard(
     return out
 
 
+def _load_shard_tolerant(
+    cache: "StudyCache",
+    plan: FaultPlan | None,
+    stats: FaultStats,
+    spec: ScenarioSpec,
+    shard_size: int,
+    k: int,
+) -> np.ndarray | None:
+    """Cache load that degrades every failure mode to a miss."""
+    if plan is not None:
+        rule = plan.fires_counted(SITE_CACHE_READ, key=k)
+        if rule is not None:
+            stats.cache_read_faults += 1
+            if rule.effect == "corrupt":
+                # Tear the stored entry; the real loader must detect and miss.
+                path = cache.shard_path(cache.shard_key(spec, shard_size, k))
+                try:
+                    if path.exists():
+                        path.write_bytes(path.read_bytes()[:7])
+                except OSError:  # pragma: no cover - injected tear failed; still a miss
+                    pass
+            else:
+                return None  # simulated unreadable entry
+    try:
+        return cache.load_shard(spec, shard_size, k)
+    except OSError:  # pragma: no cover - defensive: a broken store is a miss
+        stats.cache_read_faults += 1
+        return None
+
+
+def _store_shard_tolerant(
+    cache: "StudyCache",
+    plan: FaultPlan | None,
+    stats: FaultStats,
+    spec: ScenarioSpec,
+    shard_size: int,
+    k: int,
+    shard: np.ndarray,
+) -> None:
+    """Cache store that never lets a cache failure lose computed results."""
+    if plan is not None:
+        rule = plan.fires_counted(SITE_CACHE_WRITE, key=k)
+        if rule is not None:
+            stats.cache_write_faults += 1
+            if rule.effect == "corrupt":
+                path = cache.store_shard(spec, shard_size, k, shard)
+                try:
+                    path.write_bytes(path.read_bytes()[:7])
+                except OSError:  # pragma: no cover - tear failed; entry stays valid
+                    pass
+            return  # simulated failed write: the entry never lands
+    try:
+        cache.store_shard(spec, shard_size, k, shard)
+    except OSError:
+        stats.cache_write_faults += 1
+
+
+def _attempt_shard(
+    payload: dict,
+    ranges: list[tuple[int, int]],
+    k: int,
+    vectorize: bool,
+    plan_payload: dict | None,
+    policy: RetryPolicy,
+    stats: FaultStats,
+    attempts: dict[int, int],
+    errors: dict[int, list[str]],
+    rngs: dict[int, np.random.Generator],
+) -> np.ndarray:
+    """Run shard ``k`` inline under the retry policy, resuming its history."""
+    start, stop = ranges[k]
+    while True:
+        n = attempts[k]
+        try:
+            shard = _run_shard(payload, k, start, stop, vectorize, plan_payload, n, False)
+        except Exception as exc:
+            errors[k].append(f"attempt {n}: {exc!r}")
+            stats.shard_failures += 1
+            attempts[k] = n + 1
+            if attempts[k] >= policy.max_attempts:
+                raise ShardError(k, errors[k]) from exc
+            stats.shard_retries += 1
+            delay = policy.delay(rngs[k], n)
+            if delay > 0.0:
+                time.sleep(delay)
+        else:
+            if errors[k]:
+                stats.recovered_shards += 1
+            return shard
+
+
 def run_study(
     spec: ScenarioSpec,
     workers: int = 1,
@@ -155,6 +348,8 @@ def run_study(
     shard_order: Sequence[int] | None = None,
     cache: "StudyCache | None" = None,
     progress: ProgressCallback | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> StudyResults:
     """Evaluate every grid point of ``spec`` into a :class:`StudyResults`.
 
@@ -183,9 +378,20 @@ def run_study(
         Optional :data:`ProgressCallback` invoked once per landed shard —
         the study service's per-shard status feed.  Exceptions raised by
         the callback propagate and abort the run.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` of injected failures.
+        When omitted, the ``REPRO_FAULTS`` environment hook is consulted
+        (see :meth:`FaultPlan.from_env`).  Injected transient faults never
+        change the artifact bytes.
+    retry:
+        Shard retry/backoff budget; defaults to :class:`RetryPolicy`'s
+        defaults.  Retries apply to *any* shard failure, injected or real.
     """
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
+    plan = FaultPlan.from_env() if faults is None else faults
+    policy = RetryPolicy() if retry is None else retry
+    stats = FaultStats()
     ranges = shard_ranges(spec.num_points, shard_size)
     order = list(range(len(ranges))) if shard_order is None else list(shard_order)
     if sorted(order) != list(range(len(ranges))):
@@ -194,6 +400,7 @@ def run_study(
         )
 
     payload = spec.to_dict()
+    plan_payload = plan.to_dict() if plan is not None else None
     table = empty_table(spec.num_points)
 
     done = 0
@@ -202,7 +409,7 @@ def run_study(
     for k in order:
         if cache is not None:
             start, stop = ranges[k]
-            cached = cache.load_shard(spec, shard_size, k)
+            cached = _load_shard_tolerant(cache, plan, stats, spec, shard_size, k)
             if cached is not None:
                 table[start:stop] = cached
                 done += 1
@@ -211,29 +418,127 @@ def run_study(
                 continue
         pending.append(k)
 
+    attempts = {k: 0 for k in pending}
+    errors: dict[int, list[str]] = {k: [] for k in pending}
+    rngs = {k: spawn_stream(spec.seed, _BACKOFF_DOMAIN, k) for k in pending}
+
+    def land(k: int, shard: np.ndarray) -> None:
+        nonlocal done
+        start, stop = ranges[k]
+        table[start:stop] = shard
+        if cache is not None:
+            _store_shard_tolerant(cache, plan, stats, spec, shard_size, k, shard)
+        done += 1
+        if progress is not None:
+            progress(k, False, done, total)
+
     if workers == 1 or len(pending) <= 1:
         for k in pending:
-            start, stop = ranges[k]
-            shard = _run_shard(payload, k, start, stop, vectorize)
-            table[start:stop] = shard
-            if cache is not None:
-                cache.store_shard(spec, shard_size, k, shard)
-            done += 1
-            if progress is not None:
-                progress(k, False, done, total)
+            land(
+                k,
+                _attempt_shard(
+                    payload, ranges, k, vectorize, plan_payload,
+                    policy, stats, attempts, errors, rngs,
+                ),
+            )
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                k: pool.submit(_run_shard, payload, k, ranges[k][0], ranges[k][1], vectorize)
-                for k in pending
-            }
+        _run_pool(
+            payload, ranges, pending, workers, vectorize, plan_payload,
+            policy, stats, attempts, errors, rngs, land,
+        )
+    return StudyResults(spec=spec, table=table, fault_stats=stats)
+
+
+def _run_pool(
+    payload: dict,
+    ranges: list[tuple[int, int]],
+    pending: list[int],
+    workers: int,
+    vectorize: bool,
+    plan_payload: dict | None,
+    policy: RetryPolicy,
+    stats: FaultStats,
+    attempts: dict[int, int],
+    errors: dict[int, list[str]],
+    rngs: dict[int, np.random.Generator],
+    land: Callable[[int, np.ndarray], None],
+) -> None:
+    """Pool execution with per-shard retry and worker-death recovery.
+
+    Each round submits the remaining shards (with their parent-owned
+    attempt numbers) to a fresh pool.  A per-shard exception schedules a
+    retry; a dying worker breaks the pool, in which case every shard that
+    was in flight is charged one attempt (the culprit cannot be told
+    apart from its victims) and the pool is rebuilt — up to
+    ``policy.max_pool_restarts`` times, after which the remaining shards
+    run in-process (the degraded path).
+    """
+    remaining = list(pending)
+    pool_restarts = 0
+    while remaining:
+        if pool_restarts > policy.max_pool_restarts:
+            stats.degraded_inline_shards += len(remaining)
+            for k in remaining:
+                land(
+                    k,
+                    _attempt_shard(
+                        payload, ranges, k, vectorize, plan_payload,
+                        policy, stats, attempts, errors, rngs,
+                    ),
+                )
+            return
+
+        broken = False
+        died: list[int] = []
+        retry_next: list[int] = []
+        unsubmitted: list[int] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(remaining))) as pool:
+            futures: dict[int, object] = {}
+            try:
+                for k in remaining:
+                    futures[k] = pool.submit(
+                        _run_shard, payload, k, ranges[k][0], ranges[k][1],
+                        vectorize, plan_payload, attempts[k], True,
+                    )
+            except BrokenProcessPool:
+                broken = True
+                unsubmitted = [k for k in remaining if k not in futures]
             for k, future in futures.items():
-                start, stop = ranges[k]
-                shard = future.result()
-                table[start:stop] = shard
-                if cache is not None:
-                    cache.store_shard(spec, shard_size, k, shard)
-                done += 1
-                if progress is not None:
-                    progress(k, False, done, total)
-    return StudyResults(spec=spec, table=table)
+                try:
+                    shard = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    died.append(k)
+                except Exception as exc:
+                    errors[k].append(f"attempt {attempts[k]}: {exc!r}")
+                    stats.shard_failures += 1
+                    attempts[k] += 1
+                    if attempts[k] >= policy.max_attempts:
+                        raise ShardError(k, errors[k]) from exc
+                    stats.shard_retries += 1
+                    retry_next.append(k)
+                else:
+                    if errors[k]:
+                        stats.recovered_shards += 1
+                    land(k, shard)
+
+        if broken:
+            stats.worker_deaths += 1
+            stats.pool_restarts += 1
+            pool_restarts += 1
+            for k in died:
+                errors[k].append(f"attempt {attempts[k]}: worker process died (broken pool)")
+                stats.shard_failures += 1
+                attempts[k] += 1
+                if attempts[k] >= policy.max_attempts:
+                    raise ShardError(k, errors[k])
+                stats.shard_retries += 1
+
+        # One backoff sleep per round covering every retried shard; draws
+        # advance each shard's dedicated stream deterministically.
+        retried = sorted(retry_next + died)
+        if retried:
+            delay = max(policy.delay(rngs[k], attempts[k] - 1) for k in retried)
+            if delay > 0.0:
+                time.sleep(delay)
+        remaining = retried + unsubmitted

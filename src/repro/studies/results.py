@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from ..core.scaling import crossover_index, loglog_slope
 from ..core.sensitivity import elasticity_series
 from ..exceptions import ValidationError
 from .spec import AXIS_ORDER, ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..faults import FaultStats
 
 __all__ = ["StudyResults", "RESULT_COLUMNS", "ARTIFACT_SCHEMA_VERSION"]
 
@@ -77,10 +81,20 @@ def empty_table(num_points: int) -> np.ndarray:
 
 @dataclass(frozen=True)
 class StudyResults:
-    """One evaluated study: the spec plus its per-point results table."""
+    """One evaluated study: the spec plus its per-point results table.
+
+    ``fault_stats`` reports what the executor's resilience layer did
+    (retries, worker-death recoveries, degraded paths — see
+    :class:`repro.faults.FaultStats`).  It is execution telemetry, not a
+    result: excluded from :meth:`to_dict`, the artifact bytes, and
+    equality, so a run that survived transient faults serializes
+    byte-identically to a clean run.  ``None`` on results loaded from an
+    artifact (the artifact intentionally cannot say how it was computed).
+    """
 
     spec: ScenarioSpec
     table: np.ndarray
+    fault_stats: "FaultStats | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.table.dtype != table_dtype():

@@ -477,11 +477,16 @@ _PINNED_HEADERS = ("Content-Type", "ETag", HEADER_SERVED_FROM_CACHE, HEADER_CACH
 
 _JOB_ID_RE = re.compile(r"[0-9a-f]{64}")
 
+#: Wall-clock job timestamps are volatile by nature; the transcript pins
+#: their *presence* (and null-ness before completion), never their value.
+_TIMESTAMP_RE = re.compile(r'"(submitted|finished)_unix":\s?[0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?')
+
 GOLDEN_SPEC = {"name": "golden-service", "axes": {"lps": [1, 2]}, "mc_trials": 0, "seed": 0}
 
 
 def _normalize(text: str) -> str:
-    return _JOB_ID_RE.sub("<JOB-ID>", text)
+    text = _JOB_ID_RE.sub("<JOB-ID>", text)
+    return _TIMESTAMP_RE.sub(r'"\1_unix":"<UNIX-TIME>"', text)
 
 
 def _transcript() -> str:
@@ -507,6 +512,7 @@ def _transcript() -> str:
         wait_done(srv, job_id)
         record("GET", f"/studies/{job_id}")
         record("GET", f"/studies/{job_id}/artifact")
+        record("GET", "/studies")                       # the job listing
         record("POST", "/studies", GOLDEN_SPEC)          # deduplicated, done
         record("POST", "/studies", {"axes": {"lps": []}})  # invalid spec
         record("POST", "/studies", {"axes": {"lps": [1], "backend": ["warp_drive"]}})

@@ -101,6 +101,59 @@ class TestStoreAndLoad:
         assert cache.load_shard(spec, 4, 0).tobytes() == shard.tobytes()
         assert np.array_equal(results.table[0:4], shard)
 
+    def test_every_truncation_length_is_a_miss(self, spec, cache):
+        # A partial write can tear at any byte; no prefix length may ever
+        # parse as a valid entry (the loader checks exact size, not magic).
+        shard = _run_shard(spec.to_dict(), 0, 0, 4, True)
+        path = cache.store_shard(spec, 4, 0, shard)
+        whole = path.read_bytes()
+        for cut in (0, 1, 7, len(whole) // 2, len(whole) - 1):
+            path.write_bytes(whole[:cut])
+            assert cache.load_shard(spec, 4, 0) is None, f"cut at {cut} served"
+        # An entry *grown* past its size (appended garbage) is equally a miss.
+        path.write_bytes(whole + b"\x00")
+        assert cache.load_shard(spec, 4, 0) is None
+
+    def test_unreadable_entry_is_a_miss_not_an_error(self, spec, cache):
+        # chmod tricks don't bite when tests run as root; a directory squatting
+        # on the entry path raises the same OSError family on read_bytes().
+        shard = _run_shard(spec.to_dict(), 0, 0, 4, True)
+        path = cache.store_shard(spec, 4, 0, shard)
+        path.unlink()
+        path.mkdir()
+        assert cache.load_shard(spec, 4, 0) is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "requests": 1}
+
+
+class TestFaultInjectedCache:
+    """A cache under injected faults must never poison an artifact."""
+
+    def test_read_and_write_faults_leave_bytes_identical(self, spec, cache, tmp_path):
+        from repro.faults import FaultPlan
+
+        reference = run_study(spec, shard_size=4).artifact_bytes()
+        plan = FaultPlan.from_dict(
+            {
+                "seed": 0,
+                "rules": [
+                    {"site": "cache-read", "keys": [0], "times": 1, "effect": "corrupt"},
+                    {"site": "cache-read", "keys": [1], "times": 1},
+                    {"site": "cache-write", "keys": [1], "times": 1},
+                ],
+            }
+        )
+        run_study(spec, shard_size=4, cache=cache)  # warm
+        faulted = run_study(spec, shard_size=4, cache=cache, faults=plan)
+        assert faulted.artifact_bytes() == reference
+        assert faulted.fault_stats.cache_read_faults == 2
+        assert faulted.fault_stats.cache_write_faults == 1
+        # The store healed: a later fault-free run over the same directory
+        # serves everything and still matches the reference bytes.
+        healed_counter = StudyCache(cache.root)
+        healed = run_study(spec, shard_size=4, cache=healed_counter)
+        assert healed.artifact_bytes() == reference
+        assert healed_counter.stats() == {"hits": 2, "misses": 0, "requests": 2}
+
 
 class TestCachedStudies:
     def test_warm_run_is_byte_identical_and_all_hits(self, spec, cache):
