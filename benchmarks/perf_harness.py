@@ -3,8 +3,8 @@
 Times a fixed set of named reference workloads — the kernels the paper's
 headline result (Fig. 9) makes hot: SA sampling, batched energy evaluation,
 brute-force enumeration, CMR minor embedding, the Fig.-9 pipeline sweep,
-ASPEN paper-model loading, and the sharded scenario-study executor — and
-emits a machine-readable
+ASPEN paper-model loading, the sharded scenario-study executor, and the
+coordinator/worker distributed study path — and emits a machine-readable
 ``BENCH_PERF.json`` at the repository root so every PR's perf delta is
 visible in review.
 
@@ -72,6 +72,13 @@ SEED_BASELINE_SECONDS: dict[str, float | None] = {
     # fault path costs < 5% — one recomputed 250-point shard plus the
     # plan/retry bookkeeping on the other 39).
     "study_faulted": 0.03964,
+    # The study_distributed baseline is the identical workload (same grid,
+    # same shard_size=250) through plain run_study(workers=1), measured
+    # best-of-5 when the coordinator/worker subsystem landed.
+    # speedup_vs_seed therefore prices the distributed machinery directly —
+    # lease bookkeeping, sha256 verification on every push, the scheduler
+    # simulation — relative to in-process execution of the same shards.
+    "study_distributed": 0.06881,
 }
 
 
@@ -240,6 +247,55 @@ def _study_faulted(check: bool):
     )
 
 
+def _study_distributed(check: bool):
+    from repro.distributed import ShardCoordinator, ShardWorker
+    from repro.faults import FaultPlan
+    from repro.studies import ScenarioSpec
+
+    # One in-process worker draining the whole grid through the full
+    # lease -> evaluate -> hash -> push -> verify path.  Single-threaded on
+    # purpose: the kernel prices the coordination machinery, not thread
+    # scheduling noise.
+    no_faults = FaultPlan([])
+    if check:
+        spec = ScenarioSpec(
+            axes={"lps": list(range(1, 21)), "accuracy": [0.9, 0.99]},
+            name="perf-dist-check",
+        )
+        shard_size, num_shards = 5, 8
+
+        def op():
+            coord = ShardCoordinator(scheduler="work-stealing")
+            sid = coord.register_study(spec, shard_size=shard_size)
+            worker = ShardWorker(coord, worker_id="perf", faults=no_faults, poll_s=0.0)
+            worker.run(max_shards=num_shards)
+            coord.wait(sid, timeout=60.0)
+
+        return op, "distributed study, 40 points over 8 leased shards, 1 worker (check)"
+
+    spec = ScenarioSpec(
+        axes={
+            "lps": list(range(1, 2501)),
+            "accuracy": [0.9, 0.99],
+            "embedding_mode": ["online", "offline"],
+        },
+        name="perf-dist",
+    )
+    shard_size, num_shards = 250, 40
+
+    def op():
+        coord = ShardCoordinator(scheduler="work-stealing")
+        sid = coord.register_study(spec, shard_size=shard_size)
+        worker = ShardWorker(coord, worker_id="perf", faults=no_faults, poll_s=0.0)
+        worker.run(max_shards=num_shards)
+        coord.wait(sid, timeout=60.0)
+
+    return op, (
+        "distributed study, 10000 points over 40 leased shards, 1 in-process "
+        "worker, hash-verified pushes"
+    )
+
+
 KERNELS = {
     "sa_sample": _sa_sample,
     "energies": _energies,
@@ -249,6 +305,7 @@ KERNELS = {
     "aspen_models": _aspen_models,
     "study": _study,
     "study_faulted": _study_faulted,
+    "study_distributed": _study_distributed,
 }
 
 

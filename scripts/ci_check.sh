@@ -182,6 +182,54 @@ cmp "$CACHE_SCRATCH/chaos-served.json" "$CACHE_SCRATCH/chaos-recovered.json" || 
 kill "$CHAOS_PID" 2>/dev/null || true
 echo "service chaos: kill -9 + restart re-served the journaled job byte-identically"
 
+echo
+echo "== distributed smoke (coordinator + 2 workers + kill -9) =="
+# Topology gate: a coordinator with two worker processes — one of which is
+# SIGKILLed mid-study so its lease has to expire and requeue — must serve
+# an artifact byte-identical to a single-process `cli study` of the same
+# spec.  The short --lease-ttl keeps the requeue path fast.
+DIST_LOG="$CACHE_SCRATCH/coordinate.log"
+python -m repro.cli coordinate --port 0 --quiet \
+    --cache "$CACHE_SCRATCH/dist-cache" \
+    --shard-size 3 --lease-ttl 2 --scheduler work-stealing \
+    > "$DIST_LOG" 2>&1 &
+DIST_PID=$!
+trap 'kill "$SERVICE_PID" "$CHAOS_PID" "$DIST_PID" 2>/dev/null || true; rm -rf "$CACHE_SCRATCH"' EXIT
+DIST_URL=""
+for _ in $(seq 1 100); do
+    DIST_URL="$(grep -oE 'http://[0-9.]+:[0-9]+' "$DIST_LOG" | head -1 || true)"
+    [[ -n "$DIST_URL" ]] && break
+    kill -0 "$DIST_PID" 2>/dev/null || {
+        echo "ERROR: shard coordinator exited during startup:" >&2
+        cat "$DIST_LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n "$DIST_URL" ]] || {
+    echo "ERROR: shard coordinator never reported its URL:" >&2
+    cat "$DIST_LOG" >&2; exit 1; }
+python -m repro.cli worker --coordinator "$DIST_URL" --id ci-w0 --poll 0.05 \
+    > "$CACHE_SCRATCH/worker0.log" 2>&1 &
+WORKER0_PID=$!
+python -m repro.cli worker --coordinator "$DIST_URL" --id ci-w1 --poll 0.05 \
+    > "$CACHE_SCRATCH/worker1.log" 2>&1 &
+WORKER1_PID=$!
+( sleep 0.4; kill -9 "$WORKER0_PID" 2>/dev/null || true ) &
+KILLER_PID=$!
+python -m repro.cli submit --url "$DIST_URL" \
+    --lps 1:11 --accuracy 0.9,0.99 --backend closed_form,aspen,des \
+    --name ci-dist-smoke --out "$CACHE_SCRATCH/dist-served.json" > /dev/null
+wait "$KILLER_PID" 2>/dev/null || true
+wait "$WORKER0_PID" 2>/dev/null || true
+kill "$WORKER1_PID" "$DIST_PID" 2>/dev/null || true
+python -m repro.cli study \
+    --lps 1:11 --accuracy 0.9,0.99 --backend closed_form,aspen,des \
+    --name ci-dist-smoke --no-summary --shard-size 3 \
+    --out "$CACHE_SCRATCH/dist-direct.json" > /dev/null
+cmp "$CACHE_SCRATCH/dist-served.json" "$CACHE_SCRATCH/dist-direct.json" || {
+    echo "ERROR: worker-executed artifact differs from the single-process run" >&2
+    exit 1; }
+echo "distributed smoke: artifact byte-identical after kill -9 of one worker"
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo
     echo "ci_check: fast mode — coverage gate skipped by request"

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Seven commands cover the everyday uses of the library:
+Nine commands cover the everyday uses of the library:
 
 * ``predict`` — stage-resolved time-to-solution from the performance models
   (the paper's Fig. 9 numbers for one operating point);
@@ -14,7 +14,14 @@ Seven commands cover the everyday uses of the library:
   server accepting spec submissions and serving byte-stable artifacts;
 * ``submit``  — send a study to a running service, wait for it, and write
   the served artifact (byte-identical to a local ``study`` of the same
-  spec).
+  spec);
+* ``coordinate`` — ``serve`` with distributed shard dispatch: submitted
+  studies are leased shard-by-shard to pulled ``worker`` processes (with
+  an inline-drain liveness fallback), and the artifact stays
+  byte-identical to every other topology;
+* ``worker``  — one shard worker pulling leases from a ``coordinate``
+  server, evaluating them through the backend registry, and pushing
+  content-hash-verified shard bytes back.
 
 ``predict``, ``fig9``, and ``study`` accept ``--backend``: any name from
 the performance-backend registry (:mod:`repro.backends`) — for ``study``
@@ -111,23 +118,46 @@ def build_parser() -> argparse.ArgumentParser:
         "artifacts are byte-identical to a local `study` run of the same "
         "spec; identical grids deduplicate onto one content-hash job id.",
     )
-    p.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
-    p.add_argument("--port", type=int, default=8321,
-                   help="bind port (0 picks an ephemeral port and prints it)")
-    p.add_argument("--cache", type=str, default=None,
-                   help="content-addressed shard cache directory shared by all jobs")
-    p.add_argument("--queue-size", type=int, default=64,
-                   help="bounded job-queue capacity (full queue rejects with 429)")
-    p.add_argument("--job-workers", type=int, default=2,
-                   help="worker threads executing queued studies")
-    p.add_argument("--executor-workers", type=int, default=1,
-                   help="run_study process count per job")
-    p.add_argument("--shard-size", type=int, default=None,
-                   help="points per shard for every served job (part of job identity)")
-    p.add_argument("--journal", type=str, default=None,
-                   help="append-only JSONL job journal; a restarted server replays "
-                   "it to re-serve finished grids and complete interrupted jobs")
-    p.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+    _add_serve_flags(p)
+
+    p = sub.add_parser(
+        "coordinate",
+        help="run the study service with distributed shard dispatch",
+        description="A `serve` whose jobs are executed by leasing shards to "
+        "pulled `worker` processes over POST /distributed/lease|push|fail.  "
+        "Leases expire and requeue (a SIGKILLed worker costs nothing but "
+        "time), pushed bytes are verified against their content hash before "
+        "acceptance, and with no workers attached shards drain inline — the "
+        "served artifact is byte-identical in every topology.",
+    )
+    _add_serve_flags(p)
+    p.add_argument("--scheduler", type=str, default="static",
+                   choices=("static", "work-stealing", "size-aware"),
+                   help="default shard dispatch strategy (a spec pinning its "
+                   "scheduler axis to one value overrides this per study)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds a shard lease lives before the coordinator "
+                   "requeues it (the crash-recovery clock)")
+
+    p = sub.add_parser(
+        "worker",
+        help="run one shard worker against a `coordinate` server",
+        description="Pull shard leases from a coordinator, evaluate them "
+        "through the backend registry, and push content-hash-verified shard "
+        "bytes back.  Workers are stateless between pulls; run as many as "
+        "you like, kill any of them freely.",
+    )
+    p.add_argument("--coordinator", type=str, required=True,
+                   help="base URL of the coordinator (e.g. http://127.0.0.1:8321)")
+    p.add_argument("--id", type=str, default=None,
+                   help="worker identity for attribution (default: worker-<pid>)")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="seconds between empty lease pulls")
+    p.add_argument("--max-idle", type=float, default=None,
+                   help="exit after this many idle seconds (default: run until "
+                   "the coordinator goes away)")
+    p.add_argument("--max-shards", type=int, default=None,
+                   help="exit after completing this many shards")
 
     p = sub.add_parser(
         "submit",
@@ -152,6 +182,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_serve_flags(p: argparse.ArgumentParser) -> None:
+    """The server-shaping flags shared by ``serve`` and ``coordinate``."""
+    p.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port (0 picks an ephemeral port and prints it)")
+    p.add_argument("--cache", type=str, default=None,
+                   help="content-addressed shard cache directory shared by all jobs")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="bounded job-queue capacity (full queue rejects with 429)")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="worker threads executing queued studies")
+    p.add_argument("--executor-workers", type=int, default=1,
+                   help="run_study process count per job")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="points per shard for every served job (part of job identity)")
+    p.add_argument("--journal", type=str, default=None,
+                   help="append-only JSONL job journal; a restarted server replays "
+                   "it to re-serve finished grids and complete interrupted jobs")
+    p.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+
+
 def _add_spec_flags(p: argparse.ArgumentParser) -> None:
     """The ScenarioSpec-shaping flags shared by ``study`` and ``submit``."""
     p.add_argument("--spec", type=str, default=None, help="JSON ScenarioSpec file")
@@ -165,6 +216,10 @@ def _add_spec_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", type=str, default=None,
                    help="backend axis: comma list of registry names "
                    "(e.g. closed_form,aspen,des)")
+    p.add_argument("--scheduler", type=str, default=None,
+                   help="scheduler axis: comma list of dispatch strategies "
+                   "(static, work-stealing, size-aware); adds the simulated "
+                   "per-shard latency/steal columns for each strategy")
     p.add_argument("--anneal-us", type=str, default=None,
                    help="QPU anneal-duration axis in us (comma list)")
     p.add_argument("--clock-hz", type=str, default=None, help="host clock axis (comma list)")
@@ -390,6 +445,8 @@ def _build_study_spec(args: argparse.Namespace):
         axes["embedding_mode"] = [v for v in args.embedding_mode.split(",") if v]
     if args.backend is not None:
         axes["backend"] = [v for v in args.backend.split(",") if v]
+    if args.scheduler is not None:
+        axes["scheduler"] = [v for v in args.scheduler.split(",") if v]
     if args.anneal_us is not None:
         axes["anneal_us"] = _parse_float_axis("--anneal-us", args.anneal_us)
     if args.clock_hz is not None:
@@ -447,7 +504,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _cmd_serve(args: argparse.Namespace, distributed: bool = False) -> int:
     from .backends import available_backends
     from .service import StudyServer
     from .studies.executor import DEFAULT_SHARD_SIZE
@@ -462,18 +519,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_size=DEFAULT_SHARD_SIZE if args.shard_size is None else args.shard_size,
         journal=args.journal,
         log=None if args.quiet else lambda line: print(line, file=sys.stderr, flush=True),
+        distributed=distributed,
+        scheduler=getattr(args, "scheduler", None) or "static",
+        lease_ttl_s=getattr(args, "lease_ttl", 30.0),
     )
     # Flushed eagerly so wrappers (the CI smoke) can scrape the bound port
     # even when stdout is a pipe.
-    print(f"study service listening on {server.url}", flush=True)
+    role = "shard coordinator" if distributed else "study service"
+    print(f"{role} listening on {server.url}", flush=True)
     print(f"  backends: {', '.join(available_backends())}", flush=True)
     print(f"  cache: {args.cache if args.cache else 'none (in-process job dedup only)'}",
           flush=True)
     print(f"  queue: {args.queue_size} jobs, {args.job_workers} workers", flush=True)
+    if distributed:
+        print(f"  dispatch: {server.coordinator.default_scheduler.name} scheduling, "
+              f"{server.coordinator.lease_ttl_s:g}s lease TTL", flush=True)
     if args.journal:
         print(f"  journal: {args.journal} "
               f"({server.manager.recovered_jobs} job(s) recovered)", flush=True)
     server.run_forever()
+    return 0
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    return _cmd_serve(args, distributed=True)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distributed.worker import HttpCoordinatorTransport, ShardWorker
+    from .exceptions import DistributedError
+
+    worker = ShardWorker(
+        HttpCoordinatorTransport(args.coordinator),
+        worker_id=args.id,
+        poll_s=args.poll,
+        max_idle_s=args.max_idle,
+        exit_on_death=True,  # injected deaths look like SIGKILL, as intended
+    )
+    print(f"worker {worker.worker_id} pulling from {args.coordinator}", flush=True)
+    try:
+        stats = worker.run(max_shards=args.max_shards)
+    except KeyboardInterrupt:
+        stats = worker.stats
+    except DistributedError as exc:
+        # The coordinator going away is this process's natural end of life,
+        # not a crash: report and exit cleanly.
+        print(f"coordinator gone: {exc}", file=sys.stderr, flush=True)
+        stats = worker.stats
+    print(f"worker {worker.worker_id} done: "
+          f"{stats.shards_completed} shard(s) over {stats.pulls} pull(s), "
+          f"{stats.eval_failures} eval failure(s), "
+          f"{stats.pull_faults + stats.push_faults} transport fault(s)", flush=True)
     return 0
 
 
@@ -525,6 +621,8 @@ _COMMANDS = {
     "study": _cmd_study,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "coordinate": _cmd_coordinate,
+    "worker": _cmd_worker,
 }
 
 

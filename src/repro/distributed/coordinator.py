@@ -1,0 +1,623 @@
+"""The shard coordinator: lease bookkeeping for distributed studies.
+
+A :class:`ShardCoordinator` owns the authoritative state of every
+registered study: which shards are pending, which are leased out (and
+until when), which have landed.  Workers interact through three verbs —
+
+``lease(worker_id)``
+    Hand the calling worker one shard descriptor, chosen by the study's
+    :class:`~repro.distributed.scheduler.Scheduler` strategy.  The lease
+    carries a deadline: a worker that never comes back (crash, SIGKILL,
+    network partition) simply lets the deadline pass and the shard is
+    *requeued* with its attempt number bumped — the coordinator-owned
+    analogue of the executor's parent-owned retry attempts, so fault
+    schedules converge across worker respawns.
+``push(study_id, shard_index, data, digest, ...)``
+    Deliver computed shard bytes.  The payload is verified before
+    acceptance — recomputed sha256 against the worker's digest, byte
+    length against the shard's row count — and a failed check requeues
+    the shard (:class:`~repro.exceptions.PushRejected`).  Pushing an
+    already-landed shard is an idempotent accept: late duplicates from a
+    slow worker whose lease expired are harmless by design, because both
+    copies are byte-identical by the executor's determinism contract.
+``fail(lease_id, message)``
+    A cooperative worker reporting an evaluation error; the shard
+    requeues immediately instead of waiting out the deadline.
+
+Accepted shards land in the study table *and* the shared
+:class:`~repro.studies.cache.StudyCache` — the cache stays the single
+store, so a distributed run leaves behind exactly the entries a local
+``run_study`` would, and artifacts are byte-identical regardless of
+topology.  :meth:`drain_inline` completes unclaimed shards in-process,
+which is both the 0-worker execution path and the liveness fallback when
+every worker is gone.
+
+The coordinator never computes shards itself (outside ``drain_inline``)
+and holds no wall-clock state in results: all timing lives in leases and
+stats, outside the artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import PushRejected, ShardError, ValidationError
+from ..faults import FaultPlan, FaultStats
+from ..studies.cache import StudyCache, study_key
+from ..studies.executor import (
+    DEFAULT_SHARD_SIZE,
+    _attempt_shard,
+    _load_shard_tolerant,
+    _store_shard_tolerant,
+    shard_ranges,
+    RetryPolicy,
+)
+from ..studies.results import StudyResults, empty_table, table_dtype
+from ..studies.spec import ScenarioSpec
+from .._rng import spawn_stream
+from ..studies.executor import _BACKOFF_DOMAIN
+from .scheduler import (
+    DEFAULT_SCHEDULER,
+    Scheduler,
+    get_scheduler,
+    preferred_slot,
+    shard_costs,
+)
+
+__all__ = ["ShardCoordinator", "CoordinatorStats", "DistProgress"]
+
+#: Per-shard progress feed of a coordinated study:
+#: ``progress(shard_index, from_cache, done, total, worker_id)`` —
+#: the executor's ProgressCallback plus the worker attribution
+#: (``None`` for cache-served and inline-drained shards).
+DistProgress = Callable[[int, bool, int, int, "str | None"], None]
+
+
+@dataclass
+class CoordinatorStats:
+    """Dispatch telemetry — deliberately *outside* the artifact bytes."""
+
+    leases_granted: int = 0
+    steals: int = 0               # leases dispatched off their static home slot
+    requeues: int = 0             # expired leases put back in the queue
+    worker_failures: int = 0      # cooperative fail() reports
+    duplicate_pushes: int = 0     # idempotent re-accepts of landed shards
+    rejected_pushes: int = 0      # hash/size verification failures
+    inline_shards: int = 0        # shards completed by drain_inline
+    cache_served_shards: int = 0  # shards served by the registration pre-pass
+
+    def as_dict(self) -> dict:
+        return {
+            "leases_granted": self.leases_granted,
+            "steals": self.steals,
+            "requeues": self.requeues,
+            "worker_failures": self.worker_failures,
+            "duplicate_pushes": self.duplicate_pushes,
+            "rejected_pushes": self.rejected_pushes,
+            "inline_shards": self.inline_shards,
+            "cache_served_shards": self.cache_served_shards,
+        }
+
+
+@dataclass
+class _Lease:
+    lease_id: str
+    study_id: str
+    shard_index: int
+    worker_id: str
+    attempt: int
+    deadline: float  # coordinator-clock absolute time
+
+
+@dataclass
+class _Study:
+    spec: ScenarioSpec
+    payload: dict
+    shard_size: int
+    vectorize: bool
+    scheduler: Scheduler
+    ranges: list
+    costs: list
+    table: np.ndarray
+    pending: list          # ascending shard indices awaiting dispatch
+    progress: "DistProgress | None"
+    leased: dict = field(default_factory=dict)    # shard_index -> lease_id
+    done: set = field(default_factory=set)
+    attempts: dict = field(default_factory=dict)  # shard_index -> int
+    errors: dict = field(default_factory=dict)    # shard_index -> [str]
+    worker_shards: dict = field(default_factory=dict)  # worker_id -> count
+    event: threading.Event = field(default_factory=threading.Event)
+    error: "ShardError | None" = None
+
+    @property
+    def total(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.done) == self.total
+
+
+class ShardCoordinator:
+    """Thread-safe lease table over any number of registered studies.
+
+    Parameters
+    ----------
+    cache:
+        Optional shared :class:`StudyCache`.  Registration pre-serves
+        cached shards; accepted pushes are stored, so the cache remains
+        the single store across topologies.
+    scheduler:
+        Default dispatch strategy (name or :class:`Scheduler`).  A study
+        whose spec pins the ``scheduler`` axis to one non-default value
+        is dispatched with *that* strategy instead — the axis means what
+        it says when the study actually runs distributed.
+    lease_ttl_s:
+        Lease lifetime.  An unexpired lease blocks re-dispatch of its
+        shard; expiry requeues it with the attempt number bumped.
+    max_requeues:
+        Per-shard budget of requeues/failures before the study is
+        declared failed (mirrors ``RetryPolicy.max_attempts`` in spirit:
+        faults must converge, not spin forever).
+    clock:
+        Injectable monotonic clock — tests drive lease expiry
+        deterministically instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        cache: StudyCache | None = None,
+        scheduler: Scheduler | str = DEFAULT_SCHEDULER,
+        lease_ttl_s: float = 30.0,
+        vectorize: bool = True,
+        max_requeues: int = 10,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_ttl_s <= 0:
+            raise ValidationError(f"lease_ttl_s must be positive, got {lease_ttl_s}")
+        if max_requeues < 1:
+            raise ValidationError(f"max_requeues must be >= 1, got {max_requeues}")
+        self.cache = cache
+        self.default_scheduler = (
+            get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.vectorize = bool(vectorize)
+        self.max_requeues = int(max_requeues)
+        self.stats = CoordinatorStats()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._studies: dict[str, _Study] = {}
+        self._order: list[str] = []            # registration order (dispatch FIFO)
+        self._leases: dict[str, _Lease] = {}
+        self._workers: dict[str, int] = {}     # worker_id -> slot (arrival order)
+        self._lease_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration / completion
+    # ------------------------------------------------------------------ #
+    def register_study(
+        self,
+        spec: ScenarioSpec,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        study_id: str | None = None,
+        scheduler: Scheduler | str | None = None,
+        progress: DistProgress | None = None,
+        vectorize: bool | None = None,
+    ) -> str:
+        """Enqueue a study's shard grid for dispatch; returns its id.
+
+        The id defaults to the study's content address
+        (:func:`~repro.studies.cache.study_key`) — the same identity the
+        job server dedups on.  Re-registering an id whose study is still
+        in flight is rejected (the caller already dedups identical
+        submissions); a *settled* study — complete or failed — is
+        replaced, which is how an evicted-then-resubmitted job reruns.
+        """
+        study_id = study_key(spec, shard_size) if study_id is None else study_id
+        ranges = shard_ranges(spec.num_points, shard_size)
+        if scheduler is None:
+            axis = spec.axis_values("scheduler")
+            strategy = get_scheduler(axis[0]) if len(axis) == 1 else self.default_scheduler
+        elif isinstance(scheduler, str):
+            strategy = get_scheduler(scheduler)
+        else:
+            strategy = scheduler
+        study = _Study(
+            spec=spec,
+            payload=spec.to_dict(),
+            shard_size=int(shard_size),
+            vectorize=self.vectorize if vectorize is None else bool(vectorize),
+            scheduler=strategy,
+            ranges=ranges,
+            costs=shard_costs(spec, shard_size),
+            table=empty_table(spec.num_points),
+            pending=list(range(len(ranges))),
+            progress=progress,
+        )
+        with self._lock:
+            existing = self._studies.get(study_id)
+            if existing is not None:
+                if not (existing.complete or existing.error is not None):
+                    raise ValidationError(
+                        f"study {study_id!r} is already registered and active"
+                    )
+                self._order.remove(study_id)
+            self._studies[study_id] = study
+            self._order.append(study_id)
+        # Cache pre-pass outside the lock: landed shards never re-dispatch.
+        if self.cache is not None:
+            faults_stats = FaultStats()  # pre-pass tolerance only; not reported
+            for k, (start, stop) in enumerate(ranges):
+                cached = _load_shard_tolerant(
+                    self.cache, None, faults_stats, spec, study.shard_size, k
+                )
+                if cached is None:
+                    continue
+                with self._lock:
+                    if k in study.done:
+                        continue
+                    study.table[start:stop] = cached
+                    study.done.add(k)
+                    study.pending.remove(k)
+                    self.stats.cache_served_shards += 1
+                    done, total = len(study.done), study.total
+                if progress is not None:
+                    progress(k, True, done, total, None)
+            with self._lock:
+                if study.complete:
+                    study.event.set()
+        return study_id
+
+    def wait(self, study_id: str, timeout: float | None = None) -> StudyResults:
+        """Block until the study completes; raises its ShardError on failure.
+
+        Polls so lease expiry advances even when no worker traffic is
+        arriving (the all-workers-dead case must still converge to a
+        requeue, then to a requeue-budget failure or an inline drain).
+        """
+        study = self._study(study_id)
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            if study.event.wait(timeout=0.05):
+                break
+            with self._lock:
+                self._expire()
+            if deadline is not None and self._clock() > deadline:
+                raise TimeoutError(
+                    f"study {study_id} incomplete after {timeout}s "
+                    f"({len(study.done)}/{study.total} shards)"
+                )
+        if study.error is not None:
+            raise study.error
+        return self.results(study_id)
+
+    def results(self, study_id: str) -> StudyResults:
+        """The completed study's results (ValidationError while incomplete)."""
+        study = self._study(study_id)
+        with self._lock:
+            if study.error is not None:
+                raise study.error
+            if not study.complete:
+                raise ValidationError(
+                    f"study {study_id} is incomplete "
+                    f"({len(study.done)}/{study.total} shards)"
+                )
+            return StudyResults(spec=study.spec, table=study.table.copy())
+
+    # ------------------------------------------------------------------ #
+    # The worker-facing verbs
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> dict | None:
+        """One shard descriptor for ``worker_id``, or None when idle.
+
+        The descriptor is self-describing — spec payload, shard range,
+        shard_size, vectorize flag, coordinator-owned attempt number —
+        everything ``_run_shard`` needs, so workers hold no per-study
+        state between pulls.
+        """
+        if not worker_id:
+            raise ValidationError("worker_id must be non-empty")
+        with self._lock:
+            self._expire()
+            slot = self._workers.setdefault(worker_id, len(self._workers))
+            num_slots = len(self._workers)
+            for study_id in self._order:
+                study = self._studies[study_id]
+                if study.error is not None or not study.pending:
+                    continue
+                k = study.scheduler.select(
+                    study.pending, slot, num_slots, study.costs
+                )
+                study.pending.remove(k)
+                stolen = preferred_slot(k, study.total, num_slots) != slot
+                self._lease_seq += 1
+                lease = _Lease(
+                    lease_id=f"lease-{self._lease_seq:08d}",
+                    study_id=study_id,
+                    shard_index=k,
+                    worker_id=worker_id,
+                    attempt=study.attempts.get(k, 0),
+                    deadline=self._clock() + self.lease_ttl_s,
+                )
+                study.leased[k] = lease.lease_id
+                self._leases[lease.lease_id] = lease
+                self.stats.leases_granted += 1
+                if stolen:
+                    self.stats.steals += 1
+                start, stop = study.ranges[k]
+                return {
+                    "lease_id": lease.lease_id,
+                    "study_id": study_id,
+                    "shard_index": k,
+                    "start": start,
+                    "stop": stop,
+                    "shard_size": study.shard_size,
+                    "vectorize": study.vectorize,
+                    "attempt": lease.attempt,
+                    "ttl_s": self.lease_ttl_s,
+                    "spec": study.payload,
+                }
+            return None
+
+    def push(
+        self,
+        study_id: str,
+        shard_index: int,
+        data: bytes,
+        digest: str,
+        worker_id: str = "",
+        lease_id: str | None = None,
+    ) -> dict:
+        """Verify and land one computed shard; idempotent for landed shards."""
+        study = self._study(study_id)
+        with self._lock:
+            if not 0 <= shard_index < study.total:
+                raise ValidationError(
+                    f"shard index {shard_index} out of range for "
+                    f"{study.total} shards"
+                )
+            if shard_index in study.done:
+                self.stats.duplicate_pushes += 1
+                self._release(study, shard_index, lease_id)
+                return self._accepted(study, duplicate=True)
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != digest:
+                self._reject(study, shard_index, lease_id)
+                raise PushRejected(
+                    "hash-mismatch",
+                    f"shard {shard_index} payload hashes to {actual[:12]}..., "
+                    f"push declared {str(digest)[:12]}...; shard requeued",
+                )
+            start, stop = study.ranges[shard_index]
+            expected = (stop - start) * table_dtype().itemsize
+            if len(data) != expected:
+                self._reject(study, shard_index, lease_id)
+                raise PushRejected(
+                    "wrong-size",
+                    f"shard {shard_index} payload is {len(data)} bytes, "
+                    f"expected {expected}; shard requeued",
+                )
+            shard = np.frombuffer(data, dtype=table_dtype()).copy()
+            study.table[start:stop] = shard
+            study.done.add(shard_index)
+            self._release(study, shard_index, lease_id)
+            if worker_id:
+                study.worker_shards[worker_id] = (
+                    study.worker_shards.get(worker_id, 0) + 1
+                )
+            done, total = len(study.done), study.total
+            progress = study.progress
+            if study.complete:
+                study.event.set()
+        if self.cache is not None:
+            _store_shard_tolerant(
+                self.cache, None, FaultStats(), study.spec,
+                study.shard_size, shard_index, shard,
+            )
+        if progress is not None:
+            progress(shard_index, False, done, total, worker_id or None)
+        return self._accepted(study, duplicate=False)
+
+    def fail(self, lease_id: str, message: str = "worker reported failure") -> None:
+        """Cooperative failure report: requeue the lease's shard now."""
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                return  # already expired/landed; nothing to do
+            self.stats.worker_failures += 1
+            self._requeue(lease, f"worker {lease.worker_id}: {message}")
+
+    # ------------------------------------------------------------------ #
+    # Inline completion (0 workers / liveness fallback)
+    # ------------------------------------------------------------------ #
+    def drain_inline(
+        self,
+        study_id: str,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        """Complete every still-pending shard in-process.
+
+        With no workers attached this *is* the execution path (and lands
+        byte-identical results, since it runs the same ``_run_shard``).
+        With workers attached it races them benignly: landed shards are
+        skipped, duplicates are idempotent.
+        """
+        study = self._study(study_id)
+        plan = FaultPlan.from_env() if faults is None else faults
+        plan_payload = plan.to_dict() if plan is not None else None
+        policy = RetryPolicy() if retry is None else retry
+        stats = FaultStats()
+        rngs: dict[int, np.random.Generator] = {}
+        while True:
+            with self._lock:
+                self._expire()
+                if study.error is not None:
+                    raise study.error
+                if not study.pending:
+                    break
+                k = study.pending.pop(0)
+            rngs.setdefault(k, spawn_stream(study.spec.seed, _BACKOFF_DOMAIN, k))
+            shard = _attempt_shard(
+                study.payload, study.ranges, study.shard_size, k,
+                study.vectorize, plan_payload, policy, stats,
+                {k: study.attempts.get(k, 0)},
+                {k: list(study.errors.get(k, []))},
+                rngs,
+            )
+            with self._lock:
+                if k in study.done:
+                    continue
+                start, stop = study.ranges[k]
+                study.table[start:stop] = shard
+                study.done.add(k)
+                self.stats.inline_shards += 1
+                done, total = len(study.done), study.total
+                progress = study.progress
+                if study.complete:
+                    study.event.set()
+            if self.cache is not None:
+                _store_shard_tolerant(
+                    self.cache, None, FaultStats(), study.spec,
+                    study.shard_size, k, shard,
+                )
+            if progress is not None:
+                progress(k, False, done, total, None)
+
+    def run_study(
+        self,
+        spec: ScenarioSpec,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        timeout: float | None = None,
+        **register_kwargs,
+    ) -> StudyResults:
+        """Register, let attached workers (if any) drain it, and wait.
+
+        With no workers attached this degenerates to an inline run —
+        the 0-worker topology of the byte-identity contract.
+        """
+        study_id = self.register_study(spec, shard_size, **register_kwargs)
+        with self._lock:
+            has_workers = bool(self._workers)
+        if not has_workers:
+            self.drain_inline(study_id)
+        return self.wait(study_id, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The /healthz payload fragment: fleet + lease + requeue state."""
+        with self._lock:
+            self._expire()
+            active = sum(
+                1
+                for s in self._studies.values()
+                if not s.complete and s.error is None
+            )
+            return {
+                "workers": len(self._workers),
+                "outstanding_leases": len(self._leases),
+                "studies_registered": len(self._studies),
+                "studies_active": active,
+                "scheduler": self.default_scheduler.name,
+                **self.stats.as_dict(),
+            }
+
+    def has_study(self, study_id: str) -> bool:
+        """Whether ``study_id`` names a registered study (any state)."""
+        with self._lock:
+            return study_id in self._studies
+
+    def worker_shards(self, study_id: str) -> dict[str, int]:
+        """Per-worker shard attribution of one study (telemetry, not bytes)."""
+        with self._lock:
+            return dict(self._study(study_id).worker_shards)
+
+    def progress_snapshot(self, study_id: str) -> dict:
+        study = self._study(study_id)
+        with self._lock:
+            return {
+                "done": len(study.done),
+                "total": study.total,
+                "pending": len(study.pending),
+                "leased": len(study.leased),
+                "workers": dict(study.worker_shards),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+    def _study(self, study_id: str) -> _Study:
+        with self._lock:
+            try:
+                return self._studies[study_id]
+            except KeyError:
+                raise ValidationError(f"unknown study {study_id!r}") from None
+
+    def _accepted(self, study: _Study, duplicate: bool) -> dict:
+        return {
+            "accepted": True,
+            "duplicate": duplicate,
+            "done": len(study.done),
+            "total": study.total,
+        }
+
+    def _release(self, study: _Study, shard_index: int, lease_id: str | None) -> None:
+        """Drop the lease covering a landed/duplicate shard, if any."""
+        held = study.leased.pop(shard_index, None)
+        if held is not None:
+            self._leases.pop(held, None)
+        elif lease_id is not None:
+            self._leases.pop(lease_id, None)
+
+    def _reject(self, study: _Study, shard_index: int, lease_id: str | None) -> None:
+        """Account a failed verification and requeue the shard."""
+        self.stats.rejected_pushes += 1
+        held = study.leased.pop(shard_index, None)
+        lease = self._leases.pop(held or lease_id or "", None)
+        if lease is not None:
+            self._requeue(lease, "push rejected by verification")
+        elif shard_index not in study.pending and shard_index not in study.done:
+            study.pending.append(shard_index)
+            study.pending.sort()
+
+    def _requeue(self, lease: _Lease, reason: str) -> None:
+        """Put an abandoned/failed lease's shard back in its study's queue."""
+        study = self._studies[lease.study_id]
+        study.leased.pop(lease.shard_index, None)
+        if lease.shard_index in study.done:
+            return
+        attempts = study.attempts.get(lease.shard_index, 0) + 1
+        study.attempts[lease.shard_index] = attempts
+        study.errors.setdefault(lease.shard_index, []).append(
+            f"attempt {lease.attempt}: {reason}"
+        )
+        if attempts > self.max_requeues:
+            study.error = ShardError(
+                lease.shard_index, study.errors[lease.shard_index]
+            )
+            study.event.set()
+            return
+        study.pending.append(lease.shard_index)
+        study.pending.sort()
+
+    def _expire(self) -> None:
+        """Requeue every lease whose deadline has passed."""
+        now = self._clock()
+        for lease_id in [
+            lid for lid, lease in self._leases.items() if lease.deadline < now
+        ]:
+            lease = self._leases.pop(lease_id)
+            self.stats.requeues += 1
+            self._requeue(
+                lease,
+                f"lease {lease.lease_id} expired on worker {lease.worker_id}",
+            )

@@ -20,6 +20,8 @@ __all__ = [
     "SamplerError",
     "ShardError",
     "SimulationError",
+    "DistributedError",
+    "PushRejected",
 ]
 
 
@@ -105,3 +107,23 @@ class ShardError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation runtime reached an inconsistent state."""
+
+
+class DistributedError(ReproError):
+    """A distributed coordinator/worker operation failed."""
+
+
+class PushRejected(DistributedError):
+    """The coordinator refused a pushed shard payload.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable rejection cause (``"hash-mismatch"`` or
+        ``"wrong-size"``).  The shard is requeued, never lost — a
+        rejected push costs a recompute, not bytes.
+    """
+
+    def __init__(self, reason: str, message: str):
+        self.reason = reason
+        super().__init__(message)

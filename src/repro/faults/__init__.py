@@ -39,6 +39,8 @@ from .plan import (
     SITE_HTTP_SLOW,
     SITE_SHARD_EVAL,
     SITE_WORKER_DEATH,
+    SITE_WORKER_PULL,
+    SITE_WORKER_PUSH,
 )
 
 __all__ = [
@@ -54,4 +56,6 @@ __all__ = [
     "SITE_HTTP_SLOW",
     "SITE_SHARD_EVAL",
     "SITE_WORKER_DEATH",
+    "SITE_WORKER_PULL",
+    "SITE_WORKER_PUSH",
 ]

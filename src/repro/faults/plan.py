@@ -23,6 +23,13 @@ injected.  Sites are string constants so plans serialize naturally:
 ``http-slow``
     The server sleeps ``delay_s`` before handling the request.  Counted
     per request.
+``worker-pull`` / ``worker-push``
+    A distributed :class:`~repro.distributed.worker.ShardWorker` fails a
+    lease pull (before any shard is held) or a shard push (after
+    evaluation, before the coordinator accepts).  Counted per (site,
+    key) — pulls key on the worker's pull counter, pushes on the shard
+    index — and absorbed by the worker's own RetryPolicy backoff, so an
+    injected transport fault costs retries, never bytes.
 
 Determinism
 -----------
@@ -59,7 +66,11 @@ SITE_CACHE_READ = "cache-read"
 SITE_CACHE_WRITE = "cache-write"
 SITE_HTTP_CONNECTION = "http-connection"
 SITE_HTTP_SLOW = "http-slow"
+SITE_WORKER_PULL = "worker-pull"
+SITE_WORKER_PUSH = "worker-push"
 
+# New sites append; fires() keys probability draws on the site's position
+# here, so reordering would silently reshuffle seeded fault schedules.
 FAULT_SITES = (
     SITE_SHARD_EVAL,
     SITE_WORKER_DEATH,
@@ -67,6 +78,8 @@ FAULT_SITES = (
     SITE_CACHE_WRITE,
     SITE_HTTP_CONNECTION,
     SITE_HTTP_SLOW,
+    SITE_WORKER_PULL,
+    SITE_WORKER_PUSH,
 )
 
 #: Environment variable holding a JSON fault plan (see FaultPlan.from_env).

@@ -42,7 +42,7 @@ import queue
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 
@@ -90,6 +90,10 @@ class Job:
     shards_from_cache: int = 0
     artifact: bytes | None = None
     error: dict | None = None
+    #: Shards landed per worker id (distributed dispatch only; cache-served
+    #: shards attribute to ``"<cache>"``, inline-drained ones to
+    #: ``"<coordinator>"``).  Empty for local ProcessPool execution.
+    worker_shards: dict = field(default_factory=dict)
     #: Wall-clock submission/finish times (unix seconds).  Observability
     #: only — they live in status snapshots and the journal, never in the
     #: artifact, which stays free of volatile fields.
@@ -125,6 +129,7 @@ class Job:
                 "shards_done": self.shards_done,
                 "shards_total": self.shards_total,
                 "shards_from_cache": self.shards_from_cache,
+                "workers": dict(sorted(self.worker_shards.items())),
             },
             "served_from_cache": self.served_from_cache,
             "error": self.error,
@@ -159,6 +164,15 @@ class JobManager:
         in-memory table, so a long-running server cannot grow without
         bound; an evicted grid resubmits as a fresh job whose shards the
         ``StudyCache`` serves byte-identically.
+    coordinator:
+        Optional :class:`~repro.distributed.ShardCoordinator`.  With one,
+        jobs execute by *registering* their shard grid for distributed
+        dispatch instead of calling :func:`run_study` — attached workers
+        pull leases and push verified shard bytes, and the job's progress
+        gains per-worker attribution.  Liveness is never hostage to the
+        fleet: with no workers attached (or a stalled fleet — no lease or
+        landing activity for a full lease TTL) the manager drains the
+        remaining shards inline, which is byte-identical by construction.
     journal:
         Optional :class:`~repro.service.journal.JobJournal` (or a path to
         back one).  Lifecycle events are durably appended, and this
@@ -181,6 +195,7 @@ class JobManager:
         vectorize: bool = True,
         max_retained_jobs: int = 1024,
         journal: JobJournal | str | Path | None = None,
+        coordinator=None,
     ) -> None:
         if queue_size < 1:
             raise ValidationError(f"queue_size must be >= 1, got {queue_size}")
@@ -195,6 +210,7 @@ class JobManager:
         self.executor_workers = executor_workers
         self.vectorize = vectorize
         self.max_retained_jobs = max_retained_jobs
+        self.coordinator = coordinator
         self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=queue_size)
         self._jobs: dict[str, Job] = {}
         self._finished_order: deque[str] = deque()
@@ -358,14 +374,17 @@ class JobManager:
                     self.executed_shards += 1
 
         try:
-            results = run_study(
-                job.spec,
-                workers=self.executor_workers,
-                shard_size=job.shard_size,
-                vectorize=self.vectorize,
-                cache=self.cache,
-                progress=on_progress,
-            )
+            if self.coordinator is not None:
+                results = self._run_distributed(job)
+            else:
+                results = run_study(
+                    job.spec,
+                    workers=self.executor_workers,
+                    shard_size=job.shard_size,
+                    vectorize=self.vectorize,
+                    cache=self.cache,
+                    progress=on_progress,
+                )
             artifact = results.artifact_bytes()
         except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
             with self._lock:
@@ -381,6 +400,56 @@ class JobManager:
             job.transition(JobState.DONE)
             self._journal_event("done", job, unix=job.finished_unix)
             self._retire(job)
+
+    def _run_distributed(self, job: Job):
+        """Execute one job through the shard coordinator.
+
+        Registers the study under the job's content-address id, feeds the
+        coordinator's per-shard progress (worker attribution included)
+        into the job record, and waits.  If the fleet goes quiet — no
+        worker ever attached, or a full lease TTL passes with no lease or
+        landing activity — the remaining shards are drained inline, so a
+        distributed server never hangs a job on an absent fleet; a
+        straggling worker's late duplicates stay idempotent.
+        """
+        coordinator = self.coordinator
+
+        def on_progress(
+            shard_index: int, from_cache: bool, done: int, total: int,
+            worker_id: str | None,
+        ) -> None:
+            with self._lock:
+                job.shards_done = done
+                job.shards_total = total
+                if from_cache:
+                    job.shards_from_cache += 1
+                else:
+                    self.executed_shards += 1
+                owner = "<cache>" if from_cache else (worker_id or "<coordinator>")
+                job.worker_shards[owner] = job.worker_shards.get(owner, 0) + 1
+
+        coordinator.register_study(
+            job.spec,
+            shard_size=job.shard_size,
+            study_id=job.job_id,
+            progress=on_progress,
+            vectorize=self.vectorize,
+        )
+        stall_s = max(coordinator.lease_ttl_s, 1.0)
+        last_activity = None
+        while True:
+            try:
+                return coordinator.wait(job.job_id, timeout=stall_s)
+            except TimeoutError:
+                snapshot = coordinator.progress_snapshot(job.job_id)
+                health = coordinator.health()
+                activity = (
+                    snapshot["done"], health["leases_granted"], health["workers"]
+                )
+                if health["workers"] == 0 or activity == last_activity:
+                    coordinator.drain_inline(job.job_id)
+                    return coordinator.wait(job.job_id, timeout=stall_s)
+                last_activity = activity
 
     def _retire(self, job: Job) -> None:
         """Record a finished job and evict beyond the retention bound (locked)."""

@@ -18,8 +18,23 @@ GET       ``/studies``                 list every known job (state + timestamps)
 GET       ``/studies/<id>``            job status + per-shard progress
 GET       ``/studies/<id>/artifact``   the canonical byte-stable results artifact
 GET       ``/backends``                the performance-backend registry
-GET       ``/healthz``                 liveness + job-queue counters
+GET       ``/healthz``                 liveness + job-queue counters (plus the
+                                       coordinator's fleet/lease gauges when
+                                       distributed dispatch is enabled)
+POST      ``/distributed/lease``       worker pull: one shard lease descriptor,
+                                       or ``{"lease": null}`` when idle
+POST      ``/distributed/push``        worker push: raw shard bytes (the
+                                       ``X-Shard-*`` headers carry identity and
+                                       digest); 409 ``shard-rejected`` on a
+                                       failed verification, which requeues
+POST      ``/distributed/fail``        cooperative failure report for a lease
 ========  ===========================  ==========================================
+
+The three ``/distributed`` routes exist only on a coordinator-enabled
+server (``cli coordinate`` / ``StudyServer(distributed=True)``); a plain
+job server answers them with 409 ``not-distributed``.  Push bodies are
+raw structured-array shard bytes, not JSON — their size bound is
+:data:`MAX_PUSH_BYTES`, separate from the spec-sized default body limit.
 
 **Backpressure is advertised.**  A 429 (``queue-full``) response carries
 ``Retry-After: <seconds>`` (:data:`RETRY_AFTER_SECONDS`); the client's
@@ -62,6 +77,15 @@ __all__ = [
     "ERR_EXECUTION",
     "ERR_CONNECTION",
     "ERR_TIMEOUT",
+    "ERR_SHARD_REJECTED",
+    "ERR_UNKNOWN_STUDY",
+    "ERR_NOT_DISTRIBUTED",
+    "HEADER_SHARD_STUDY",
+    "HEADER_SHARD_INDEX",
+    "HEADER_SHARD_DIGEST",
+    "HEADER_LEASE_ID",
+    "HEADER_WORKER_ID",
+    "MAX_PUSH_BYTES",
     "JOB_ID_PATTERN",
     "ServiceError",
     "dump_body",
@@ -96,6 +120,21 @@ ERR_METHOD_NOT_ALLOWED = "method-not-allowed"  # 405
 ERR_EXECUTION = "execution-error"            # job-status error field: run_study raised
 ERR_CONNECTION = "connection-failed"         # client side: server unreachable
 ERR_TIMEOUT = "client-timeout"               # client side: wait() deadline expired
+ERR_SHARD_REJECTED = "shard-rejected"        # 409: push failed hash/size verification
+ERR_UNKNOWN_STUDY = "unknown-study"          # 404: push/fail names no registered study
+ERR_NOT_DISTRIBUTED = "not-distributed"      # 409: /distributed/* on a plain server
+
+#: Identity and verification headers of a raw-bytes shard push.
+HEADER_SHARD_STUDY = "X-Shard-Study"
+HEADER_SHARD_INDEX = "X-Shard-Index"
+HEADER_SHARD_DIGEST = "X-Shard-Digest"
+HEADER_LEASE_ID = "X-Lease-Id"
+HEADER_WORKER_ID = "X-Worker-Id"
+
+#: Body bound for /distributed/push — raw shard bytes, not a spec.  The
+#: largest legal shard is DEFAULT_SHARD_SIZE rows of the results dtype
+#: (well under a MB), but custom shard sizes get generous headroom.
+MAX_PUSH_BYTES = 64 << 20
 
 #: Job ids are full hex sha256 digests (see :func:`repro.studies.cache.study_key`).
 JOB_ID_PATTERN = re.compile(r"^[0-9a-f]{64}$")

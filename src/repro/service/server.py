@@ -35,7 +35,8 @@ from pathlib import Path
 
 from .. import __version__
 from ..backends import DEFAULT_BACKEND, available_backends, capabilities
-from ..exceptions import ValidationError
+from ..distributed.scheduler import DEFAULT_SCHEDULER
+from ..exceptions import PushRejected, ValidationError
 from ..faults import SITE_HTTP_CONNECTION, SITE_HTTP_SLOW, FaultPlan
 from ..studies import StudyCache
 from ..studies.executor import DEFAULT_SHARD_SIZE
@@ -48,12 +49,21 @@ from .protocol import (
     ERR_JOB_FAILED,
     ERR_JOB_NOT_READY,
     ERR_METHOD_NOT_ALLOWED,
+    ERR_NOT_DISTRIBUTED,
     ERR_NOT_FOUND,
+    ERR_SHARD_REJECTED,
     ERR_UNKNOWN_BACKEND,
     ERR_UNKNOWN_JOB,
+    ERR_UNKNOWN_STUDY,
     HEADER_CACHE_SHARDS,
+    HEADER_LEASE_ID,
     HEADER_SERVED_FROM_CACHE,
+    HEADER_SHARD_DIGEST,
+    HEADER_SHARD_INDEX,
+    HEADER_SHARD_STUDY,
+    HEADER_WORKER_ID,
     JOB_ID_PATTERN,
+    MAX_PUSH_BYTES,
     RETRY_AFTER_SECONDS,
     ServiceError,
     dump_body,
@@ -191,23 +201,18 @@ class _Handler(BaseHTTPRequestHandler):
         if self._inject_http_fault():
             return
         path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/distributed/lease":
+            return self._post_lease()
+        if path == "/distributed/push":
+            return self._post_push()
+        if path == "/distributed/fail":
+            return self._post_fail()
         if path != "/studies":
             self._send_json(404, error_body(ERR_NOT_FOUND, f"no route for {path!r}"))
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            length = -1
-        if not 0 <= length <= MAX_BODY_BYTES:
-            self._send_json(
-                400,
-                error_body(
-                    ERR_INVALID_JSON,
-                    f"Content-Length must be between 0 and {MAX_BODY_BYTES} bytes",
-                ),
-            )
+        raw = self._read_body()
+        if raw is None:
             return
-        raw = self.rfile.read(length)
         try:
             spec = _parse_spec(raw)
             snapshot, deduplicated = self.manager.submit(spec)
@@ -222,6 +227,113 @@ class _Handler(BaseHTTPRequestHandler):
         }
         self._send_json(200 if deduplicated else 202, body)
 
+    def _read_body(self, limit: int = MAX_BODY_BYTES) -> bytes | None:
+        """The request body, or None after a 400 was already sent."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 <= length <= limit:
+            self._send_json(
+                400,
+                error_body(
+                    ERR_INVALID_JSON,
+                    f"Content-Length must be between 0 and {limit} bytes",
+                ),
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- the distributed worker verbs ----------------------------------- #
+    def _coordinator_or_409(self):
+        coordinator = self.server.study_server.coordinator  # type: ignore[attr-defined]
+        if coordinator is None:
+            self._send_json(
+                409,
+                error_body(
+                    ERR_NOT_DISTRIBUTED,
+                    "this server has no shard coordinator; "
+                    "start it with distributed dispatch enabled",
+                ),
+            )
+        return coordinator
+
+    def _post_lease(self) -> None:
+        coordinator = self._coordinator_or_409()
+        if coordinator is None:
+            return
+        raw = self._read_body()
+        if raw is None:
+            return
+        try:
+            payload = json.loads(raw or b"{}")
+            worker_id = payload.get("worker_id", "") if isinstance(payload, dict) else ""
+            lease = coordinator.lease(str(worker_id))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValidationError) as exc:
+            self._send_json(400, error_body(ERR_INVALID_JSON, str(exc)))
+            return
+        self._send_json(200, {"api_version": API_VERSION, "lease": lease})
+
+    def _post_push(self) -> None:
+        coordinator = self._coordinator_or_409()
+        if coordinator is None:
+            return
+        raw = self._read_body(limit=MAX_PUSH_BYTES)
+        if raw is None:
+            return
+        study_id = self.headers.get(HEADER_SHARD_STUDY, "")
+        if not coordinator.has_study(study_id):
+            self._send_json(
+                404,
+                error_body(ERR_UNKNOWN_STUDY, f"no registered study {study_id!r}"),
+            )
+            return
+        try:
+            shard_index = int(self.headers.get(HEADER_SHARD_INDEX, ""))
+        except ValueError:
+            self._send_json(
+                400,
+                error_body(
+                    ERR_INVALID_JSON, f"{HEADER_SHARD_INDEX} must be an integer"
+                ),
+            )
+            return
+        try:
+            body = coordinator.push(
+                study_id,
+                shard_index,
+                raw,
+                self.headers.get(HEADER_SHARD_DIGEST, ""),
+                worker_id=self.headers.get(HEADER_WORKER_ID, ""),
+                lease_id=self.headers.get(HEADER_LEASE_ID),
+            )
+        except PushRejected as exc:
+            self._send_json(
+                409, error_body(ERR_SHARD_REJECTED, str(exc), reason=exc.reason)
+            )
+            return
+        except ValidationError as exc:
+            self._send_json(400, error_body(ERR_INVALID_JSON, str(exc)))
+            return
+        self._send_json(200, {"api_version": API_VERSION, **body})
+
+    def _post_fail(self) -> None:
+        coordinator = self._coordinator_or_409()
+        if coordinator is None:
+            return
+        raw = self._read_body()
+        if raw is None:
+            return
+        try:
+            payload = json.loads(raw or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_json(400, error_body(ERR_INVALID_JSON, str(exc)))
+            return
+        lease_id = payload.get("lease_id", "") if isinstance(payload, dict) else ""
+        message = payload.get("message", "") if isinstance(payload, dict) else ""
+        coordinator.fail(str(lease_id), str(message) or "worker reported failure")
+        self._send_json(200, {"api_version": API_VERSION, "ok": True})
+
     def _method_not_allowed(self) -> None:
         self._send_json(
             405,
@@ -234,6 +346,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- endpoints ------------------------------------------------------ #
     def _get_healthz(self) -> None:
+        coordinator = self.server.study_server.coordinator  # type: ignore[attr-defined]
         self._send_json(
             200,
             {
@@ -242,6 +355,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "jobs": self.manager.counts(),
                 "queue_capacity": self.manager.queue_capacity,
                 "recovered_jobs": self.manager.recovered_jobs,
+                "distributed": None if coordinator is None else coordinator.health(),
             },
         )
 
@@ -358,6 +472,15 @@ class StudyServer:
         sites (connection reset, slow response).  Defaults to the
         ``REPRO_FAULTS`` environment hook, which is how the e2e chaos
         smoke injects faults into a stock server process.
+    distributed:
+        Enable the shard coordinator: jobs execute by leasing shards to
+        pulled workers (the ``/distributed/*`` routes) instead of the
+        in-process executor pool, with an inline drain guaranteeing
+        liveness when no fleet is attached.  The artifact bytes are
+        identical either way — that is the point.
+    scheduler, lease_ttl_s:
+        Coordinator dispatch strategy and lease lifetime (distributed
+        mode only); see :class:`~repro.distributed.ShardCoordinator`.
     log:
         Optional callable receiving one line per handled request; ``None``
         keeps the server silent (the test default).
@@ -378,6 +501,9 @@ class StudyServer:
         request_timeout: float = 60.0,
         faults: FaultPlan | None = None,
         log=None,
+        distributed: bool = False,
+        scheduler: str = DEFAULT_SCHEDULER,
+        lease_ttl_s: float = 30.0,
     ) -> None:
         if isinstance(cache, (str, Path)):
             cache = StudyCache(cache)
@@ -387,6 +513,17 @@ class StudyServer:
             raise ValidationError(f"request_timeout must be > 0, got {request_timeout}")
         self.request_timeout = request_timeout
         self.faults = FaultPlan.from_env() if faults is None else faults
+        if distributed:
+            from ..distributed import ShardCoordinator
+
+            self.coordinator = ShardCoordinator(
+                cache=cache,
+                scheduler=scheduler,
+                lease_ttl_s=lease_ttl_s,
+                vectorize=vectorize,
+            )
+        else:
+            self.coordinator = None
         self.manager = JobManager(
             cache=cache,
             queue_size=queue_size,
@@ -396,6 +533,7 @@ class StudyServer:
             vectorize=vectorize,
             max_retained_jobs=max_retained_jobs,
             journal=journal,
+            coordinator=self.coordinator,
         )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True

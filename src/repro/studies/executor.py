@@ -83,8 +83,9 @@ from ..faults import (
     FaultPlan,
     FaultStats,
 )
+from ..distributed.scheduler import shard_schedule
 from .results import StudyResults, empty_table
-from .spec import ScenarioSpec
+from .spec import EXECUTOR_AXES, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from .cache import StudyCache
@@ -177,6 +178,7 @@ def _run_shard(
     shard_index: int,
     start: int,
     stop: int,
+    shard_size: int,
     vectorize: bool,
     faults: Mapping | None = None,
     attempt: int = 0,
@@ -184,9 +186,13 @@ def _run_shard(
 ) -> np.ndarray:
     """Evaluate points ``[start, stop)`` of the spec into a results table slice.
 
-    Top-level (picklable) so process pools can run it; reconstructs the
-    spec from its payload dict in the worker and resolves backends from
-    the worker's own registry.  ``faults``/``attempt`` carry the fault
+    Top-level (picklable) so process pools — and distributed
+    :class:`~repro.distributed.worker.ShardWorker` loops — can run it;
+    reconstructs the spec from its payload dict in the worker and
+    resolves backends from the worker's own registry.  ``shard_size``
+    names the full shard grid (not just this shard's extent): the
+    ``sched_*`` columns are simulated over the whole grid, so every
+    executor must agree on it.  ``faults``/``attempt`` carry the fault
     plan payload and the parent-owned attempt number across the process
     boundary (a respawned worker must not reset the fault schedule);
     ``in_worker`` gates the worker-death site — inline execution raises
@@ -218,7 +224,10 @@ def _run_shard(
     block = len(lps_values)
     for k in range(start // block, (stop - 1) // block + 1):
         config = spec.config(k)
-        backend = get_backend(config["backend"])
+        # Executor-owned axes (scheduler) shape dispatch, not the operating
+        # point: backends never see them.
+        model_config = {n: v for n, v in config.items() if n not in EXECUTOR_AXES}
+        backend = get_backend(model_config["backend"])
         block_start = k * block
         block_stop = block_start + block
         lo = max(start, block_start)
@@ -231,13 +240,24 @@ def _run_shard(
             run[axis_name] = value
         run["lps"] = lps_run
         if vectorize:
-            cols = backend.sweep(config, lps_run)
+            cols = backend.sweep(model_config, lps_run)
         else:
             # The scalar reference loop every batched sweep must match.
             cols = SweepColumns.from_timings(
-                [backend.evaluate({**config, "lps": int(n)}) for n in lps_run]
+                [backend.evaluate({**model_config, "lps": int(n)}) for n in lps_run]
             )
         _fill_run(run, cols)
+
+        # Modeled dispatch columns: the row's strategy simulated over the
+        # study's full shard grid — a pure function of (spec, shard_size),
+        # so any topology writes the same values (memoized per process).
+        # Keyed on each row's own shard (index // shard_size), not on the
+        # shard being evaluated, so any [start, stop) slice of the grid
+        # yields the same bytes as the corresponding full-run rows.
+        trace = shard_schedule(spec, shard_size, config["scheduler"])
+        row_shards = np.arange(lo, hi) // shard_size
+        run["sched_latency_s"] = np.asarray(trace.finish_s)[row_shards]
+        run["sched_steals"] = np.asarray(trace.stolen, dtype=np.int64)[row_shards]
 
         if mc_rng is not None:
             # One simulated batch of mc_trials Eq.-6 ensembles per point:
@@ -309,6 +329,7 @@ def _store_shard_tolerant(
 def _attempt_shard(
     payload: dict,
     ranges: list[tuple[int, int]],
+    shard_size: int,
     k: int,
     vectorize: bool,
     plan_payload: dict | None,
@@ -323,7 +344,9 @@ def _attempt_shard(
     while True:
         n = attempts[k]
         try:
-            shard = _run_shard(payload, k, start, stop, vectorize, plan_payload, n, False)
+            shard = _run_shard(
+                payload, k, start, stop, shard_size, vectorize, plan_payload, n, False
+            )
         except Exception as exc:
             errors[k].append(f"attempt {n}: {exc!r}")
             stats.shard_failures += 1
@@ -437,13 +460,13 @@ def run_study(
             land(
                 k,
                 _attempt_shard(
-                    payload, ranges, k, vectorize, plan_payload,
+                    payload, ranges, shard_size, k, vectorize, plan_payload,
                     policy, stats, attempts, errors, rngs,
                 ),
             )
     else:
         _run_pool(
-            payload, ranges, pending, workers, vectorize, plan_payload,
+            payload, ranges, shard_size, pending, workers, vectorize, plan_payload,
             policy, stats, attempts, errors, rngs, land,
         )
     return StudyResults(spec=spec, table=table, fault_stats=stats)
@@ -452,6 +475,7 @@ def run_study(
 def _run_pool(
     payload: dict,
     ranges: list[tuple[int, int]],
+    shard_size: int,
     pending: list[int],
     workers: int,
     vectorize: bool,
@@ -482,7 +506,7 @@ def _run_pool(
                 land(
                     k,
                     _attempt_shard(
-                        payload, ranges, k, vectorize, plan_payload,
+                        payload, ranges, shard_size, k, vectorize, plan_payload,
                         policy, stats, attempts, errors, rngs,
                     ),
                 )
@@ -498,7 +522,7 @@ def _run_pool(
                 for k in remaining:
                     futures[k] = pool.submit(
                         _run_shard, payload, k, ranges[k][0], ranges[k][1],
-                        vectorize, plan_payload, attempts[k], True,
+                        shard_size, vectorize, plan_payload, attempts[k], True,
                     )
             except BrokenProcessPool:
                 broken = True

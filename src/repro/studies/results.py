@@ -26,6 +26,7 @@ import numpy as np
 
 from .._json import canonical_line
 from ..backends.base import MAX_BACKEND_NAME_LENGTH
+from ..distributed.scheduler import MAX_SCHEDULER_NAME_LENGTH
 from ..core.scaling import crossover_index, loglog_slope
 from ..core.sensitivity import elasticity_series
 from ..exceptions import ValidationError
@@ -37,15 +38,24 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = ["StudyResults", "RESULT_COLUMNS", "ARTIFACT_SCHEMA_VERSION"]
 
 #: Version 2 added the ``backend`` axis column (the registry-dispatched
-#: performance-backend axis of the spec grid).
-ARTIFACT_SCHEMA_VERSION = 2
+#: performance-backend axis of the spec grid).  Version 3 added the
+#: ``scheduler`` axis column plus the modeled shard-dispatch columns
+#: ``sched_latency_s`` / ``sched_steals`` (see
+#: :mod:`repro.distributed.scheduler`).
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Column name -> structured dtype.  Axis columns first (canonical order),
 #: then the model outputs.  ``mc_accuracy`` is NaN when the spec disabled
 #: Monte-Carlo sampling.  The ``backend`` width is the registry's name
-#: ceiling, so no registrable name can be truncated on table assignment.
+#: ceiling, so no registrable name can be truncated on table assignment;
+#: likewise ``scheduler`` (MAX_SCHEDULER_NAME_LENGTH).  The ``sched_*``
+#: columns are the deterministic schedule simulation of the row's
+#: strategy over the study's shard grid: every row of shard ``k`` gets
+#: that shard's modeled completion time and whether dispatching it
+#: crossed the static ownership partition.
 RESULT_COLUMNS: tuple[tuple[str, str], ...] = (
     ("backend", f"U{MAX_BACKEND_NAME_LENGTH}"),
+    ("scheduler", f"U{MAX_SCHEDULER_NAME_LENGTH}"),
     ("embedding_mode", "U7"),
     ("clock_hz", "f8"),
     ("memory_bandwidth_bytes_per_s", "f8"),
@@ -62,6 +72,8 @@ RESULT_COLUMNS: tuple[tuple[str, str], ...] = (
     ("quantum_fraction", "f8"),
     ("dominant_stage", "U6"),
     ("mc_accuracy", "f8"),
+    ("sched_latency_s", "f8"),
+    ("sched_steals", "i8"),
 )
 
 _STAGE_COLUMNS = ("stage1_s", "stage2_s", "stage3_s", "total_s")
@@ -266,6 +278,29 @@ class StudyResults:
             <= backend_capabilities(name).rtol
             for name, per_column in self.backend_deviation(reference).items()
         }
+
+    def scheduler_comparison(self) -> dict[str, dict[str, float]]:
+        """Per-strategy summary of the modeled dispatch columns.
+
+        For every scheduler value in the grid: the modeled makespan (max
+        shard completion time), the mean per-row latency, and the number
+        of distinct stolen shards.  This is what a ``scheduler``-axis
+        study exists to compare.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for name in self.spec.axis_values("scheduler"):
+            mask = self.select(scheduler=name)
+            latency = self.column("sched_latency_s")[mask]
+            stolen = self.column("sched_steals")[mask].astype(bool)
+            # Distinct shards, not rows: every row of a shard repeats its
+            # latency, so unique completion times count stolen shards.
+            steals = len(np.unique(latency[stolen])) if stolen.any() else 0
+            out[name] = {
+                "makespan_s": float(np.max(latency)) if latency.size else 0.0,
+                "mean_latency_s": float(np.mean(latency)) if latency.size else 0.0,
+                "stolen_shards": float(steals),
+            }
+        return out
 
     # ------------------------------------------------------------------ #
     # Artifact serialization

@@ -43,15 +43,20 @@ from ..backends import (
     available_backends,
     capabilities as backend_capabilities,
 )
+from ..distributed.scheduler import DEFAULT_SCHEDULER, SCHEDULER_NAMES
 from ..exceptions import ValidationError
 
-__all__ = ["Axis", "ScenarioSpec", "AXIS_ORDER", "axis_default"]
+__all__ = ["Axis", "ScenarioSpec", "AXIS_ORDER", "EXECUTOR_AXES", "axis_default"]
 
 #: Canonical axis order, outermost first.  ``lps`` is always innermost
 #: (fastest varying) so every config block is one contiguous LPS run;
 #: ``backend`` is outermost so each backend owns one contiguous sub-grid.
+#: ``scheduler`` sits right after it: the shard-dispatch strategy whose
+#: modeled latency/steal columns a study compares (see
+#: :mod:`repro.distributed.scheduler`).
 AXIS_ORDER = (
     "backend",
+    "scheduler",
     "embedding_mode",
     "clock_hz",
     "memory_bandwidth_bytes_per_s",
@@ -68,10 +73,16 @@ MAX_POINTS = 50_000_000
 
 _EMBEDDING_MODES = ("online", "offline")
 
+#: Axes owned by the *executor*, not the performance model: they shape
+#: how shards are dispatched (and the sched_* result columns), never the
+#: operating point a backend evaluates.  Exempt from backend capability
+#: checks and stripped from the config before backend dispatch.
+EXECUTOR_AXES = frozenset({"scheduler"})
+
 
 def _default_values() -> dict[str, tuple]:
     """Single-point default for every absent axis (the paper's operating point)."""
-    defaults = {"backend": (DEFAULT_BACKEND,)}
+    defaults = {"backend": (DEFAULT_BACKEND,), "scheduler": (DEFAULT_SCHEDULER,)}
     defaults.update((name, (value,)) for name, value in DEFAULT_OPERATING_POINT.items())
     return defaults
 
@@ -100,6 +111,13 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
             if v not in known:
                 raise ValidationError(
                     f"unknown backend {v!r}; registered backends: {known}"
+                )
+        return vals
+    if name == "scheduler":
+        for v in vals:
+            if v not in SCHEDULER_NAMES:
+                raise ValidationError(
+                    f"scheduler values must be one of {SCHEDULER_NAMES}, got {v!r}"
                 )
         return vals
     if name == "embedding_mode":
@@ -226,7 +244,7 @@ class ScenarioSpec:
         for backend_name in self.axis_values("backend"):
             caps = backend_capabilities(backend_name)
             for axis_name in AXIS_ORDER[1:]:
-                if axis_name in caps.supported_axes:
+                if axis_name in EXECUTOR_AXES or axis_name in caps.supported_axes:
                     continue
                 values = self.axis_values(axis_name)
                 if values != (axis_default(axis_name),):
@@ -247,7 +265,7 @@ class ScenarioSpec:
 
     @property
     def shape(self) -> tuple[int, ...]:
-        """Grid extent along every canonical axis (length 8, 1 for absent axes)."""
+        """Grid extent along every canonical axis (one entry per AXIS_ORDER name)."""
         return tuple(len(self.axis_values(n)) for n in AXIS_ORDER)
 
     @property

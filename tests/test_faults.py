@@ -216,4 +216,4 @@ def test_fault_injected_is_a_repro_error():
     from repro.exceptions import ReproError
 
     assert issubclass(FaultInjected, ReproError)
-    assert len(FAULT_SITES) == len(set(FAULT_SITES)) == 6
+    assert len(FAULT_SITES) == len(set(FAULT_SITES)) == 8

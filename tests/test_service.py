@@ -175,6 +175,7 @@ def test_progress_reports_every_shard(tmp_path):
             "shards_done": 3,
             "shards_total": 3,
             "shards_from_cache": 0,
+            "workers": {},
         }
         _, _, artifact = request(srv, "GET", f"/studies/{submitted['job_id']}/artifact")
         assert artifact == direct_artifact(SPEC_PAYLOAD, shard_size=4)
