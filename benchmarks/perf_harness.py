@@ -3,8 +3,9 @@
 Times a fixed set of named reference workloads — the kernels the paper's
 headline result (Fig. 9) makes hot: SA sampling, batched energy evaluation,
 brute-force enumeration, CMR minor embedding, the Fig.-9 pipeline sweep,
-ASPEN paper-model loading, the sharded scenario-study executor, and the
-coordinator/worker distributed study path — and emits a machine-readable
+ASPEN paper-model loading, the compiled ASPEN backend sweep, the sharded
+scenario-study executor, and the coordinator/worker distributed study
+path — and emits a machine-readable
 ``BENCH_PERF.json`` at the repository root so every PR's perf delta is
 visible in review.
 
@@ -79,6 +80,13 @@ SEED_BASELINE_SECONDS: dict[str, float | None] = {
     # lease bookkeeping, sha256 verification on every push, the scheduler
     # simulation — relative to in-process execution of the same shards.
     "study_distributed": 0.06881,
+    # The aspen_sweep baseline is the identical workload through the
+    # tree-walking evaluate loop (SweepColumns.from_timings over per-point
+    # AspenEvaluator walks), measured best-of-3 on the reference container
+    # when the expression compiler landed.  speedup_vs_seed is the
+    # compiler's whole point; the differential suite pins the compiled
+    # arrays bit-identical to that loop.
+    "aspen_sweep": 4.54712,
 }
 
 
@@ -296,6 +304,28 @@ def _study_distributed(check: bool):
     )
 
 
+def _aspen_sweep(check: bool):
+    from repro.backends import get
+
+    # The aspen backend's batched sweep: Stages 1 and 3 through the
+    # compiled LPS closures, Stage 2 evaluated once per config.  The
+    # backend instance is shared, so compile cost amortizes exactly as it
+    # does in study runs; the first warmup call pays it.
+    backend = get("aspen")
+    config = {"accuracy": 0.99, "success": 0.75}
+    points = list(range(1, 51 if check else 2001))
+    calls = 1 if check else 10
+
+    def op():
+        for _ in range(calls):
+            backend.sweep(config, points)
+
+    return op, (
+        f"aspen backend sweep, {len(points)} LPS points, {calls} calls "
+        f"(compiled listings)"
+    )
+
+
 KERNELS = {
     "sa_sample": _sa_sample,
     "energies": _energies,
@@ -303,6 +333,7 @@ KERNELS = {
     "embed": _embed,
     "sweep": _sweep,
     "aspen_models": _aspen_models,
+    "aspen_sweep": _aspen_sweep,
     "study": _study,
     "study_faulted": _study_faulted,
     "study_distributed": _study_distributed,

@@ -18,6 +18,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # suite).  Raise it as coverage grows; never lower it to make a PR pass.
 COVERAGE_FLOOR=85
 
+echo "== bytecode compile gate =="
+# Every module under src/ must at least compile: import-time syntax errors
+# in rarely-exercised corners fail here, before any test tier runs.
+python -m compileall -q src
+
+echo
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 

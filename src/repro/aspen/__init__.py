@@ -19,6 +19,7 @@ This package implements the subset those listings use, end to end:
 """
 
 from .application import ApplicationModel
+from .compiler import AspenLoweringError, CompiledSweep, compile_sweep
 from .evaluator import AspenEvaluator, ClauseCost, EvaluationReport, TIME_UNITS
 from .expressions import Environment, evaluate_expr
 from .loader import ModelRegistry, bundled_models_dir, load_paper_models
@@ -32,6 +33,9 @@ __all__ = [
     "MachineModel",
     "SocketView",
     "AspenEvaluator",
+    "AspenLoweringError",
+    "CompiledSweep",
+    "compile_sweep",
     "EvaluationReport",
     "ClauseCost",
     "TIME_UNITS",

@@ -1,0 +1,630 @@
+"""Lowering parsed ASPEN models to vectorized numpy sweep closures.
+
+The tree-walking :class:`~repro.aspen.evaluator.AspenEvaluator` prices one
+operating point per call; sweeping an axis (the Fig.-9 x-axes, the study
+grids) therefore costs one full walk per point.  This module is the
+interpreter-to-compiler pass: it walks the *same* AST once, classifies
+every subexpression as **constant** or **varying** with respect to a
+declared set of sweep axes, and emits a closure that evaluates the whole
+model over numpy arrays of axis values in a handful of array operations.
+
+**The bit-identity contract.**  ``compile_sweep(...)(LPS=xs)[i]`` must be
+bit-identical to ``evaluator.evaluate(app, socket, {"LPS": xs[i]}).
+total_seconds`` for every ``i`` — compilation is a fast path, never a
+different answer (the same contract the backends' batched ``sweep`` makes
+with their evaluate loop).  Three rules make this hold:
+
+* constant subtrees are folded by the *scalar* evaluator itself
+  (:func:`~repro.aspen.expressions.evaluate_expr`), so a folded constant
+  is the exact float the tree walk would have produced;
+* varying arithmetic (``+ - * /``, unary minus, comparisons inside
+  ``min``/``max``, ``ceil``/``floor``/``abs``) is lowered to the
+  corresponding numpy float64 ufunc — IEEE-754 operations that are
+  correctly rounded and therefore bitwise equal to the Python-float
+  scalar ops, applied in the evaluator's exact association order;
+* transcendental calls (``log``/``exp``/``sqrt``/``pow``/…) and the
+  ``^`` operator on *varying* operands are **not** trusted to numpy's
+  SIMD routines (which may differ from libm in the last ulp): they are
+  lowered to an elementwise map of the very same scalar functions the
+  evaluator uses (:data:`~repro.aspen.expressions.FUNCTIONS`), keeping
+  exactness at a per-element Python-call cost.  In the bundled listings
+  every transcendental sits in a constant subtree (``log(NG)``,
+  Stage 2/3's ``ceil(log(...)/log(...))``), so this path is cold.
+
+**The fallback rule.**  Anything the lowerer does not recognize — an
+unknown expression node, an unknown statement type, a function outside
+the evaluator's builtin table — raises :class:`AspenLoweringError` at
+compile time.  Callers (see :meth:`AspenStageModels
+<repro.core.aspen_backend.AspenStageModels>`) treat that as "this model
+is not compilable" and fall back to the tree-walking evaluator per
+point, which remains the semantic reference.  The compiler never guesses:
+a model either lowers exactly or not at all.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import AspenError, AspenEvaluationError, AspenNameError
+from .application import ApplicationModel
+from .ast_nodes import (
+    BinOp,
+    Call,
+    ExecuteBlock,
+    Expr,
+    Iterate,
+    KernelCall,
+    Num,
+    ParamRef,
+    ParBlock,
+    SeqBlock,
+    UnaryOp,
+)
+from .evaluator import TIME_UNITS
+from .expressions import FUNCTIONS, Environment, evaluate_expr
+from .machine import SocketView
+
+__all__ = ["AspenLoweringError", "CompiledSweep", "compile_sweep"]
+
+
+class AspenLoweringError(AspenError):
+    """A model contains a node the compiler cannot lower exactly.
+
+    Raising (rather than approximating) is the conservative half of the
+    compile pass: callers catch this and fall back to the tree-walking
+    evaluator, which defines the semantics.
+    """
+
+
+#: A lowered value: either a Python float (constant across the sweep,
+#: folded by the scalar evaluator) or a closure mapping the axis arrays
+#: to a float64 array aligned with them.
+_Vec = Callable[[dict], np.ndarray]
+Lowered = float | _Vec
+
+
+def _is_const(v: Lowered) -> bool:
+    return isinstance(v, float)
+
+
+# --------------------------------------------------------------------- #
+# Exact lowered arithmetic
+# --------------------------------------------------------------------- #
+def _add(a: Lowered, b: Lowered) -> Lowered:
+    if _is_const(a) and _is_const(b):
+        return a + b
+    return lambda ax: _val(a, ax) + _val(b, ax)
+
+
+def _mul(a: Lowered, b: Lowered) -> Lowered:
+    if _is_const(a) and _is_const(b):
+        return a * b
+    return lambda ax: _val(a, ax) * _val(b, ax)
+
+
+def _val(v: Lowered, axes: dict) -> float | np.ndarray:
+    return v if _is_const(v) else v(axes)
+
+
+def _map_scalar(fn: Callable, args: list, axes: dict) -> np.ndarray:
+    """Apply a scalar function elementwise — the exactness escape hatch.
+
+    Used for every operation whose numpy counterpart is not guaranteed
+    bitwise-equal to the evaluator's libm call.  Broadcasting mirrors the
+    scalar evaluator: constants are applied to every element.
+    """
+    values = [np.asarray(_val(a, axes), dtype=np.float64) for a in args]
+    broadcast = np.broadcast_arrays(*values) if len(values) > 1 else values
+    out = np.empty(broadcast[0].shape, dtype=np.float64)
+    flats = [b.reshape(-1) for b in broadcast]
+    flat_out = out.reshape(-1)
+    for i in range(flat_out.shape[0]):
+        flat_out[i] = fn(*(float(f[i]) for f in flats))
+    return out
+
+
+#: Builtins whose numpy lowering is exact (comparison- or rounding-based
+#: IEEE operations, bitwise equal to the scalar implementations).
+_VECTOR_SAFE_CALLS: dict[str, Callable] = {
+    "ceil": np.ceil,
+    "floor": np.floor,
+    "abs": np.abs,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+_ARITY_ONE = {"log", "log2", "log10", "exp", "sqrt", "ceil", "floor", "abs"}
+
+
+# --------------------------------------------------------------------- #
+# Expression lowering
+# --------------------------------------------------------------------- #
+def _refs(expr: Expr, out: set[str]) -> set[str]:
+    """Collect every parameter name referenced by ``expr`` into ``out``."""
+    if isinstance(expr, ParamRef):
+        out.add(expr.name)
+    elif isinstance(expr, BinOp):
+        _refs(expr.lhs, out)
+        _refs(expr.rhs, out)
+    elif isinstance(expr, UnaryOp):
+        _refs(expr.operand, out)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            _refs(a, out)
+    elif not isinstance(expr, Num):
+        raise AspenLoweringError(f"cannot analyze expression node {expr!r}")
+    return out
+
+
+class _ExprLowerer:
+    """Lowers expressions against one scope.
+
+    Parameters
+    ----------
+    scalar_env:
+        The evaluator's own :class:`Environment` for this scope —
+        constant subtrees are folded through it so folded floats are the
+        tree walk's floats.
+    varying:
+        Names that vary across the sweep, mapped to their lowered values.
+        Entries are resolved lazily for declared parameters (``None``
+        placeholder -> lowered on first reference, with cycle detection).
+    declarations:
+        ``{name: Expr}`` for names whose lowering is deferred (the
+        application's ``param`` declarations).
+    """
+
+    def __init__(
+        self,
+        scalar_env: Environment,
+        varying: dict[str, Lowered | None],
+        declarations: Mapping[str, Expr] | None = None,
+    ) -> None:
+        self.scalar_env = scalar_env
+        self.varying = varying
+        self.declarations = dict(declarations or {})
+        self._in_progress: set[str] = set()
+
+    def is_varying(self, expr: Expr) -> bool:
+        return bool(_refs(expr, set()) & set(self.varying))
+
+    def lower(self, expr: Expr) -> Lowered:
+        if not self.is_varying(expr):
+            # Constant fold through the scalar evaluator: same code path,
+            # same float, including its error semantics.
+            return float(evaluate_expr(expr, self.scalar_env))
+        if isinstance(expr, ParamRef):
+            return self._lower_param(expr.name)
+        if isinstance(expr, UnaryOp):
+            operand = self.lower(expr.operand)
+            if expr.op != "-":
+                return operand
+            if _is_const(operand):
+                return -operand
+            return lambda ax: -_val(operand, ax)
+        if isinstance(expr, BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, Call):
+            return self._lower_call(expr)
+        raise AspenLoweringError(f"cannot lower expression node {expr!r}")
+
+    # ------------------------------------------------------------------ #
+    def _lower_param(self, name: str) -> Lowered:
+        bound = self.varying.get(name)
+        if bound is not None:
+            return bound
+        if name not in self.varying:  # pragma: no cover - guarded by is_varying
+            raise AspenNameError(f"undefined parameter {name!r}")
+        decl = self.declarations.get(name)
+        if decl is None:
+            raise AspenLoweringError(
+                f"varying parameter {name!r} has no declaration to lower"
+            )
+        if name in self._in_progress:
+            raise AspenEvaluationError(
+                f"cyclic parameter definition involving {name!r}"
+            )
+        self._in_progress.add(name)
+        try:
+            lowered = self.lower(decl)
+        finally:
+            self._in_progress.discard(name)
+        self.varying[name] = lowered
+        return lowered
+
+    def _lower_binop(self, expr: BinOp) -> Lowered:
+        a = self.lower(expr.lhs)
+        b = self.lower(expr.rhs)
+        op = expr.op
+        if _is_const(a) and _is_const(b):
+            # Both children folded (e.g. `base` bound to a constant cost):
+            # fold the node too, with the evaluator's scalar semantics.
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                if b == 0:
+                    raise AspenEvaluationError("division by zero")
+                return a / b
+            if op == "^":
+                return math.pow(a, b)
+            raise AspenEvaluationError(f"unknown operator {op!r}")
+        if op == "+":
+            return lambda ax: _val(a, ax) + _val(b, ax)
+        if op == "-":
+            return lambda ax: _val(a, ax) - _val(b, ax)
+        if op == "*":
+            return lambda ax: _val(a, ax) * _val(b, ax)
+        if op == "/":
+
+            def divide(ax):
+                num, den = _val(a, ax), _val(b, ax)
+                if np.any(np.asarray(den) == 0):
+                    raise AspenEvaluationError("division by zero")
+                return num / den
+
+            return divide
+        if op == "^":
+            # math.pow, elementwise: libm pow is not promised bitwise
+            # equal to np.power on every platform.
+            return lambda ax: _map_scalar(math.pow, [a, b], ax)
+        raise AspenEvaluationError(f"unknown operator {op!r}")
+
+    def _lower_call(self, expr: Call) -> Lowered:
+        fn = FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise AspenNameError(f"unknown function {expr.name!r}")
+        if expr.name in _ARITY_ONE and len(expr.args) != 1:
+            raise AspenEvaluationError(
+                f"{expr.name}() takes 1 argument(s), got {len(expr.args)}"
+            )
+        if expr.name == "pow" and len(expr.args) != 2:
+            raise AspenEvaluationError(
+                f"pow() takes 2 argument(s), got {len(expr.args)}"
+            )
+        if expr.name in ("min", "max") and len(expr.args) < 1:
+            raise AspenEvaluationError(f"{expr.name}() needs at least one argument")
+        args = [self.lower(a) for a in expr.args]
+        if all(_is_const(a) for a in args):
+            # e.g. every argument resolved through a constant `base`.
+            return float(fn(*args))  # type: ignore[operator]
+        vector_fn = _VECTOR_SAFE_CALLS.get(expr.name)
+        if vector_fn is None:
+            if expr.name not in _ARITY_ONE and expr.name != "pow":
+                raise AspenLoweringError(
+                    f"cannot lower call to {expr.name!r} on a varying argument"
+                )
+            # Transcendental on a varying argument: exact elementwise map
+            # of the evaluator's own scalar function.
+            return lambda ax: _map_scalar(fn, args, ax)
+        if expr.name in ("min", "max"):
+            # Python's min/max left-folds pairwise comparisons; so do we.
+            def fold(ax):
+                acc = np.asarray(_val(args[0], ax), dtype=np.float64)
+                for nxt in args[1:]:
+                    acc = vector_fn(acc, _val(nxt, ax))
+                return acc
+
+            return fold
+        return lambda ax: vector_fn(_val(args[0], ax))
+
+
+# --------------------------------------------------------------------- #
+# Statement lowering
+# --------------------------------------------------------------------- #
+class _SweepCompiler:
+    """Lowers an application's kernel tree on one socket view."""
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        view: SocketView,
+        axes: tuple[str, ...],
+        params: Mapping[str, float] | None,
+        conflict: str,
+    ) -> None:
+        self.app = app
+        self.view = view
+        self.conflict = conflict
+        self.warnings: list[str] = []
+        overrides = {k: float(v) for k, v in (params or {}).items()}
+        # Transitively classify declared params: varying iff the
+        # declaration (not shadowed by a constant override) references a
+        # varying name.
+        varying: dict[str, Lowered | None] = {
+            name: (lambda ax, _n=name: ax[_n]) for name in axes
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, decl in app.params.items():
+                if name in varying or name in overrides:
+                    continue
+                if _refs(decl, set()) & set(varying):
+                    varying[name] = None  # lowered lazily on first reference
+                    changed = True
+        # The scalar env sees only the constant overrides; constant
+        # subtrees never reference a varying name, so its lookups can
+        # never leak a varying parameter's (meaningless) declared default.
+        self.scalar_env = app.environment(dict(overrides))
+        self.lowerer = _ExprLowerer(self.scalar_env, varying, app.params)
+
+    # ------------------------------------------------------------------ #
+    # The multiplier is threaded down exactly as the evaluator threads its
+    # scalar multiplier: `multiplier * count` at each iterate, and
+    # `combined * (multiplier * count)` at each execute block.  Float
+    # multiplication is not associative, so reassociating (e.g. hoisting
+    # the iterate count outside the body sum) would break bit-identity.
+    def lower_kernel(
+        self, name: str, stack: tuple[str, ...], multiplier: Lowered = 1.0
+    ) -> Lowered:
+        if name in stack:
+            raise AspenEvaluationError(
+                f"recursive kernel invocation: {' -> '.join(stack + (name,))}"
+            )
+        kdecl = self.app.kernel(name)
+        total: Lowered = 0.0
+        for stmt in kdecl.body:
+            total = _add(
+                total, self.lower_statement(stmt, stack + (name,), multiplier)
+            )
+        return total
+
+    def lower_statement(
+        self, stmt, stack: tuple[str, ...], multiplier: Lowered
+    ) -> Lowered:
+        if isinstance(stmt, ExecuteBlock):
+            return self._lower_execute(stmt, stack, multiplier)
+        if isinstance(stmt, KernelCall):
+            return self.lower_kernel(stmt.name, stack, multiplier)
+        if isinstance(stmt, Iterate):
+            count = self._checked_count(self.lowerer.lower(stmt.count), "iterate")
+            inner_multiplier = _mul(multiplier, count)
+            total: Lowered = 0.0
+            for inner in stmt.body:
+                total = _add(
+                    total, self.lower_statement(inner, stack, inner_multiplier)
+                )
+            return total
+        if isinstance(stmt, ParBlock):
+            times = [
+                self.lower_statement(inner, stack, multiplier)
+                for inner in stmt.body
+            ]
+            if not times:
+                return 0.0
+            if all(_is_const(t) for t in times):
+                return float(max(times))
+
+            def par_max(ax, _times=times):
+                acc = np.asarray(_val(_times[0], ax), dtype=np.float64)
+                for nxt in _times[1:]:
+                    acc = np.maximum(acc, _val(nxt, ax))
+                return acc
+
+            return par_max
+        if isinstance(stmt, SeqBlock):
+            total = 0.0
+            for inner in stmt.body:
+                total = _add(total, self.lower_statement(inner, stack, multiplier))
+            return total
+        raise AspenLoweringError(f"cannot lower statement {stmt!r}")
+
+    # ------------------------------------------------------------------ #
+    def _lower_execute(
+        self, block: ExecuteBlock, stack: tuple[str, ...], multiplier: Lowered
+    ) -> Lowered:
+        count = self._checked_count(self.lowerer.lower(block.count), "execute")
+        scale = _mul(multiplier, count)
+        kernel_name = stack[-1] if stack else "<top>"
+
+        clause_times: list[Lowered] = []
+        for clause in block.clauses:
+            amount = self.lowerer.lower(clause.amount)
+            if clause.of_size is not None:
+                amount = _mul(amount, self.lowerer.lower(clause.of_size))
+            if clause.target is not None and clause.target not in self.app.data:
+                raise AspenNameError(
+                    f"clause {clause.resource!r} in kernel {kernel_name!r} references "
+                    f"unknown data set {clause.target!r}"
+                )
+            seconds_once = self._lower_clause_seconds(clause, amount, kernel_name)
+            clause_times.append(
+                self._checked_seconds(seconds_once, clause.resource, kernel_name)
+            )
+
+        if not clause_times:
+            return 0.0
+        if self.conflict == "sum":
+            combined: Lowered = 0.0
+            for t in clause_times:
+                combined = _add(combined, t)
+        else:
+            combined = clause_times[0]
+            for t in clause_times[1:]:
+                if _is_const(combined) and _is_const(t):
+                    combined = max(combined, t)
+                else:
+                    combined = (
+                        lambda ax, _a=combined, _b=t: np.maximum(
+                            _val(_a, ax), _val(_b, ax)
+                        )
+                    )
+        return _mul(combined, scale)
+
+    def _lower_clause_seconds(
+        self, clause, amount: Lowered, kernel_name: str
+    ) -> Lowered:
+        if clause.resource in TIME_UNITS:
+            return _mul(amount, TIME_UNITS[clause.resource])
+        lookup = self.view.find_resource(clause.resource)
+        if lookup is None:
+            raise AspenNameError(
+                f"socket {self.view.name!r} provides no resource "
+                f"{clause.resource!r}; available: "
+                f"{sorted(set(self.view.resource_names()))} "
+                f"plus time units {sorted(TIME_UNITS)}"
+            )
+        declared = dict(lookup.decl.traits)
+        for t in sorted({t for t in clause.traits if t not in declared}):
+            msg = (
+                f"trait {t!r} requested on {clause.resource!r} is not declared "
+                f"by component {lookup.component.name!r}"
+            )
+            if msg not in self.warnings:
+                self.warnings.append(msg)
+        if _is_const(amount):
+            seconds, _ = lookup.time_seconds(amount, clause.traits)
+            return float(seconds)
+        # Varying amount: lower the resource's cost expression with its
+        # argument bound, then apply requested declared traits in
+        # declaration order with `base` bound to the running cost — the
+        # exact structure of ResourceLookup.time_seconds.
+        arg = lookup.decl.arg
+        scope = _ExprLowerer(
+            lookup.env.child(overrides={}), {arg: amount}
+        )
+        cost = scope.lower(lookup.decl.cost)
+        for name in clause.traits:
+            expr = declared.get(name)
+            if expr is None:
+                continue
+            trait_scope = _ExprLowerer(
+                lookup.env.child(overrides={}), {arg: amount, "base": cost}
+            )
+            cost = trait_scope.lower(expr)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _checked_count(count: Lowered, what: str) -> Lowered:
+        if _is_const(count):
+            if count < 0:
+                raise AspenEvaluationError(f"{what} count is negative: {count}")
+            return count
+
+        def checked(ax):
+            value = count(ax)
+            if np.any(value < 0):
+                raise AspenEvaluationError(
+                    f"{what} count is negative: {float(np.min(value))}"
+                )
+            return value
+
+        return checked
+
+    @staticmethod
+    def _checked_seconds(seconds: Lowered, resource: str, kernel: str) -> Lowered:
+        if _is_const(seconds):
+            if seconds < 0:
+                raise AspenEvaluationError(
+                    f"negative time for clause {resource!r} in {kernel!r}"
+                )
+            return seconds
+
+        def checked(ax):
+            value = seconds(ax)
+            if np.any(value < 0):
+                raise AspenEvaluationError(
+                    f"negative time for clause {resource!r} in {kernel!r}"
+                )
+            return value
+
+        return checked
+
+
+# --------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CompiledSweep:
+    """A compiled model: axis arrays in, total-seconds array out.
+
+    Call with one keyword array per declared axis; every array must share
+    one shape, and the result is aligned with it.  Scalar axis values are
+    accepted and broadcast (the result is then a 0-d array).
+    """
+
+    model: str
+    socket: str
+    kernel: str
+    axes: tuple[str, ...]
+    warnings: tuple[str, ...]
+    _fn: Lowered = field(repr=False)
+
+    def __call__(self, **axis_values) -> np.ndarray:
+        unknown = set(axis_values) - set(self.axes)
+        missing = set(self.axes) - set(axis_values)
+        if unknown or missing:
+            raise AspenEvaluationError(
+                f"compiled sweep of {self.model!r} takes axes {list(self.axes)}; "
+                f"got {sorted(axis_values)}"
+            )
+        arrays = {
+            name: np.asarray(value, dtype=np.float64)
+            for name, value in axis_values.items()
+        }
+        result = _val(self._fn, arrays)
+        if _is_const(self._fn):  # fully constant model: broadcast
+            shape = np.broadcast_shapes(*(a.shape for a in arrays.values()))
+            return np.full(shape, result, dtype=np.float64)
+        return np.asarray(result, dtype=np.float64)
+
+
+def compile_sweep(
+    app: ApplicationModel,
+    view: SocketView,
+    axes: Iterable[str],
+    params: Mapping[str, float] | None = None,
+    kernel: str = "main",
+    conflict: str = "sum",
+) -> CompiledSweep:
+    """Compile ``app``'s ``kernel`` on ``view`` into a vectorized closure.
+
+    Parameters
+    ----------
+    axes:
+        Parameter names that will vary across the sweep (e.g. ``("LPS",)``).
+        Everything else is constant-folded at compile time.
+    params:
+        Constant parameter overrides, exactly like the evaluator's
+        ``params`` (e.g. ``{"Accuracy": 99.0}``); a name may not appear in
+        both ``axes`` and ``params``.
+    conflict:
+        The evaluator's clause conflict policy (``"sum"`` or ``"max"``).
+
+    Raises
+    ------
+    AspenLoweringError
+        For any node the compiler cannot lower exactly — the caller's cue
+        to fall back to the tree-walking evaluator.
+    """
+    axes = tuple(axes)
+    if not axes:
+        raise AspenEvaluationError("compile_sweep needs at least one varying axis")
+    overlap = set(axes) & set(params or {})
+    if overlap:
+        raise AspenEvaluationError(
+            f"axes and params overlap on {sorted(overlap)}"
+        )
+    if conflict not in ("sum", "max"):
+        raise AspenEvaluationError(
+            f"conflict policy must be one of ('sum', 'max'), got {conflict!r}"
+        )
+    compiler = _SweepCompiler(app, view, axes, params, conflict)
+    fn = compiler.lower_kernel(kernel, stack=())
+    return CompiledSweep(
+        model=app.name,
+        socket=view.name,
+        kernel=kernel,
+        axes=axes,
+        warnings=tuple(compiler.warnings),
+        _fn=fn,
+    )

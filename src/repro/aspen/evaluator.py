@@ -140,6 +140,34 @@ class AspenEvaluator:
         self._check_capacity(app, env, view, report)
         return report
 
+    def compile_sweep(
+        self,
+        app: ApplicationModel,
+        socket: str,
+        axes,
+        params: dict[str, float] | None = None,
+        kernel: str = "main",
+    ):
+        """Lower ``app`` to a vectorized closure over the named sweep axes.
+
+        The compiled counterpart of calling :meth:`evaluate` in a loop
+        with one ``axes`` parameter varying per point: bit-identical
+        totals, array-at-a-time cost (see :mod:`repro.aspen.compiler`).
+        Raises :class:`~repro.aspen.compiler.AspenLoweringError` for
+        models the compiler cannot lower — callers fall back to the
+        per-point :meth:`evaluate` tree walk.
+        """
+        from .compiler import compile_sweep
+
+        return compile_sweep(
+            app,
+            self.machine.socket(socket),
+            axes,
+            params=params,
+            kernel=kernel,
+            conflict=self.conflict,
+        )
+
     # ------------------------------------------------------------------ #
     def _eval_kernel(
         self,

@@ -5,17 +5,32 @@ ASPEN-evaluated backend are two independent implementations of the same
 performance models; the test suite asserts they agree to floating-point
 precision, which pins the closed forms to the paper's actual artifacts
 (Figs. 5-8).
+
+Scalar entry points walk the expression tree per call; the ``*_array``
+entry points go through the :mod:`repro.aspen.compiler` lowering pass —
+one vectorized closure per (stage, constant params), cached — with a
+conservative fallback: if a listing cannot be lowered
+(:class:`~repro.aspen.compiler.AspenLoweringError`, or any other ASPEN
+error at compile time), the array entry point silently degrades to the
+per-point tree walk, which defines the semantics.  Either way the array
+results are bit-identical to the scalar loop.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..aspen import AspenEvaluator, EvaluationReport, load_paper_models
-from ..exceptions import ValidationError
+from ..exceptions import AspenError, ValidationError
 
 __all__ = ["AspenStageModels"]
 
 _CPU_SOCKET = "intel_xeon_e5_2680"
 _QPU_SOCKET = "dwave_vesuvius_20"
+
+#: Sentinel distinguishing "not compiled yet" from "compilation failed,
+#: use the tree-walking fallback" in the compiled-closure cache.
+_FALLBACK = None
 
 
 class AspenStageModels:
@@ -28,6 +43,9 @@ class AspenStageModels:
         self._stage1 = self._registry.application("Stage1")
         self._stage2 = self._registry.application("Stage2")
         self._stage3 = self._registry.application("Stage3")
+        # Compiled LPS-sweep closures (or _FALLBACK), keyed per stage by
+        # the constant parameter overrides baked into the closure.
+        self._compiled: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------ #
     def stage1_report(self, lps: int) -> EvaluationReport:
@@ -41,6 +59,21 @@ class AspenStageModels:
     def stage1_seconds(self, lps: int) -> float:
         """Stage-1 total seconds (Fig. 9(a) solid line)."""
         return self.stage1_report(lps).total_seconds
+
+    def stage1_seconds_array(self, lps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`stage1_seconds` over an array of problem sizes.
+
+        Bit-identical to the scalar loop; uses one compiled closure when the
+        listing lowers, the per-point tree walk otherwise.
+        """
+        if np.any(np.asarray(lps) < 0):
+            raise ValidationError("lps values must be non-negative")
+        fn = self._compiled_sweep("stage1", self._stage1, _CPU_SOCKET, {})
+        if fn is not _FALLBACK:
+            return fn(LPS=lps)
+        return np.array(
+            [self.stage1_seconds(int(n)) for n in np.asarray(lps)], dtype=np.float64
+        )
 
     # ------------------------------------------------------------------ #
     def stage2_report(self, accuracy_percent: float, success: float) -> EvaluationReport:
@@ -86,3 +119,44 @@ class AspenStageModels:
     ) -> float:
         """Stage-3 total seconds (Fig. 9(c))."""
         return self.stage3_report(lps, accuracy, success).total_seconds
+
+    def stage3_seconds_array(
+        self,
+        lps: np.ndarray,
+        accuracy: float | None = None,
+        success: float | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`stage3_seconds` over an array of problem sizes.
+
+        ``accuracy``/``success`` are constant across the sweep, so they are
+        baked into the compiled closure (one closure per distinct pair,
+        cached).  Bit-identical to the scalar loop, with the same
+        tree-walking fallback as :meth:`stage1_seconds_array`.
+        """
+        if np.any(np.asarray(lps) < 0):
+            raise ValidationError("lps values must be non-negative")
+        params: dict[str, float] = {}
+        if accuracy is not None:
+            params["Accuracy"] = float(accuracy)
+        if success is not None:
+            params["Success"] = float(success)
+        fn = self._compiled_sweep("stage3", self._stage3, _CPU_SOCKET, params)
+        if fn is not _FALLBACK:
+            return fn(LPS=lps)
+        return np.array(
+            [self.stage3_seconds(int(n), accuracy, success) for n in np.asarray(lps)],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _compiled_sweep(self, stage, app, socket, params):
+        """Compiled LPS closure for ``stage`` + ``params``, or ``_FALLBACK``."""
+        key = (stage, tuple(sorted(params.items())))
+        if key not in self._compiled:
+            try:
+                self._compiled[key] = self._evaluator.compile_sweep(
+                    app, socket, axes=("LPS",), params=params
+                )
+            except AspenError:
+                self._compiled[key] = _FALLBACK
+        return self._compiled[key]

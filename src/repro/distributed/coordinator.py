@@ -85,7 +85,7 @@ class CoordinatorStats:
 
     leases_granted: int = 0
     steals: int = 0               # leases dispatched off their static home slot
-    requeues: int = 0             # expired leases put back in the queue
+    requeues: int = 0             # shards put back in the queue (any path)
     worker_failures: int = 0      # cooperative fail() reports
     duplicate_pushes: int = 0     # idempotent re-accepts of landed shards
     rejected_pushes: int = 0      # hash/size verification failures
@@ -586,8 +586,16 @@ class ShardCoordinator:
         if lease is not None:
             self._requeue(lease, "push rejected by verification")
         elif shard_index not in study.pending and shard_index not in study.done:
-            study.pending.append(shard_index)
-            study.pending.sort()
+            # No live lease to charge (it already expired, or the push never
+            # held one) but the shard is off the queue: re-enqueue through
+            # the same attempt accounting, so corrupt pushes consume the
+            # requeue budget instead of retrying forever.
+            self._requeue_shard(
+                study,
+                shard_index,
+                study.attempts.get(shard_index, 0),
+                "push rejected by verification (no live lease)",
+            )
 
     def _requeue(self, lease: _Lease, reason: str) -> None:
         """Put an abandoned/failed lease's shard back in its study's queue."""
@@ -595,18 +603,25 @@ class ShardCoordinator:
         study.leased.pop(lease.shard_index, None)
         if lease.shard_index in study.done:
             return
-        attempts = study.attempts.get(lease.shard_index, 0) + 1
-        study.attempts[lease.shard_index] = attempts
-        study.errors.setdefault(lease.shard_index, []).append(
-            f"attempt {lease.attempt}: {reason}"
+        self._requeue_shard(study, lease.shard_index, lease.attempt, reason)
+
+    def _requeue_shard(
+        self, study: _Study, shard_index: int, attempt: int, reason: str
+    ) -> None:
+        """Shared requeue accounting: every path that puts a shard back in
+        the queue — lease expiry, cooperative ``fail()``, push rejection —
+        bumps the ``requeues`` gauge and consumes the requeue budget here."""
+        self.stats.requeues += 1
+        attempts = study.attempts.get(shard_index, 0) + 1
+        study.attempts[shard_index] = attempts
+        study.errors.setdefault(shard_index, []).append(
+            f"attempt {attempt}: {reason}"
         )
         if attempts > self.max_requeues:
-            study.error = ShardError(
-                lease.shard_index, study.errors[lease.shard_index]
-            )
+            study.error = ShardError(shard_index, study.errors[shard_index])
             study.event.set()
             return
-        study.pending.append(lease.shard_index)
+        study.pending.append(shard_index)
         study.pending.sort()
 
     def _expire(self) -> None:
@@ -616,7 +631,6 @@ class ShardCoordinator:
             lid for lid, lease in self._leases.items() if lease.deadline < now
         ]:
             lease = self._leases.pop(lease_id)
-            self.stats.requeues += 1
             self._requeue(
                 lease,
                 f"lease {lease.lease_id} expired on worker {lease.worker_id}",

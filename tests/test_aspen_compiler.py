@@ -1,0 +1,460 @@
+"""The ASPEN sweep compiler: exact lowering, fallback, and backend wiring.
+
+The contract under test is bit-identity: for every model the compiler
+accepts, ``compile_sweep(...)(AXIS=xs)[i]`` must equal
+``evaluator.evaluate(app, socket, {AXIS: xs[i]}).total_seconds`` *bitwise*
+(``np.array_equal``, not ``allclose``).  Models the compiler cannot lower
+must raise :class:`AspenLoweringError` at compile time, and the callers
+(:class:`AspenStageModels`, the aspen backend's ``sweep``) must fall back
+to the tree walk and still produce identical arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aspen import (
+    ApplicationModel,
+    AspenEvaluator,
+    AspenLoweringError,
+    MachineModel,
+    ModelRegistry,
+    compile_sweep,
+    load_paper_models,
+    parse_source,
+)
+from repro.aspen import expressions as aspen_expressions
+from repro.exceptions import AspenEvaluationError
+from repro.backends import get
+from repro.backends.base import SweepColumns
+
+MACHINE_SRC = """
+machine TestBox { [1] N nodes }
+node N { [1] S sockets }
+socket S {
+  [2] C cores
+  M memory
+  linked with L
+}
+core C {
+  param hz = 1e9
+  resource flops(number) [number / hz]
+    with sp [ base ], dp [ base * 2 ], simd [ base / 4 ], fmad [ base / 2 ]
+}
+memory M {
+  param bw = 1e9
+  property capacity [1e12]
+  resource loads(bytes) [bytes / bw]
+  resource stores(bytes) [bytes / bw]
+}
+interconnect L {
+  resource intracomm(bytes) [1e-6 + bytes / 2e9]
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def machine() -> MachineModel:
+    reg = ModelRegistry()
+    reg.load_text(MACHINE_SRC)
+    return reg.machine("TestBox")
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return load_paper_models()
+
+
+def app_from(src: str) -> ApplicationModel:
+    return ApplicationModel(parse_source(src).models[0])
+
+
+def reference(app, machine, socket, xs, axis="N", params=None):
+    """The tree-walking totals the compiled closure must reproduce."""
+    ev = AspenEvaluator(machine)
+    out = []
+    for x in xs:
+        p = dict(params or {})
+        p[axis] = float(x)
+        out.append(ev.evaluate(app, socket=socket, params=p).total_seconds)
+    return np.array(out, dtype=np.float64)
+
+
+def assert_bit_identical(compiled, ref, **axes):
+    got = compiled(**axes)
+    assert got.dtype == np.float64
+    assert np.array_equal(got, ref), (
+        f"compiled sweep diverged from the evaluator: "
+        f"max |delta| = {np.max(np.abs(got - ref))}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Synthetic models: every lowering path
+# --------------------------------------------------------------------- #
+class TestSyntheticLowering:
+    def test_polynomial_flops_with_traits(self, machine):
+        app = app_from(
+            """
+            model Poly {
+              param N = 4
+              param Work = N^2 + 3 * N - 1
+              kernel main {
+                execute [1] { flops [Work] as sp, fmad, simd }
+              }
+            }
+            """
+        )
+        xs = np.arange(1.0, 200.0)
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_iterate_par_seq_structure(self, machine):
+        app = app_from(
+            """
+            model Shape {
+              param N = 4
+              kernel inner {
+                execute [2] {
+                  flops [N * N] as sp
+                  seconds [N / 100]
+                }
+              }
+              kernel main {
+                iterate [N] { inner }
+                par {
+                  execute [1] { seconds [N * 2] }
+                  execute [1] { seconds [5] }
+                }
+                seq {
+                  execute [1] { seconds [1] }
+                  execute [1] { seconds [N] }
+                }
+              }
+            }
+            """
+        )
+        xs = np.arange(1.0, 64.0)
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_transcendental_on_varying_argument_is_exact(self, machine):
+        # log() on a varying operand takes the elementwise-map path: the
+        # evaluator's own libm call per element, not numpy's SIMD log.
+        app = app_from(
+            """
+            model Logs {
+              param N = 4
+              kernel main {
+                execute [1] { flops [N * log(N) + sqrt(N)] as sp }
+              }
+            }
+            """
+        )
+        xs = np.arange(1.0, 300.0)
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_varying_power_operator_is_exact(self, machine):
+        app = app_from(
+            """
+            model Pow {
+              param N = 4
+              kernel main { execute [1] { seconds [N ^ 2.5 / 1e6] } }
+            }
+            """
+        )
+        xs = np.arange(1.0, 50.0)
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_min_max_fold_matches_python(self, machine):
+        app = app_from(
+            """
+            model Clamp {
+              param N = 4
+              kernel main {
+                execute [1] { seconds [max(min(N, 100), 10, N / 2)] }
+              }
+            }
+            """
+        )
+        xs = np.arange(0.0, 250.0)
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_constant_model_broadcasts(self, machine):
+        app = app_from(
+            "model K { param N = 4 kernel main { execute [1] { seconds [7] } } }"
+        )
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        out = compiled(N=np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(out, np.full(3, 7.0))
+
+    def test_constant_folding_goes_through_the_scalar_evaluator(self, machine):
+        # The folded constant must be the tree walk's float, not a
+        # reassociated one: use a sum whose grouping matters in float64.
+        app = app_from(
+            """
+            model Fold {
+              param N = 4
+              param C = 0.1 + 0.2 + 0.3
+              kernel main { execute [1] { seconds [C + 0 * N] } }
+            }
+            """
+        )
+        xs = np.array([5.0])
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_multiplier_association_matches_evaluator(self, machine):
+        # iterate [N] { execute [M] } must price as combined * (N * M)
+        # in the evaluator's association order, not (combined * N) * M.
+        app = app_from(
+            """
+            model Nest {
+              param N = 4
+              kernel main {
+                iterate [N] {
+                  iterate [7] {
+                    execute [3] { seconds [0.1 * N + 0.7] }
+                  }
+                }
+              }
+            }
+            """
+        )
+        xs = np.arange(1.0, 120.0)
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+    def test_negative_varying_count_raises_at_call_time(self, machine):
+        app = app_from(
+            """
+            model Neg {
+              param N = 4
+              kernel main { iterate [N - 10] { execute [1] { seconds [1] } } }
+            }
+            """
+        )
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert compiled(N=np.array([11.0]))[0] >= 0
+        with pytest.raises(AspenEvaluationError, match="negative"):
+            compiled(N=np.array([3.0]))
+
+    def test_varying_division_by_zero_raises(self, machine):
+        app = app_from(
+            """
+            model Div {
+              param N = 4
+              kernel main { execute [1] { seconds [1 / N] } }
+            }
+            """
+        )
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        with pytest.raises(AspenEvaluationError, match="division by zero"):
+            compiled(N=np.array([1.0, 0.0]))
+
+    def test_unmatched_trait_warning_surfaces_at_compile_time(self, machine):
+        app = app_from(
+            """
+            model W {
+              param N = 4
+              kernel main { execute [1] { flops [N] as sp, bogus } }
+            }
+            """
+        )
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert any("bogus" in w for w in compiled.warnings)
+        xs = np.arange(1.0, 5.0)
+        assert_bit_identical(compiled, reference(app, machine, "S", xs), N=xs)
+
+
+class TestCompiledSweepApi:
+    def test_axis_names_are_validated(self, machine):
+        app = app_from(
+            "model A { param N = 4 kernel main { execute [1] { seconds [N] } } }"
+        )
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        with pytest.raises(AspenEvaluationError, match="takes axes"):
+            compiled(M=np.array([1.0]))
+        with pytest.raises(AspenEvaluationError, match="takes axes"):
+            compiled()
+
+    def test_axes_params_overlap_rejected(self, machine):
+        app = app_from(
+            "model A { param N = 4 kernel main { execute [1] { seconds [N] } } }"
+        )
+        with pytest.raises(AspenEvaluationError, match="overlap"):
+            compile_sweep(app, machine.socket("S"), axes=("N",), params={"N": 3.0})
+
+    def test_empty_axes_rejected(self, machine):
+        app = app_from(
+            "model A { param N = 4 kernel main { execute [1] { seconds [N] } } }"
+        )
+        with pytest.raises(AspenEvaluationError, match="at least one"):
+            compile_sweep(app, machine.socket("S"), axes=())
+
+    def test_scalar_axis_value_accepted(self, machine):
+        app = app_from(
+            "model A { param N = 4 kernel main { execute [1] { seconds [N * 2] } } }"
+        )
+        compiled = compile_sweep(app, machine.socket("S"), axes=("N",))
+        assert float(compiled(N=3.0)) == 6.0
+
+
+class TestFallback:
+    def test_extension_function_on_varying_arg_is_unlowerable(
+        self, machine, monkeypatch
+    ):
+        # An extension registered into the evaluator's function table is
+        # evaluable but not lowerable: the compiler must refuse rather
+        # than guess, so callers fall back to the tree walk.
+        monkeypatch.setitem(aspen_expressions.FUNCTIONS, "erfinv", lambda x: x)
+        app = app_from(
+            """
+            model Ext {
+              param N = 4
+              kernel main { execute [1] { seconds [erfinv(N)] } }
+            }
+            """
+        )
+        ev = AspenEvaluator(machine)
+        assert ev.evaluate(app, "S", {"N": 2.0}).total_seconds == 2.0
+        with pytest.raises(AspenLoweringError, match="erfinv"):
+            compile_sweep(app, machine.socket("S"), axes=("N",))
+        # ...but the same extension in a constant subtree folds fine.
+        assert (
+            float(compile_sweep(app, machine.socket("S"), axes=("M",),
+                                params={"N": 2.0})(M=1.0))
+            == 2.0
+        )
+
+    def test_stage_models_fall_back_to_tree_walk(self, monkeypatch):
+        from repro.core.aspen_backend import AspenStageModels
+
+        def refuse(self, app, socket, axes, params=None, kernel="main"):
+            raise AspenLoweringError("forced fallback for test")
+
+        monkeypatch.setattr(AspenEvaluator, "compile_sweep", refuse)
+        models = AspenStageModels()
+        lps = np.array([1, 10, 50], dtype=np.int64)
+        s1 = models.stage1_seconds_array(lps)
+        s3 = models.stage3_seconds_array(lps, accuracy=0.9, success=0.5)
+        assert np.array_equal(
+            s1, np.array([models.stage1_seconds(int(n)) for n in lps])
+        )
+        assert np.array_equal(
+            s3,
+            np.array(
+                [models.stage3_seconds(int(n), 0.9, 0.5) for n in lps]
+            ),
+        )
+
+
+# --------------------------------------------------------------------- #
+# The paper listings: the differential grid
+# --------------------------------------------------------------------- #
+class TestPaperListings:
+    def test_stage1_bit_identical_over_lps(self, paper):
+        app = paper.application("Stage1")
+        machine = paper.machine("SimpleNode")
+        xs = np.arange(1.0, 501.0)
+        compiled = compile_sweep(
+            app, machine.socket("intel_xeon_e5_2680"), axes=("LPS",)
+        )
+        ref = reference(app, machine, "intel_xeon_e5_2680", xs, axis="LPS")
+        assert_bit_identical(compiled, ref, LPS=xs)
+
+    def test_stage2_bit_identical_over_accuracy(self, paper):
+        # Stage 2's Accuracy feeds straight into ceil(log/log): the
+        # transcendental-on-varying-argument path on a real listing.
+        app = paper.application("Stage2")
+        machine = paper.machine("SimpleNode")
+        xs = np.arange(1.0, 100.0)
+        compiled = compile_sweep(
+            app,
+            machine.socket("dwave_vesuvius_20"),
+            axes=("Accuracy",),
+            params={"Success": 0.5},
+        )
+        ref = reference(
+            app, machine, "dwave_vesuvius_20", xs,
+            axis="Accuracy", params={"Success": 0.5},
+        )
+        assert_bit_identical(compiled, ref, Accuracy=xs)
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {},
+            {"Accuracy": 0.9, "Success": 0.5},
+            {"Accuracy": 0.999, "Success": 0.9},
+        ],
+    )
+    def test_stage3_bit_identical_over_lps(self, paper, params):
+        app = paper.application("Stage3")
+        machine = paper.machine("SimpleNode")
+        xs = np.arange(1.0, 301.0)
+        compiled = compile_sweep(
+            app, machine.socket("intel_xeon_e5_2680"), axes=("LPS",),
+            params=params,
+        )
+        ref = reference(
+            app, machine, "intel_xeon_e5_2680", xs, axis="LPS", params=params
+        )
+        assert_bit_identical(compiled, ref, LPS=xs)
+
+    def test_evaluator_compile_sweep_entry_point(self, paper):
+        ev = AspenEvaluator(paper.machine("SimpleNode"))
+        compiled = ev.compile_sweep(
+            paper.application("Stage1"), "intel_xeon_e5_2680", axes=("LPS",)
+        )
+        assert compiled.model == "Stage1"
+        assert compiled.axes == ("LPS",)
+        one = ev.evaluate(
+            paper.application("Stage1"), "intel_xeon_e5_2680", {"LPS": 42.0}
+        ).total_seconds
+        assert float(compiled(LPS=42.0)) == one
+
+
+# --------------------------------------------------------------------- #
+# Backend wiring: sweep == evaluate loop, bit for bit
+# --------------------------------------------------------------------- #
+class TestBackendWiring:
+    COLUMNS = (
+        "stage1_s", "stage2_s", "stage3_s", "total_s",
+        "quantum_fraction", "dominant_stage", "repetitions",
+    )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            {"accuracy": 0.99, "success": 0.75},
+            {"accuracy": 0.9, "success": 0.5},
+            {"accuracy": 0.999, "success": 0.9},
+        ],
+    )
+    def test_aspen_sweep_matches_evaluate_loop(self, config):
+        backend = get("aspen")
+        lps = list(range(1, 120))
+        fast = backend.sweep(config, lps)
+        ref = SweepColumns.from_timings(
+            [backend.evaluate({**config, "lps": n}) for n in lps]
+        )
+        for name in self.COLUMNS:
+            a, b = getattr(fast, name), getattr(ref, name)
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+
+    def test_compiled_closures_are_cached(self):
+        from repro.core.aspen_backend import AspenStageModels
+
+        models = AspenStageModels()
+        lps = np.arange(1, 10, dtype=np.int64)
+        models.stage1_seconds_array(lps)
+        models.stage3_seconds_array(lps, accuracy=0.9, success=0.5)
+        models.stage3_seconds_array(lps, accuracy=0.9, success=0.5)
+        keys = sorted(k[0] for k in models._compiled)
+        assert keys == ["stage1", "stage3"]

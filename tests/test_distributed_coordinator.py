@@ -136,6 +136,84 @@ class TestLeaseExpiry:
         assert coord.progress_snapshot(sid)["pending"] == 3
 
 
+class TestRequeueAccounting:
+    """Every path that puts a shard back in the queue — lease expiry,
+    cooperative ``fail()``, rejected push — lands in the same ``requeues``
+    gauge and consumes the same per-shard budget."""
+
+    def test_cooperative_fail_bumps_requeue_gauge(self):
+        coord = make()
+        coord.register_study(SPEC, shard_size=SHARD_SIZE)
+        lease = coord.lease("w0")
+        coord.fail(lease["lease_id"], "worker exploded")
+        assert coord.stats.requeues == 1
+        assert coord.stats.worker_failures == 1
+        assert coord.health()["requeues"] == 1
+
+    def test_rejected_push_bumps_requeue_gauge(self):
+        coord = make()
+        sid = coord.register_study(SPEC, shard_size=SHARD_SIZE)
+        study = coord._study(sid)
+        lease = coord.lease("w0")
+        k = lease["shard_index"]
+        data, digest = shard_bytes(SPEC, k, study.ranges, SHARD_SIZE)
+        corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
+        with pytest.raises(PushRejected):
+            coord.push(
+                sid, k, corrupted, digest,
+                worker_id="w0", lease_id=lease["lease_id"],
+            )
+        assert coord.stats.requeues == 1
+        assert coord.stats.rejected_pushes == 1
+
+    def test_repeated_corrupt_pushes_exhaust_requeue_budget(self):
+        # A worker that keeps pushing corrupt bytes must burn through the
+        # requeue budget and fail the study — never retry forever.
+        coord = make(max_requeues=3)
+        sid = coord.register_study(SPEC, shard_size=SHARD_SIZE)
+        study = coord._study(sid)
+        rejections = 0
+        while True:
+            lease = coord.lease("w0")
+            if lease is None:
+                break
+            k = lease["shard_index"]
+            data, digest = shard_bytes(SPEC, k, study.ranges, SHARD_SIZE)
+            corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
+            with pytest.raises(PushRejected):
+                coord.push(
+                    sid, k, corrupted, digest,
+                    worker_id="w0", lease_id=lease["lease_id"],
+                )
+            rejections += 1
+            assert rejections <= 4 * (coord.max_requeues + 1), (
+                "requeue budget did not bound the corrupt-push loop"
+            )
+        with pytest.raises(ShardError, match="rejected"):
+            coord.results(sid)
+        assert coord.stats.rejected_pushes == rejections
+        assert coord.stats.requeues == rejections
+
+    def test_corrupt_push_without_lease_id_consumes_budget(self):
+        # A push that presents no lease id still resolves the shard's held
+        # lease and routes through the same attempt accounting.
+        coord = make(max_requeues=2)
+        sid = coord.register_study(SPEC, shard_size=SHARD_SIZE)
+        study = coord._study(sid)
+        lease = coord.lease("w0")
+        k = lease["shard_index"]
+        data, digest = shard_bytes(SPEC, k, study.ranges, SHARD_SIZE)
+        corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
+        with pytest.raises(PushRejected):
+            coord.push(sid, k, corrupted, digest, worker_id="w1")
+        assert coord.stats.requeues == 1
+        assert study.attempts[k] == 1
+        # The shard is back in the queue with its attempt bumped.
+        again = coord.lease("w0")
+        assert again["shard_index"] == k
+        assert again["attempt"] == 1
+
+
 class TestPushVerification:
     def setup_method(self):
         self.coord = make()

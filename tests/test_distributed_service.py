@@ -275,6 +275,12 @@ def test_cooperative_fail_requeues_over_http(server):
     assert status == 200
     assert json.loads(body)["ok"] is True
     assert server.coordinator.stats.worker_failures == 1
+    # Cooperative failure is a requeue like any other: the /healthz gauge
+    # must count it, not just lease-expiry requeues.
+    _, _, body = request(server, "GET", "/healthz")
+    dist = json.loads(body)["distributed"]
+    assert dist["worker_failures"] == 1
+    assert dist["requeues"] == 1
 
 
 def test_plain_server_answers_distributed_routes_with_409(plain_server):
