@@ -66,6 +66,14 @@ SEED_BASELINE_SECONDS: dict[str, float | None] = {
     # load_paper_models() was memoized — every construction re-lexed and
     # re-parsed the five bundled listing files.
     "aspen_models": 0.11626,
+    # The study_contended baseline is this exact workload measured best-of-5
+    # when the contention subsystem landed: 75 contended rows, each running
+    # a 256-request DES simulation (4 closed sessions + 128 open arrivals)
+    # through the queue-discipline Resource.  speedup_vs_seed therefore
+    # tracks future optimizations of the DES engine and the contention path
+    # directly; it starts at ~1.0 and must stay >= 0.7 (the perf-marked
+    # floor in tests/test_perf_harness.py).
+    "study_contended": 0.52890,
     # The study_faulted baseline is the *fault-free* run of the identical
     # workload (same grid, same shard_size=250), measured best-of-5 when the
     # fault-injection layer landed.  speedup_vs_seed therefore reads as the
@@ -215,6 +223,46 @@ def _study(check: bool):
     return op, "study grid, 10000 points (2500 LPS x 2 pa x 2 modes), workers=1"
 
 
+def _study_contended(check: bool):
+    from repro.studies import ScenarioSpec, run_study
+
+    if check:
+        spec = ScenarioSpec(
+            axes={
+                "backend": ["des"],
+                "queue_policy": ["fifo"],
+                "sessions": [2],
+                "arrival_rate": [2.0],
+                "lps": list(range(1, 7)),
+            },
+            name="perf-contended-check",
+        )
+
+        def op():
+            run_study(spec, shard_size=3)
+
+        return op, "contended study, 6 points, 2 sessions + open traffic (check)"
+
+    spec = ScenarioSpec(
+        axes={
+            "backend": ["des"],
+            "queue_policy": ["fifo", "priority", "round-robin"],
+            "sessions": [4],
+            "arrival_rate": [2.0],
+            "lps": list(range(1, 26)),
+        },
+        name="perf-contended",
+    )
+
+    def op():
+        run_study(spec, shard_size=25)
+
+    return op, (
+        "contended study, 75 points (3 policies x 25 LPS), 4 sessions + "
+        "open arrivals, 256 simulated requests per row"
+    )
+
+
 def _study_faulted(check: bool):
     from repro.faults import SITE_SHARD_EVAL, FaultPlan, FaultRule
     from repro.studies import RetryPolicy, ScenarioSpec, run_study
@@ -335,6 +383,7 @@ KERNELS = {
     "aspen_models": _aspen_models,
     "aspen_sweep": _aspen_sweep,
     "study": _study,
+    "study_contended": _study_contended,
     "study_faulted": _study_faulted,
     "study_distributed": _study_distributed,
 }

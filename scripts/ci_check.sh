@@ -236,6 +236,41 @@ cmp "$CACHE_SCRATCH/dist-served.json" "$CACHE_SCRATCH/dist-direct.json" || {
     exit 1; }
 echo "distributed smoke: artifact byte-identical after kill -9 of one worker"
 
+echo
+echo "== contention analytic smoke (simulated vs M/M/1) =="
+# Queueing-theory gate: an open-arrival exponential-service workload
+# through the contention simulator must land inside the M/M/1 envelope the
+# analytic module declares (WAIT_RTOL / UTILIZATION_RTOL), at a moderate
+# load the differential suite also pins.
+python - <<'PYEOF'
+from repro._rng import spawn_stream
+from repro.contention import ContentionWorkload, get_analytic_model, simulate_contention
+from repro.contention.simulate import CONTENTION_DOMAIN
+from repro.runtime import RequestProfile
+
+service_s, rho = 0.02, 0.6
+model = get_analytic_model("mm1")
+workload = ContentionWorkload(
+    sessions=0, arrival_rate=rho / service_s,
+    open_requests=4000, service="exponential",
+)
+metrics = simulate_contention(
+    (RequestProfile(0.0, 0.0, 0.0, service_s, 0.0),),
+    workload, spawn_stream(7, CONTENTION_DOMAIN, 0),
+)
+prediction = model.predict(workload.arrival_rate, service_s)
+assert model.utilization_within_envelope(metrics.utilization, prediction), (
+    f"simulated utilization {metrics.utilization:.4f} outside the declared "
+    f"envelope of analytic {prediction.utilization:.4f}")
+assert model.wait_within_envelope(metrics.mean_queue_wait_s, prediction), (
+    f"simulated mean wait {metrics.mean_queue_wait_s:.5f}s outside the "
+    f"declared envelope of analytic {prediction.mean_wait_s:.5f}s")
+print(f"contention smoke: rho={rho} utilization "
+      f"{metrics.utilization:.4f} vs M/M/1 {prediction.utilization:.4f}, "
+      f"wait {metrics.mean_queue_wait_s*1e3:.2f}ms vs "
+      f"{prediction.mean_wait_s*1e3:.2f}ms — inside the declared envelope")
+PYEOF
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo
     echo "ci_check: fast mode — coverage gate skipped by request"

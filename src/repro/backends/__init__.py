@@ -22,6 +22,7 @@ registry so each backend is held to its declared tolerance against the
 
 from .aspen import AspenBackend
 from .base import (
+    CONTENTION_AXES,
     DEFAULT_BACKEND,
     DEFAULT_OPERATING_POINT,
     BackendCapabilities,
@@ -39,6 +40,7 @@ from .closed_form import ClosedFormBackend, model_for_config
 from .des import DesBackend
 
 __all__ = [
+    "CONTENTION_AXES",
     "DEFAULT_BACKEND",
     "DEFAULT_OPERATING_POINT",
     "BackendCapabilities",

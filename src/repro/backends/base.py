@@ -43,6 +43,7 @@ from ..exceptions import ValidationError
 from ..hardware.timing import DW2_TIMING
 
 __all__ = [
+    "CONTENTION_AXES",
     "DEFAULT_BACKEND",
     "DEFAULT_OPERATING_POINT",
     "BackendCapabilities",
@@ -64,6 +65,9 @@ DEFAULT_BACKEND = "closed_form"
 #: study axis.  ``repro.studies.spec`` derives its axis defaults from this
 #: mapping, and capability checks compare unsupported axes against it.
 DEFAULT_OPERATING_POINT: dict[str, object] = {
+    "queue_policy": "fifo",
+    "sessions": 1,
+    "arrival_rate": 0.0,
     "embedding_mode": "online",
     "clock_hz": XEON_E5_2680.clock_hz,
     "memory_bandwidth_bytes_per_s": XEON_E5_2680.memory_bandwidth_bytes_per_s,
@@ -73,6 +77,15 @@ DEFAULT_OPERATING_POINT: dict[str, object] = {
     "accuracy": 0.99,
     "lps": 50,
 }
+
+#: The contended-workload axes: the traffic pattern and queue discipline a
+#: row's contention columns are simulated under (:mod:`repro.contention`).
+#: Only backends whose model realizes contention — the DES runtime —
+#: declare them in ``supported_axes``; analytic backends subtract this set
+#: so the spec layer pins the axes at the defaults above (the defaults
+#: must mirror ``repro.contention``'s ``DEFAULT_QUEUE_POLICY``; literals
+#: here to keep this module import-cycle free).
+CONTENTION_AXES = frozenset({"queue_policy", "sessions", "arrival_rate"})
 
 #: Backend names are slugs: they live in spec JSON, artifact columns (a
 #: fixed-width ``U24`` field), and CLI flags.

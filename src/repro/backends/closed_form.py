@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.pipeline import SplitExecutionModel, StageTimings
 from .base import (
+    CONTENTION_AXES,
     DEFAULT_OPERATING_POINT,
     BackendCapabilities,
     BackendTimings,
@@ -27,8 +28,10 @@ from .base import (
 
 __all__ = ["ClosedFormBackend", "model_for_config"]
 
-#: Every study axis routes through ``SplitExecutionModel.with_overrides``.
-_ALL_AXES = frozenset(DEFAULT_OPERATING_POINT)
+#: Every *model* axis routes through ``SplitExecutionModel.with_overrides``;
+#: the contention axes describe simulated traffic the closed forms have no
+#: realization of, so they stay pinned at their defaults for this backend.
+_ALL_AXES = frozenset(DEFAULT_OPERATING_POINT) - CONTENTION_AXES
 
 
 def model_for_config(config: Mapping) -> SplitExecutionModel:

@@ -14,6 +14,15 @@ The DES engine itself is deterministic for a single session; stochastic
 runtime studies (arrival processes, contention) draw their randomness from
 the study executor's spawn-keyed shard streams (``repro._rng``), never
 from global state, which keeps sharded DES studies byte-reproducible.
+
+This backend is the one that declares the *contention* axes
+(``queue_policy`` / ``sessions`` / ``arrival_rate``): only the DES
+runtime realizes queueing traffic.  Sweeping them does not change the
+stage-total columns below — :meth:`evaluate` stays the uncontended
+single-request profile — it switches on the executor's per-row
+contention simulation (:mod:`repro.contention`), which fills the
+``latency_p50_s`` / ``latency_p95_s`` / ``latency_p99_s`` /
+``queue_wait_s`` / ``utilization`` columns for every DES row.
 """
 
 from __future__ import annotations
@@ -43,7 +52,8 @@ class DesBackend(PerformanceBackend):
         rtol=1e-9,
         atol=1e-10,
         description=(
-            "discrete-event Fig.-2 runtime; spans read from event timestamps"
+            "discrete-event Fig.-2 runtime; spans read from event timestamps; "
+            "realizes the contended-traffic axes"
         ),
     )
 

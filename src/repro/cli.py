@@ -220,6 +220,16 @@ def _add_spec_flags(p: argparse.ArgumentParser) -> None:
                    help="scheduler axis: comma list of dispatch strategies "
                    "(static, work-stealing, size-aware); adds the simulated "
                    "per-shard latency/steal columns for each strategy")
+    p.add_argument("--queue-policy", type=str, default=None,
+                   help="queue-policy axis: comma list of annealer queue "
+                   "disciplines (fifo, priority, round-robin); contended-"
+                   "traffic axes need the des backend")
+    p.add_argument("--sessions", type=str, default=None,
+                   help="sessions axis: comma list of concurrent closed-"
+                   "population session counts (des backend)")
+    p.add_argument("--arrival-rate", type=str, default=None,
+                   help="arrival-rate axis: comma list of open Poisson "
+                   "arrival rates in requests/s (des backend)")
     p.add_argument("--anneal-us", type=str, default=None,
                    help="QPU anneal-duration axis in us (comma list)")
     p.add_argument("--clock-hz", type=str, default=None, help="host clock axis (comma list)")
@@ -447,6 +457,15 @@ def _build_study_spec(args: argparse.Namespace):
         axes["backend"] = [v for v in args.backend.split(",") if v]
     if args.scheduler is not None:
         axes["scheduler"] = [v for v in args.scheduler.split(",") if v]
+    if args.queue_policy is not None:
+        axes["queue_policy"] = [v for v in args.queue_policy.split(",") if v]
+    if args.sessions is not None:
+        try:
+            axes["sessions"] = [int(v) for v in args.sessions.split(",") if v]
+        except ValueError as exc:
+            raise _StudyArgError(f"bad --sessions value {args.sessions!r}: {exc}") from exc
+    if args.arrival_rate is not None:
+        axes["arrival_rate"] = _parse_float_axis("--arrival-rate", args.arrival_rate)
     if args.anneal_us is not None:
         axes["anneal_us"] = _parse_float_axis("--anneal-us", args.anneal_us)
     if args.clock_hz is not None:

@@ -7,7 +7,7 @@ sequence of Fig. 2 (:mod:`repro.runtime.layers`), span traces
 """
 
 from .architectures import Architecture, ArchitectureResult, simulate_architecture
-from .des import Event, Process, Resource, Simulator, Timeout
+from .des import Event, Process, Resource, Simulator, Timeout, Waiter
 from .layers import RequestProfile, run_single_session, split_execution_session
 from .trace import Span, Trace
 
@@ -17,6 +17,7 @@ __all__ = [
     "Timeout",
     "Process",
     "Resource",
+    "Waiter",
     "Trace",
     "Span",
     "RequestProfile",

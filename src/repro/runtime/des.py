@@ -14,11 +14,28 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Generator
-from typing import Any
+from typing import Any, NamedTuple
 
 from ..exceptions import SimulationError
 
-__all__ = ["Event", "Timeout", "Process", "Resource", "Simulator"]
+__all__ = ["Event", "Timeout", "Process", "Resource", "Simulator", "Waiter"]
+
+
+class Waiter(NamedTuple):
+    """One queued :meth:`Resource.request`, in deterministic arrival order.
+
+    ``seq`` is the resource's strictly increasing arrival stamp: two
+    requests at the same simulation timestamp are ordered by who requested
+    first in the event loop's deterministic delivery order — the same
+    tiebreak the simulator's heap applies to same-time events.  ``tag`` is
+    opaque request metadata (e.g. a problem-size key) that queue
+    disciplines may use to pick the next grant.
+    """
+
+    seq: int
+    requested_at: float
+    tag: Any
+    event: Event
 
 
 class Event:
@@ -109,34 +126,59 @@ class Process(Event):
 
 
 class Resource:
-    """A capacity-limited resource with FIFO queueing.
+    """A capacity-limited resource with deterministic FIFO queueing.
 
     ``request()`` returns an event that fires when a slot is granted;
     ``release()`` frees a slot.  Wait times can be measured by comparing
     simulation time before the request and after the grant.
+
+    **FIFO guarantee.**  The waiting list holds :class:`Waiter` entries in
+    strict arrival order ``(requested_at, seq)``: simulation time never
+    decreases and ``seq`` is a per-resource stamp incremented on every
+    enqueued request, so *same-timestamp* waiters are ordered by the
+    deterministic heap tiebreak that delivered their requesting events —
+    never by hash order or any other run-to-run varying detail.  The
+    default release grants index 0, the earliest ``(requested_at, seq)``
+    entry, making grants strictly first-come-first-served and multi-session
+    runs reproducible by construction.
+
+    A queue *discipline* may override the pick: ``select``, when given, is
+    called on each release with the tuple of current :class:`Waiter`
+    entries (still in arrival order) and returns the index to grant next.
+    It must be a pure function of that tuple — the determinism guarantee
+    then extends to any discipline.
     """
 
-    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: int = 1,
+        name: str = "resource",
+        select=None,
+    ):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self.name = name
         self.in_use = 0
-        self._waiting: list[Event] = []
+        self._waiting: list[Waiter] = []
+        self._select = select
+        self._arrival_seq = 0
         # Aggregate statistics.
         self.total_grants = 0
         self.total_wait = 0.0
         self._request_times: dict[Event, float] = {}
 
-    def request(self) -> Event:
+    def request(self, tag: Any = None) -> Event:
         evt = Event(self.sim)
         self._request_times[evt] = self.sim.now
         if self.in_use < self.capacity:
             self.in_use += 1
             self._grant(evt)
         else:
-            self._waiting.append(evt)
+            self._arrival_seq += 1
+            self._waiting.append(Waiter(self._arrival_seq, self.sim.now, tag, evt))
         return evt
 
     def _grant(self, evt: Event) -> None:
@@ -148,8 +190,17 @@ class Resource:
         if self.in_use == 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._waiting:
-            evt = self._waiting.pop(0)
-            self._grant(evt)
+            if self._select is None:
+                index = 0
+            else:
+                index = self._select(tuple(self._waiting))
+                if not isinstance(index, int) or not 0 <= index < len(self._waiting):
+                    raise SimulationError(
+                        f"queue discipline for {self.name!r} selected invalid "
+                        f"index {index!r} from {len(self._waiting)} waiters"
+                    )
+            waiter = self._waiting.pop(index)
+            self._grant(waiter.event)
         else:
             self.in_use -= 1
 
@@ -184,8 +235,10 @@ class Simulator:
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
 
-    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
-        return Resource(self, capacity, name)
+    def resource(
+        self, capacity: int = 1, name: str = "resource", select=None
+    ) -> Resource:
+        return Resource(self, capacity, name, select)
 
     def event(self) -> Event:
         return Event(self)

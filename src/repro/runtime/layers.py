@@ -83,12 +83,15 @@ def split_execution_session(
 
     start = sim.now
     yield qpu.request()
-    if sim.now > start:
+    wait = sim.now - start
+    if wait > 0:
         trace.record("qhw", "queue_wait", start, sim.now, session)
     try:
         start = sim.now
         yield sim.timeout(profile.processor_init)
-        trace.record("qhw", "program_processor", start, sim.now, session)
+        # The grant's queue wait is attributed to the first operation the
+        # session runs on the QPU, so per-session waits audit from spans.
+        trace.record("qhw", "program_processor", start, sim.now, session, wait_s=wait)
 
         start = sim.now
         yield sim.timeout(profile.quantum_execution)

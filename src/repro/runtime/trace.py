@@ -20,18 +20,30 @@ LAYERS = ("client", "network", "sw", "mw", "qhw")
 
 @dataclass(frozen=True)
 class Span:
-    """One operation on one layer."""
+    """One operation on one layer.
+
+    ``wait_s`` attributes *queue wait* to the span: the time between the
+    session requesting the resource this operation ran on and the grant.
+    It is attribution metadata, not occupancy — ``duration`` stays the
+    busy time ``end - start`` — so contended runs can be audited per
+    session without double-counting resource busy time.
+    """
 
     layer: str
     operation: str
     start: float
     end: float
     session: int = 0
+    wait_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValidationError(
                 f"span {self.operation!r} ends before it starts ({self.end} < {self.start})"
+            )
+        if self.wait_s < 0:
+            raise ValidationError(
+                f"span {self.operation!r} has negative wait_s ({self.wait_s})"
             )
 
     @property
@@ -46,9 +58,15 @@ class Trace:
     spans: list[Span] = field(default_factory=list)
 
     def record(
-        self, layer: str, operation: str, start: float, end: float, session: int = 0
+        self,
+        layer: str,
+        operation: str,
+        start: float,
+        end: float,
+        session: int = 0,
+        wait_s: float = 0.0,
     ) -> Span:
-        span = Span(layer, operation, start, end, session)
+        span = Span(layer, operation, start, end, session, wait_s)
         self.spans.append(span)
         return span
 
@@ -85,6 +103,17 @@ class Trace:
 
     def sessions(self) -> list[int]:
         return sorted({s.session for s in self.spans})
+
+    def session_wait(self, session: int) -> float:
+        """Total queue wait attributed to one session's spans."""
+        return sum(s.wait_s for s in self.spans if s.session == session)
+
+    def total_wait_by_session(self) -> dict[int, float]:
+        """Queue wait accumulated per session (sum of span ``wait_s``)."""
+        out: dict[int, float] = {}
+        for s in self.spans:
+            out[s.session] = out.get(s.session, 0.0) + s.wait_s
+        return out
 
     # ------------------------------------------------------------------ #
     # Rendering

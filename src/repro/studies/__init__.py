@@ -25,6 +25,7 @@ from .cache import StudyCache, study_key
 from .executor import DEFAULT_SHARD_SIZE, RetryPolicy, run_study, shard_ranges
 from .reportgen import (
     backend_summary,
+    contention_summary,
     dominance_summary,
     scaling_summary,
     study_summary,
@@ -47,6 +48,7 @@ __all__ = [
     "RESULT_COLUMNS",
     "ARTIFACT_SCHEMA_VERSION",
     "backend_summary",
+    "contention_summary",
     "dominance_summary",
     "scaling_summary",
     "study_summary",

@@ -17,7 +17,10 @@ bytes:
 * **Spawn-derived RNG streams.**  The Monte-Carlo column draws from
   ``spawn_stream(spec.seed, shard_index)`` (see ``repro._rng``), keyed on
   the shard's logical index, so any worker count and any shard execution
-  order consume identical streams.
+  order consume identical streams.  The contended-workload columns use
+  their own namespace — ``spawn_stream(seed, CONTENTION_DOMAIN, row)``,
+  keyed per *row* — so contention simulations are identical across any
+  shard slicing as well.
 * **Batched == scalar, bit for bit.**  Each shard routes its contiguous
   LPS runs through the config's backend ``sweep``, which every backend
   documents (and the differential suite tests) to match its per-point
@@ -71,7 +74,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .._rng import spawn_stream
-from ..backends import SweepColumns, get as get_backend
+from ..backends import CONTENTION_AXES, SweepColumns, get as get_backend
+from ..contention.simulate import CONTENTION_COLUMNS, contention_columns
 from ..core.repetition import achieved_accuracy
 from ..exceptions import ShardError, ValidationError
 from ..faults import (
@@ -258,6 +262,19 @@ def _run_shard(
         row_shards = np.arange(lo, hi) // shard_size
         run["sched_latency_s"] = np.asarray(trace.finish_s)[row_shards]
         run["sched_steals"] = np.asarray(trace.stolen, dtype=np.int64)[row_shards]
+
+        # Contended-workload columns: simulated only for backends that
+        # declare the contention axes (the DES runtime).  Each row draws
+        # from spawn_stream(seed, CONTENTION_DOMAIN, global_row_index) —
+        # keyed per row, not per shard, so any slice of the grid writes
+        # the same bytes as the corresponding full-run rows.  Other
+        # backends keep the NaN fill from empty_table.
+        if CONTENTION_AXES <= backend.capabilities.supported_axes:
+            contended = contention_columns(
+                model_config, lps_run, range(lo, hi), spec.seed
+            )
+            for column in CONTENTION_COLUMNS:
+                run[column] = contended[column]
 
         if mc_rng is not None:
             # One simulated batch of mc_trials Eq.-6 ensembles per point:

@@ -22,10 +22,14 @@ from .results import StudyResults
 __all__ = [
     "backend_summary",
     "config_labels",
+    "contention_summary",
     "dominance_summary",
     "scaling_summary",
     "study_summary",
 ]
+
+#: Scanned axes that switch the contended-workload table into the report.
+_CONTENTION_AXES = ("queue_policy", "sessions", "arrival_rate")
 
 #: Scanned axes that label report rows (everything but the LPS scan itself).
 _MAX_REPORT_CONFIGS = 64
@@ -156,6 +160,38 @@ def backend_summary(results: StudyResults) -> str:
     )
 
 
+def contention_summary(results: StudyResults) -> str:
+    """Per-queue-policy latency/wait/utilization under contended traffic.
+
+    One row per ``queue_policy`` value with simulated contention metrics
+    (DES rows): mean p50 latency, worst p99 latency, mean queue wait, and
+    mean annealer utilization — the table a contended
+    ``arrival_rate x sessions x queue_policy`` study exists to produce.
+    """
+    summary = results.contention_summary()
+    if not summary:
+        raise ValidationError(
+            "contention summary needs rows simulated under contention "
+            "(a DES-backend study)"
+        )
+    rows = [
+        [
+            name,
+            int(stats["rows"]),
+            format_seconds(stats["latency_p50_s"]),
+            format_seconds(stats["latency_p99_s"]),
+            format_seconds(stats["queue_wait_s"]),
+            f"{stats['utilization']:.1%}",
+        ]
+        for name, stats in summary.items()
+    ]
+    return format_table(
+        ["queue policy", "rows", "mean p50", "worst p99", "mean wait", "utilization"],
+        rows,
+        title="contended workload by queue policy",
+    )
+
+
 def study_summary(results: StudyResults) -> str:
     """The full study report: header, dominance table, scaling table."""
     spec = results.spec
@@ -177,4 +213,7 @@ def study_summary(results: StudyResults) -> str:
     if len(spec.backend_values) > 1:
         lines.append("")
         lines.append(backend_summary(results))
+    if any(n in _CONTENTION_AXES for n in spec.scanned_axes) and results.contention_summary():
+        lines.append("")
+        lines.append(contention_summary(results))
     return "\n".join(lines)

@@ -26,6 +26,7 @@ import numpy as np
 
 from .._json import canonical_line
 from ..backends.base import MAX_BACKEND_NAME_LENGTH
+from ..contention.disciplines import MAX_QUEUE_POLICY_NAME_LENGTH
 from ..distributed.scheduler import MAX_SCHEDULER_NAME_LENGTH
 from ..core.scaling import crossover_index, loglog_slope
 from ..core.sensitivity import elasticity_series
@@ -41,21 +42,32 @@ __all__ = ["StudyResults", "RESULT_COLUMNS", "ARTIFACT_SCHEMA_VERSION"]
 #: performance-backend axis of the spec grid).  Version 3 added the
 #: ``scheduler`` axis column plus the modeled shard-dispatch columns
 #: ``sched_latency_s`` / ``sched_steals`` (see
-#: :mod:`repro.distributed.scheduler`).
-ARTIFACT_SCHEMA_VERSION = 3
+#: :mod:`repro.distributed.scheduler`).  Version 4 added the contention
+#: axes (``queue_policy`` / ``sessions`` / ``arrival_rate``) and the
+#: simulated contended-workload columns ``latency_p50_s`` /
+#: ``latency_p95_s`` / ``latency_p99_s`` / ``queue_wait_s`` /
+#: ``utilization`` (see :mod:`repro.contention`), NaN for rows whose
+#: backend has no contention realization.
+ARTIFACT_SCHEMA_VERSION = 4
 
 #: Column name -> structured dtype.  Axis columns first (canonical order),
 #: then the model outputs.  ``mc_accuracy`` is NaN when the spec disabled
 #: Monte-Carlo sampling.  The ``backend`` width is the registry's name
 #: ceiling, so no registrable name can be truncated on table assignment;
-#: likewise ``scheduler`` (MAX_SCHEDULER_NAME_LENGTH).  The ``sched_*``
-#: columns are the deterministic schedule simulation of the row's
-#: strategy over the study's shard grid: every row of shard ``k`` gets
-#: that shard's modeled completion time and whether dispatching it
-#: crossed the static ownership partition.
+#: likewise ``scheduler`` (MAX_SCHEDULER_NAME_LENGTH) and ``queue_policy``
+#: (MAX_QUEUE_POLICY_NAME_LENGTH).  The ``sched_*`` columns are the
+#: deterministic schedule simulation of the row's strategy over the
+#: study's shard grid: every row of shard ``k`` gets that shard's modeled
+#: completion time and whether dispatching it crossed the static
+#: ownership partition.  The contention columns are the per-row contended
+#: workload simulation (keyed on the row's global grid index), NaN for
+#: backends without the contention axes.
 RESULT_COLUMNS: tuple[tuple[str, str], ...] = (
     ("backend", f"U{MAX_BACKEND_NAME_LENGTH}"),
     ("scheduler", f"U{MAX_SCHEDULER_NAME_LENGTH}"),
+    ("queue_policy", f"U{MAX_QUEUE_POLICY_NAME_LENGTH}"),
+    ("sessions", "i8"),
+    ("arrival_rate", "f8"),
     ("embedding_mode", "U7"),
     ("clock_hz", "f8"),
     ("memory_bandwidth_bytes_per_s", "f8"),
@@ -74,9 +86,23 @@ RESULT_COLUMNS: tuple[tuple[str, str], ...] = (
     ("mc_accuracy", "f8"),
     ("sched_latency_s", "f8"),
     ("sched_steals", "i8"),
+    ("latency_p50_s", "f8"),
+    ("latency_p95_s", "f8"),
+    ("latency_p99_s", "f8"),
+    ("queue_wait_s", "f8"),
+    ("utilization", "f8"),
 )
 
 _STAGE_COLUMNS = ("stage1_s", "stage2_s", "stage3_s", "total_s")
+
+#: The simulated contended-workload metric columns (NaN when absent).
+_CONTENTION_METRIC_COLUMNS = (
+    "latency_p50_s",
+    "latency_p95_s",
+    "latency_p99_s",
+    "queue_wait_s",
+    "utilization",
+)
 
 
 def table_dtype() -> np.dtype:
@@ -88,6 +114,8 @@ def empty_table(num_points: int) -> np.ndarray:
     """A zero-filled results table for ``num_points`` rows."""
     table = np.zeros(num_points, dtype=table_dtype())
     table["mc_accuracy"] = np.nan
+    for name in _CONTENTION_METRIC_COLUMNS:
+        table[name] = np.nan
     return table
 
 
@@ -299,6 +327,38 @@ class StudyResults:
                 "makespan_s": float(np.max(latency)) if latency.size else 0.0,
                 "mean_latency_s": float(np.mean(latency)) if latency.size else 0.0,
                 "stolen_shards": float(steals),
+            }
+        return out
+
+    def contention_rows(self) -> np.ndarray:
+        """Boolean mask of rows carrying simulated contention metrics.
+
+        Rows evaluated by a backend without the contention axes hold NaN
+        in every contention column; this mask selects the rest.
+        """
+        return ~np.isnan(self.column("utilization"))
+
+    def contention_summary(self) -> dict[str, dict[str, float]]:
+        """Per-queue-policy aggregation of the contended-workload columns.
+
+        For every ``queue_policy`` value with contended rows: the row
+        count, mean p50 latency, *worst* p99 latency, mean queue wait,
+        and mean annealer utilization — what a ``queue_policy``-axis
+        study exists to compare.  Empty when no row was simulated under
+        contention.
+        """
+        contended = self.contention_rows()
+        out: dict[str, dict[str, float]] = {}
+        for name in self.spec.axis_values("queue_policy"):
+            mask = contended & (self.column("queue_policy") == name)
+            if not mask.any():
+                continue
+            out[name] = {
+                "rows": float(np.count_nonzero(mask)),
+                "latency_p50_s": float(np.mean(self.column("latency_p50_s")[mask])),
+                "latency_p99_s": float(np.max(self.column("latency_p99_s")[mask])),
+                "queue_wait_s": float(np.mean(self.column("queue_wait_s")[mask])),
+                "utilization": float(np.mean(self.column("utilization")[mask])),
             }
         return out
 

@@ -43,6 +43,7 @@ from ..backends import (
     available_backends,
     capabilities as backend_capabilities,
 )
+from ..contention.disciplines import QUEUE_POLICY_NAMES
 from ..distributed.scheduler import DEFAULT_SCHEDULER, SCHEDULER_NAMES
 from ..exceptions import ValidationError
 
@@ -53,10 +54,15 @@ __all__ = ["Axis", "ScenarioSpec", "AXIS_ORDER", "EXECUTOR_AXES", "axis_default"
 #: ``backend`` is outermost so each backend owns one contiguous sub-grid.
 #: ``scheduler`` sits right after it: the shard-dispatch strategy whose
 #: modeled latency/steal columns a study compares (see
-#: :mod:`repro.distributed.scheduler`).
+#: :mod:`repro.distributed.scheduler`), followed by the contended-traffic
+#: axes (``queue_policy`` / ``sessions`` / ``arrival_rate``, realized by
+#: the DES backend through :mod:`repro.contention`).
 AXIS_ORDER = (
     "backend",
     "scheduler",
+    "queue_policy",
+    "sessions",
+    "arrival_rate",
     "embedding_mode",
     "clock_hz",
     "memory_bandwidth_bytes_per_s",
@@ -120,6 +126,13 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
                     f"scheduler values must be one of {SCHEDULER_NAMES}, got {v!r}"
                 )
         return vals
+    if name == "queue_policy":
+        for v in vals:
+            if v not in QUEUE_POLICY_NAMES:
+                raise ValidationError(
+                    f"queue_policy values must be one of {QUEUE_POLICY_NAMES}, got {v!r}"
+                )
+        return vals
     if name == "embedding_mode":
         for v in vals:
             if v not in _EMBEDDING_MODES:
@@ -127,13 +140,13 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
                     f"embedding_mode values must be one of {_EMBEDDING_MODES}, got {v!r}"
                 )
         return vals
-    if name == "lps":
+    if name in ("lps", "sessions"):
         out = []
         for v in vals:
             if isinstance(v, bool) or v != int(v):
-                raise ValidationError(f"lps values must be integers, got {v!r}")
+                raise ValidationError(f"{name} values must be integers, got {v!r}")
             if int(v) < 0:
-                raise ValidationError(f"lps values must be non-negative, got {v}")
+                raise ValidationError(f"{name} values must be non-negative, got {v}")
             out.append(int(v))
         return tuple(out)
 
@@ -152,10 +165,10 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
         for v in vals:
             if not 0.0 < v <= 1.0:
                 raise ValidationError(f"success values must lie in (0, 1], got {v}")
-    elif name == "anneal_us":
+    elif name in ("anneal_us", "arrival_rate"):
         for v in vals:
             if v < 0:
-                raise ValidationError(f"anneal_us values must be non-negative, got {v}")
+                raise ValidationError(f"{name} values must be non-negative, got {v}")
     else:  # machine rates
         for v in vals:
             if v <= 0:
@@ -231,6 +244,15 @@ class ScenarioSpec:
         if self.num_points > MAX_POINTS:
             raise ValidationError(
                 f"grid has {self.num_points} points, exceeding MAX_POINTS={MAX_POINTS}"
+            )
+        # A grid point with no closed sessions *and* no open arrivals has
+        # no traffic to simulate; reject it at spec time rather than deep
+        # inside a worker's contention simulation.
+        if 0 in self.axis_values("sessions") and 0.0 in self.axis_values("arrival_rate"):
+            raise ValidationError(
+                "grid contains the empty workload point sessions=0, arrival_rate=0 "
+                "(no traffic: give the point at least one closed session or a "
+                "positive arrival rate)"
             )
         self._check_backend_capabilities()
 

@@ -234,7 +234,7 @@ class TestMultiBackendAcceptance:
 
     def test_per_backend_columns_in_artifact(self, spec, reference_json):
         payload = json.loads(reference_json)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         column = payload["columns"]["backend"]
         assert column == (
             ["closed_form"] * 6 + ["aspen"] * 6 + ["des"] * 6

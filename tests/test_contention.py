@@ -1,0 +1,404 @@
+"""Tests for the contended multi-tenant workload subsystem.
+
+Covers the queue disciplines, the workload/metrics dataclasses, the
+contention simulator's determinism and physics, the analytic M/M/1 and
+M/D/1 cross-check (registry-parametrized, like the backend differential
+suite), the Resource's deterministic release ordering, and the span
+``wait_s`` attribution satellite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import spawn_stream
+from repro.contention import (
+    ANALYTIC_MODELS,
+    QUEUE_POLICY_NAMES,
+    ContentionMetrics,
+    ContentionWorkload,
+    QueueDiscipline,
+    get_analytic_model,
+    get_queue_policy,
+    md1_prediction,
+    mm1_prediction,
+    simulate_contention,
+)
+from repro.contention.simulate import CONTENTION_DOMAIN
+from repro.exceptions import SimulationError, ValidationError
+from repro.runtime import RequestProfile, Simulator, Trace
+from repro.runtime.layers import run_single_session
+
+
+def _rng(key: int = 0, seed: int = 0) -> np.random.Generator:
+    return spawn_stream(seed, CONTENTION_DOMAIN, key)
+
+
+def _flat_profile(service_s: float = 0.02) -> RequestProfile:
+    """A pure single-server queue: all time is QPU occupancy."""
+    return RequestProfile(0.0, 0.0, 0.0, service_s, 0.0)
+
+
+def _mixed_profiles() -> tuple[RequestProfile, ...]:
+    return tuple(
+        RequestProfile(0.001, 0.002, 0.004, base, 0.003)
+        for base in (0.01, 0.02, 0.04)
+    )
+
+
+class TestDisciplines:
+    def test_registry_names(self):
+        assert QUEUE_POLICY_NAMES == ("fifo", "priority", "round-robin")
+
+    @pytest.mark.parametrize("name", QUEUE_POLICY_NAMES)
+    def test_protocol_conformance(self, name):
+        discipline = get_queue_policy(name)
+        assert isinstance(discipline, QueueDiscipline)
+        assert discipline.name == name
+        assert discipline.quanta >= 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="unknown queue policy"):
+            get_queue_policy("lifo")
+
+    def test_fifo_selects_earliest(self):
+        from repro.runtime import Waiter
+
+        waiting = (
+            Waiter(1, 0.0, 5.0, None),
+            Waiter(2, 0.0, 1.0, None),
+            Waiter(3, 1.0, 3.0, None),
+        )
+        assert get_queue_policy("fifo").select(waiting) == 0
+        assert get_queue_policy("round-robin").select(waiting) == 0
+
+    def test_priority_selects_smallest_tag_ties_fifo(self):
+        from repro.runtime import Waiter
+
+        waiting = (
+            Waiter(1, 0.0, 5.0, None),
+            Waiter(2, 0.0, 1.0, None),
+            Waiter(3, 1.0, 1.0, None),
+        )
+        assert get_queue_policy("priority").select(waiting) == 1
+
+
+class TestResourceOrdering:
+    def test_same_time_waiters_grant_in_arrival_order(self):
+        """Same-timestamp requests are granted by deterministic arrival seq."""
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        grants = []
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+
+        def claimant(label):
+            yield res.request()
+            grants.append((label, sim.now))
+            yield sim.timeout(0.5)
+            res.release()
+
+        sim.process(holder())
+        # All three request at t=0 while the resource is held.
+        for label in ("a", "b", "c"):
+            sim.process(claimant(label))
+        sim.run()
+        assert [g[0] for g in grants] == ["a", "b", "c"]
+
+    def test_discipline_reorders_grants(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1, select=get_queue_policy("priority").select)
+        grants = []
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+
+        def claimant(label, size):
+            yield res.request(tag=size)
+            grants.append(label)
+            yield sim.timeout(0.5)
+            res.release()
+
+        sim.process(holder())
+        sim.process(claimant("large", 9.0))
+        sim.process(claimant("small", 1.0))
+        sim.process(claimant("medium", 4.0))
+        sim.run()
+        assert grants == ["small", "medium", "large"]
+
+    def test_invalid_discipline_index_rejected(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1, select=lambda waiting: len(waiting))
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+
+        def claimant():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(claimant())
+        with pytest.raises(SimulationError, match="invalid"):
+            sim.run()
+
+
+class TestSpanWaitAttribution:
+    def test_wait_s_defaults_to_zero(self):
+        trace = Trace()
+        span = trace.record("qhw", "program_processor", 0.0, 1.0, session=2)
+        assert span.wait_s == 0.0
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValidationError, match="negative wait_s"):
+            Trace().record("qhw", "op", 0.0, 1.0, wait_s=-0.5)
+
+    def test_wait_does_not_change_duration(self):
+        span = Trace().record("qhw", "op", 1.0, 3.0, wait_s=7.0)
+        assert span.duration == 2.0
+        assert span.wait_s == 7.0
+
+    def test_per_session_wait_aggregation(self):
+        trace = Trace()
+        trace.record("qhw", "op", 0.0, 1.0, session=0, wait_s=0.25)
+        trace.record("qhw", "op", 1.0, 2.0, session=1, wait_s=1.5)
+        trace.record("qhw", "op", 2.0, 3.0, session=1, wait_s=0.5)
+        assert trace.total_wait_by_session() == {0: 0.25, 1: 2.0}
+        assert trace.session_wait(1) == 2.0
+
+    def test_contended_sessions_record_wait_on_spans(self):
+        """Two simultaneous sessions: the queued one carries the wait."""
+        from repro.runtime import split_execution_session
+
+        sim = Simulator()
+        trace = Trace()
+        qpu = sim.resource(capacity=1, name="qpu")
+        profile = RequestProfile(0.0, 0.0, 0.5, 1.0, 0.0)
+        for session in (0, 1):
+            sim.process(split_execution_session(sim, qpu, profile, trace, session))
+        sim.run()
+        waits = trace.total_wait_by_session()
+        assert waits[0] == 0.0
+        assert waits[1] == pytest.approx(1.5)  # init + anneal of session 0
+
+    def test_uncontended_session_has_zero_wait(self):
+        _, trace = run_single_session(RequestProfile(0.1, 0.1, 0.1, 0.1, 0.1))
+        assert all(s.wait_s == 0.0 for s in trace.spans)
+
+
+class TestContentionWorkload:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValidationError, match="empty workload"):
+            ContentionWorkload(sessions=0, arrival_rate=0.0)
+
+    def test_negative_sessions_rejected(self):
+        with pytest.raises(ValidationError, match="sessions"):
+            ContentionWorkload(sessions=-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValidationError, match="arrival_rate"):
+            ContentionWorkload(arrival_rate=float("nan"))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="queue policy"):
+            ContentionWorkload(queue_policy="random")
+
+    def test_bad_service_law_rejected(self):
+        with pytest.raises(ValidationError, match="service"):
+            ContentionWorkload(service="uniform")
+
+    def test_num_requests(self):
+        assert ContentionWorkload(sessions=3, session_requests=8).num_requests == 24
+        w = ContentionWorkload(sessions=2, arrival_rate=1.0,
+                               session_requests=8, open_requests=16)
+        assert w.num_requests == 32
+
+
+class TestSimulateContention:
+    def test_deterministic_given_stream(self):
+        workload = ContentionWorkload(sessions=3, arrival_rate=5.0,
+                                      open_requests=32, session_requests=8)
+        a = simulate_contention(_mixed_profiles(), workload, _rng(11))
+        b = simulate_contention(_mixed_profiles(), workload, _rng(11))
+        assert a == b
+
+    def test_different_streams_differ(self):
+        workload = ContentionWorkload(sessions=3, session_requests=8)
+        a = simulate_contention(_mixed_profiles(), workload, _rng(1))
+        b = simulate_contention(_mixed_profiles(), workload, _rng(2))
+        assert a != b
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValidationError, match="at least one profile"):
+            simulate_contention([], ContentionWorkload(), _rng())
+
+    def test_metrics_shape(self):
+        workload = ContentionWorkload(sessions=2, session_requests=8)
+        m = simulate_contention(_mixed_profiles(), workload, _rng())
+        assert isinstance(m, ContentionMetrics)
+        assert m.requests == 16
+        assert 0.0 < m.latency_p50_s <= m.latency_p95_s <= m.latency_p99_s
+        assert 0.0 <= m.utilization <= 1.0
+        assert m.busy_s <= m.makespan_s
+
+    def test_single_session_never_queues(self):
+        """One closed session with think time: the annealer never contends."""
+        workload = ContentionWorkload(sessions=1, session_requests=16)
+        m = simulate_contention(_mixed_profiles(), workload, _rng())
+        assert m.mean_queue_wait_s == 0.0
+
+    def test_contention_produces_queueing(self):
+        workload = ContentionWorkload(sessions=8, session_requests=8,
+                                      think_factor=0.0)
+        m = simulate_contention(_mixed_profiles(), workload, _rng())
+        assert m.mean_queue_wait_s > 0.0
+        assert m.utilization > 0.5
+
+    def test_priority_beats_fifo_on_mean_latency(self):
+        """Shortest-job-first improves the mean under a heavy size mix."""
+        profiles = tuple(
+            RequestProfile(0.0, 0.0, 0.001, base, 0.0) for base in (0.01, 0.1, 1.0)
+        )
+        fifo = simulate_contention(
+            profiles,
+            ContentionWorkload(sessions=8, session_requests=8, think_factor=0.0,
+                               queue_policy="fifo"),
+            _rng(5),
+        )
+        prio = simulate_contention(
+            profiles,
+            ContentionWorkload(sessions=8, session_requests=8, think_factor=0.0,
+                               queue_policy="priority"),
+            _rng(5),
+        )
+        assert prio.mean_latency_s < fifo.mean_latency_s
+
+    def test_round_robin_pays_reprogramming(self):
+        """Time slicing re-programs the processor per quantum: more busy time."""
+        profiles = (_flat_profile(0.05),)
+        heavy_init = (RequestProfile(0.0, 0.0, 0.01, 0.05, 0.0),)
+        kw = dict(sessions=6, session_requests=8, think_factor=0.0)
+        fifo = simulate_contention(
+            heavy_init, ContentionWorkload(queue_policy="fifo", **kw), _rng(7))
+        rr = simulate_contention(
+            heavy_init, ContentionWorkload(queue_policy="round-robin", **kw), _rng(7))
+        assert rr.busy_s > fifo.busy_s
+        # With zero programming cost the busy time matches exactly.
+        fifo0 = simulate_contention(
+            profiles, ContentionWorkload(queue_policy="fifo", **kw), _rng(7))
+        rr0 = simulate_contention(
+            profiles, ContentionWorkload(queue_policy="round-robin", **kw), _rng(7))
+        assert rr0.busy_s == pytest.approx(fifo0.busy_s)
+
+    def test_trace_capture_with_wait_attribution(self):
+        workload = ContentionWorkload(sessions=4, session_requests=4,
+                                      think_factor=0.0)
+        trace = Trace()
+        m = simulate_contention(_mixed_profiles(), workload, _rng(3), trace=trace)
+        waits = trace.total_wait_by_session()
+        assert sum(waits.values()) == pytest.approx(
+            m.mean_queue_wait_s * m.requests)
+        # QPU busy time from spans matches the accumulated busy counter.
+        qhw = [s for s in trace.spans if s.layer == "qhw"]
+        assert sum(s.duration for s in qhw) == pytest.approx(m.busy_s)
+
+
+class TestAnalyticModule:
+    def test_mm1_formulas(self):
+        p = mm1_prediction(arrival_rate=5.0, mean_service_s=0.1)
+        assert p.utilization == pytest.approx(0.5)
+        assert p.mean_wait_s == pytest.approx(0.1)  # rho s / (1 - rho)
+        assert p.mean_latency_s == pytest.approx(0.2)
+
+    def test_md1_half_of_mm1(self):
+        mm1 = mm1_prediction(4.0, 0.125)
+        md1 = md1_prediction(4.0, 0.125)
+        assert md1.mean_wait_s == pytest.approx(mm1.mean_wait_s / 2.0)
+        assert md1.utilization == mm1.utilization
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ValidationError, match="unstable"):
+            mm1_prediction(arrival_rate=10.0, mean_service_s=0.2)
+        with pytest.raises(ValidationError, match="unstable"):
+            md1_prediction(arrival_rate=5.0, mean_service_s=0.2)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            mm1_prediction(0.0, 0.1)
+        with pytest.raises(ValidationError):
+            md1_prediction(1.0, 0.0)
+
+    def test_registry_lookup(self):
+        assert get_analytic_model("mm1").service == "exponential"
+        assert get_analytic_model("md1").service == "deterministic"
+        with pytest.raises(ValidationError, match="unknown analytic model"):
+            get_analytic_model("mg1")
+
+
+class TestAnalyticDifferential:
+    """Simulated open-arrival queues vs queueing theory, within the
+    declared envelopes — the contention analogue of the backend
+    differential suite, parametrized over the analytic registry."""
+
+    SERVICE_S = 0.02
+    RHOS = (0.3, 0.6, 0.8)
+
+    @pytest.mark.parametrize("model", ANALYTIC_MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_wait_and_utilization_within_envelope(self, model, rho):
+        arrival_rate = rho / self.SERVICE_S
+        workload = ContentionWorkload(
+            sessions=0,
+            arrival_rate=arrival_rate,
+            queue_policy="fifo",
+            open_requests=4000,
+            service=model.service,
+        )
+        metrics = simulate_contention(
+            (_flat_profile(self.SERVICE_S),), workload, _rng(0, seed=7)
+        )
+        prediction = model.predict(arrival_rate, self.SERVICE_S)
+        assert model.wait_within_envelope(metrics.mean_queue_wait_s, prediction), (
+            f"{model.name} rho={rho}: simulated wait {metrics.mean_queue_wait_s:.5f} "
+            f"outside envelope of predicted {prediction.mean_wait_s:.5f}"
+        )
+        assert model.utilization_within_envelope(metrics.utilization, prediction), (
+            f"{model.name} rho={rho}: simulated utilization {metrics.utilization:.4f} "
+            f"outside envelope of predicted {prediction.utilization:.4f}"
+        )
+
+    def test_declared_envelopes_are_finite_and_positive(self):
+        for model in ANALYTIC_MODELS:
+            assert 0.0 < model.wait_rtol < 1.0
+            assert 0.0 < model.utilization_rtol < 1.0
+
+
+class TestDefaultsConsistency:
+    def test_base_defaults_mirror_contention_constants(self):
+        """backends.base keeps literal defaults to stay import-cycle free;
+        they must track the contention package's canonical values."""
+        from repro.backends.base import CONTENTION_AXES, DEFAULT_OPERATING_POINT
+        from repro.contention import DEFAULT_QUEUE_POLICY
+
+        assert DEFAULT_OPERATING_POINT["queue_policy"] == DEFAULT_QUEUE_POLICY
+        assert DEFAULT_OPERATING_POINT["sessions"] == 1
+        assert DEFAULT_OPERATING_POINT["arrival_rate"] == 0.0
+        assert CONTENTION_AXES == {"queue_policy", "sessions", "arrival_rate"}
+
+    def test_only_des_declares_contention_axes(self):
+        from repro.backends import CONTENTION_AXES, available_backends, capabilities
+
+        for name in available_backends():
+            supported = capabilities(name).supported_axes
+            if name == "des":
+                assert CONTENTION_AXES <= supported
+            else:
+                assert not (CONTENTION_AXES & supported)

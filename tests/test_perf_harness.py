@@ -92,6 +92,20 @@ class TestCommittedArtifact:
         assert entry["seed_seconds"] is not None
         assert entry["speedup_vs_seed"] >= 3.0
 
+    @pytest.mark.perf
+    def test_committed_contended_study_meets_floor(self):
+        """The contended-study kernel against its landing-time baseline.
+
+        The baseline is this workload measured when the contention
+        subsystem landed, so the ratio starts at ~1.0; the floor catches a
+        DES-engine or contention-path regression while tolerating
+        machine-to-machine timing noise.
+        """
+        report = json.loads((REPO_ROOT / "BENCH_PERF.json").read_text())
+        entry = report["kernels"]["study_contended"]
+        assert entry["seed_seconds"] is not None
+        assert entry["speedup_vs_seed"] >= 0.7
+
 
 @pytest.mark.perf
 class TestFullRun:

@@ -99,7 +99,9 @@ class TestStoreAndLoad:
         results = run_study(spec, shard_size=4, cache=cache)
         # ...after which it serves correctly again.
         assert cache.load_shard(spec, 4, 0).tobytes() == shard.tobytes()
-        assert np.array_equal(results.table[0:4], shard)
+        # Bytewise: NaN-filled columns (contention metrics on non-DES rows)
+        # would defeat a value-level structured comparison.
+        assert results.table[0:4].tobytes() == shard.tobytes()
 
     def test_every_truncation_length_is_a_miss(self, spec, cache):
         # A partial write can tear at any byte; no prefix length may ever
