@@ -271,6 +271,34 @@ print(f"contention smoke: rho={rho} utilization "
       f"{prediction.mean_wait_s*1e3:.2f}ms — inside the declared envelope")
 PYEOF
 
+echo
+echo "== calibration smoke (measure -> calibrate -> finite fit) =="
+# Non-finite-hygiene gate: a live measure_cmr_timings run on tiny sizes,
+# replayed through calibrate_embed_rate, must produce a finite positive
+# embed_rate_scale and model/measured ratios inside a generous sanity
+# envelope — the NaN-poisoned-fit class of bug cannot regress silently.
+python - <<'PYEOF'
+import math
+from repro.core import Stage1Model, calibrate_embed_rate, measure_cmr_timings, model_measured_ratios
+from repro.embedding.cmr import CmrParams
+from repro.hardware import ChimeraTopology
+
+topo = ChimeraTopology(4, 4, 4)
+measured = measure_cmr_timings(
+    [4, 6, 8], topology=topo, params=CmrParams(max_tries=8), rng=0)
+model = Stage1Model(m=4, n=4, l=4)
+fitted = calibrate_embed_rate(measured, model, min_size=4)
+assert math.isfinite(fitted.embed_rate_scale) and fitted.embed_rate_scale > 0, (
+    f"calibration produced a bad embed_rate_scale: {fitted.embed_rate_scale!r}")
+ratios = model_measured_ratios(measured, fitted)
+assert ratios, "no model/measured ratios computed"
+for n, r in ratios.items():
+    assert math.isfinite(r) and 1 / 25 < r < 25, (
+        f"fitted model/measured ratio at n={n} outside sanity envelope: {r!r}")
+print(f"calibration smoke: embed_rate_scale={fitted.embed_rate_scale:.3g}, "
+      f"{len(ratios)} size ratios finite and inside the envelope")
+PYEOF
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo
     echo "ci_check: fast mode — coverage gate skipped by request"

@@ -8,6 +8,13 @@ plus an exact enumerator for ground truth) and the
 parameter programming, sampling, decoding, and DW2 timing into one call.
 """
 
+from .composites import (
+    ComposedSampler,
+    EmbeddingComposite,
+    FixedVariableComposite,
+    ParallelTemperingComposite,
+    TruncateComposite,
+)
 from .device import DeviceResult, DeviceTiming, DWaveDevice
 from .exact import ExactSolver
 from .postprocess import greedy_descent, refine_sampleset
@@ -19,6 +26,11 @@ from .schedule import AnnealSchedule, geometric_schedule, linear_schedule
 __all__ = [
     "Sampler",
     "SampleSet",
+    "ComposedSampler",
+    "EmbeddingComposite",
+    "FixedVariableComposite",
+    "TruncateComposite",
+    "ParallelTemperingComposite",
     "SimulatedAnnealingSampler",
     "color_classes",
     "ExactSolver",

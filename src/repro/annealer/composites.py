@@ -1,0 +1,348 @@
+"""Composable sampler layers (the dimod composite pattern).
+
+The paper's middleware stack (Fig. 2) wraps the QPU in layers — embedding,
+parameter setting, decoding, post-processing — each of which consumes a
+problem, delegates a transformed problem to the layer below, and maps the
+results back.  This module adopts dimod's *composed sampler* pattern for
+that stack: a :class:`ComposedSampler` wraps any :class:`Sampler` (bare or
+itself composed), preserving the full ``sample`` / :class:`SampleSet`
+contract, so layers stack freely::
+
+    sampler = TruncateComposite(
+        FixedVariableComposite(
+            EmbeddingComposite(SimulatedAnnealingSampler(), device=device),
+            fixed={0: +1},
+        ),
+        k=5,
+    )
+    result = sampler.sample(model, num_reads=50, rng=7)
+
+Every composite returns energies evaluated against the *original* logical
+model (re-sorted ascending), so differential tests against the bare child
+sampler compare like with like.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from .._rng import as_rng
+from ..embedding import Embedding, embed_ising, find_embedding_cmr
+from ..exceptions import SamplerError
+from ..qubo import IsingModel
+from .sampler import Sampler
+from .sampleset import SampleSet
+from .schedule import AnnealSchedule, linear_schedule
+
+__all__ = [
+    "ComposedSampler",
+    "EmbeddingComposite",
+    "FixedVariableComposite",
+    "TruncateComposite",
+    "ParallelTemperingComposite",
+]
+
+
+class ComposedSampler(Sampler):
+    """A sampler that delegates to a wrapped child sampler.
+
+    Subclasses transform the model on the way down and/or the sample set on
+    the way up; the child may itself be composed, so layers stack to any
+    depth.  ``unwrapped`` walks to the innermost bare sampler.
+    """
+
+    def __init__(self, child: Sampler) -> None:
+        if not isinstance(child, Sampler):
+            raise SamplerError(
+                f"child must be a Sampler, got {type(child).__name__}"
+            )
+        self.child = child
+
+    @property
+    def children(self) -> tuple[Sampler, ...]:
+        return (self.child,)
+
+    @property
+    def unwrapped(self) -> Sampler:
+        """The innermost non-composed sampler of the stack."""
+        s: Sampler = self.child
+        while isinstance(s, ComposedSampler):
+            s = s.child
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.child!r})"
+
+
+def _resorted(samples: np.ndarray, model: IsingModel, occurrences: np.ndarray) -> SampleSet:
+    """Build a SampleSet from decoded samples, re-evaluated on ``model``.
+
+    Heapsort mirrors the paper's Stage-3 sort; occurrences follow their rows.
+    """
+    e = model.energies(np.asarray(samples, dtype=np.int8))
+    order = np.argsort(e, kind="heapsort")
+    return SampleSet(
+        np.asarray(samples, dtype=np.int8)[order],
+        e[order],
+        np.asarray(occurrences, dtype=np.int64)[order],
+    )
+
+
+class TruncateComposite(ComposedSampler):
+    """Keep only the ``k`` lowest-energy rows of the child's sample set.
+
+    The composite form of ``SampleSet.truncated`` — the paper's "only the
+    lowest energy state is necessary" observation applied as a middleware
+    layer.
+    """
+
+    def __init__(self, child: Sampler, k: int) -> None:
+        super().__init__(child)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise SamplerError(f"k must be a positive integer, got {k!r}")
+        self.k = k
+
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        **kwargs,
+    ) -> SampleSet:
+        result = self.child.sample(model, num_reads=num_reads, rng=rng, **kwargs)
+        if result.num_rows <= self.k:
+            return result
+        return result.truncated(self.k)
+
+
+class FixedVariableComposite(ComposedSampler):
+    """Fix selected spins, sample the reduced model, reinsert the spins.
+
+    Fixing spin ``i`` to ``s_i`` folds its field into the offset
+    (``offset += h_i s_i``), its couplings to free neighbors into their
+    fields (``h_j += J_ij s_i``), and fixed-fixed couplings into the offset.
+    Returned energies are re-evaluated against the *original* model, so they
+    agree with the bare sampler's accounting.
+    """
+
+    def __init__(self, child: Sampler, fixed: Mapping[int, int]) -> None:
+        super().__init__(child)
+        clean: dict[int, int] = {}
+        for var, spin in dict(fixed).items():
+            if isinstance(var, bool) or not isinstance(var, (int, np.integer)):
+                raise SamplerError(f"fixed variable indices must be ints, got {var!r}")
+            if spin not in (-1, 1):
+                raise SamplerError(
+                    f"fixed values must be -1 or +1 spins, got {var}: {spin!r}"
+                )
+            clean[int(var)] = int(spin)
+        self.fixed = clean
+
+    def _reduced_model(self, model: IsingModel) -> tuple[IsingModel, list[int]]:
+        n = model.num_spins
+        for var in self.fixed:
+            if not 0 <= var < n:
+                raise SamplerError(
+                    f"fixed variable {var} out of range for a {n}-spin model"
+                )
+        free = [i for i in range(n) if i not in self.fixed]
+        pos = {orig: new for new, orig in enumerate(free)}
+        h = model.h
+        h_red = [float(h[i]) for i in free]
+        offset = float(model.offset)
+        for i, s in self.fixed.items():
+            offset += float(h[i]) * s
+        couplings: dict[tuple[int, int], float] = {}
+        for i, j, v in model.iter_couplings():
+            si = self.fixed.get(i)
+            sj = self.fixed.get(j)
+            if si is not None and sj is not None:
+                offset += v * si * sj
+            elif si is not None:
+                h_red[pos[j]] += v * si
+            elif sj is not None:
+                h_red[pos[i]] += v * sj
+            else:
+                a, b = pos[i], pos[j]
+                key = (min(a, b), max(a, b))
+                couplings[key] = couplings.get(key, 0.0) + v
+        return IsingModel(h_red, couplings, offset), free
+
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        **kwargs,
+    ) -> SampleSet:
+        self._check_num_reads(num_reads)
+        reduced, free = self._reduced_model(model)
+        n = model.num_spins
+        if not self.fixed:
+            return self.child.sample(model, num_reads=num_reads, rng=rng, **kwargs)
+        if not free:
+            # Fully determined: no sampling left to do.
+            state = np.array([self.fixed[i] for i in range(n)], dtype=np.int8)
+            S = np.repeat(state[None, :], num_reads, axis=0)
+            return _resorted(S, model, np.ones(num_reads, dtype=np.int64))
+        sub = self.child.sample(reduced, num_reads=num_reads, rng=rng, **kwargs)
+        full = np.empty((sub.num_rows, n), dtype=np.int8)
+        full[:, free] = sub.samples
+        for i, s in self.fixed.items():
+            full[:, i] = s
+        return _resorted(full, model, sub.num_occurrences)
+
+
+class EmbeddingComposite(ComposedSampler):
+    """Minor-embed the problem into a device's working graph, then sample.
+
+    The middleware embedding layer as a composite: the logical interaction
+    graph is CMR-embedded into ``device.working_graph``, parameters are set
+    (fields spread over chains, couplings over couplers, ferromagnetic chain
+    couplers added), the *physical* model is handed to the child sampler,
+    and readouts are decoded back through the chains (majority vote on
+    broken chains).  Energies are re-evaluated on the logical model.
+
+    The child — not the device's own sampler — does the sampling, so any
+    sampler or composite stack can sit under the embedding layer.
+    """
+
+    def __init__(
+        self,
+        child: Sampler,
+        device=None,
+        chain_strength: float | None = None,
+    ) -> None:
+        super().__init__(child)
+        if device is None:
+            from .device import DWaveDevice
+
+            device = DWaveDevice()
+        if chain_strength is not None and not (
+            math.isfinite(chain_strength) and chain_strength > 0
+        ):
+            raise SamplerError(
+                f"chain_strength must be positive and finite, got {chain_strength!r}"
+            )
+        self.device = device
+        self.chain_strength = chain_strength
+
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        embedding: Embedding | None = None,
+        **kwargs,
+    ) -> SampleSet:
+        self._check_num_reads(num_reads)
+        gen = as_rng(rng)
+        if embedding is None:
+            embedding = find_embedding_cmr(
+                model.graph(), self.device.working_graph, rng=gen
+            )
+        embedded = embed_ising(
+            model,
+            embedding,
+            self.device.working_graph,
+            chain_strength=self.chain_strength,
+        )
+        physical = self.child.sample(
+            embedded.physical, num_reads=num_reads, rng=gen, **kwargs
+        )
+        decoded = embedded.unembed(physical.samples)
+        return _resorted(decoded, model, physical.num_occurrences)
+
+
+class ParallelTemperingComposite(ComposedSampler):
+    """Replica-exchange wrapper over an annealing-style child sampler.
+
+    Maintains ``num_replicas`` temperature rungs, each a beta-scaled copy of
+    the base schedule (hot rungs explore, the coldest exploits).  Each round
+    re-anneals every rung from its current states via the child, then
+    proposes Metropolis swaps between adjacent rungs with the standard
+    acceptance ``min(1, exp((beta_a - beta_b) (E_a - E_b)))``.  The coldest
+    rung's final ensemble is returned, evaluated on the model.
+
+    The child must accept ``schedule`` and ``initial_states`` keyword
+    options (the :class:`SimulatedAnnealingSampler` contract); samplers that
+    reject them — e.g. ``ExactSolver`` — raise their own ``SamplerError``.
+    """
+
+    def __init__(
+        self,
+        child: Sampler,
+        num_replicas: int = 4,
+        rounds: int = 3,
+        hot_factor: float = 0.25,
+        schedule: AnnealSchedule | None = None,
+    ) -> None:
+        super().__init__(child)
+        if not isinstance(num_replicas, int) or num_replicas < 2:
+            raise SamplerError(f"num_replicas must be an int >= 2, got {num_replicas!r}")
+        if not isinstance(rounds, int) or rounds < 1:
+            raise SamplerError(f"rounds must be an int >= 1, got {rounds!r}")
+        if not (math.isfinite(hot_factor) and 0 < hot_factor <= 1):
+            raise SamplerError(
+                f"hot_factor must lie in (0, 1], got {hot_factor!r}"
+            )
+        self.num_replicas = num_replicas
+        self.rounds = rounds
+        self.hot_factor = hot_factor
+        self.schedule = schedule
+
+    def sample(
+        self,
+        model: IsingModel,
+        num_reads: int = 1,
+        rng: np.random.Generator | int | None = None,
+        schedule: AnnealSchedule | None = None,
+        **kwargs,
+    ) -> SampleSet:
+        self._check_num_reads(num_reads)
+        gen = as_rng(rng)
+        n = model.num_spins
+        if n == 0:
+            raise SamplerError("cannot sample a zero-spin model")
+        base = schedule or self.schedule or linear_schedule()
+        scales = np.geomspace(self.hot_factor, 1.0, self.num_replicas)
+        ladder = [AnnealSchedule(base.betas * s) for s in scales]
+        beta_top = np.array([rung.betas[-1] for rung in ladder])
+
+        states = [
+            (gen.integers(0, 2, size=(num_reads, n), dtype=np.int8) * 2 - 1).astype(
+                np.int8
+            )
+            for _ in range(self.num_replicas)
+        ]
+        energies = [model.energies(S) for S in states]
+
+        for _ in range(self.rounds):
+            for r in range(self.num_replicas):
+                result = self.child.sample(
+                    model,
+                    num_reads=num_reads,
+                    rng=gen,
+                    schedule=ladder[r],
+                    initial_states=states[r],
+                    **kwargs,
+                )
+                states[r] = np.array(result.samples, dtype=np.int8, copy=True)
+                energies[r] = np.array(result.energies, dtype=np.float64, copy=True)
+            # Replica exchange: hot rung r vs colder rung r + 1, per replica.
+            for r in range(self.num_replicas - 1):
+                delta = (beta_top[r] - beta_top[r + 1]) * (
+                    energies[r] - energies[r + 1]
+                )
+                accept = gen.random(num_reads) < np.exp(np.minimum(delta, 0.0))
+                if not np.any(accept):
+                    continue
+                for arrays in (states, energies):
+                    hot = arrays[r][accept].copy()
+                    arrays[r][accept] = arrays[r + 1][accept]
+                    arrays[r + 1][accept] = hot
+
+        return SampleSet.from_samples(model, states[-1])

@@ -20,9 +20,16 @@ __all__ = ["ExactSolver"]
 class ExactSolver(Sampler):
     """Enumerates the full state space (practical up to ~24 spins).
 
-    ``sample`` returns the ``num_reads`` lowest-energy states — it is a
-    deterministic "perfect annealer" whose single-run success probability is
-    exactly 1.
+    ``sample`` deterministically returns the ``num_reads`` *distinct*
+    lowest-energy states, each with multiplicity 1 (padding with the worst
+    returned state when the space holds fewer than ``num_reads`` states).
+    It is a "perfect annealer" in the sense that the true ground state is
+    always present in the ensemble — but NOT in the sense of repeated
+    ground-state draws: because the reads are distinct states,
+    ``SampleSet.ground_state_probability`` evaluates to ``g / num_reads``
+    (``g`` = ground-state degeneracy), e.g. ``1 / num_reads`` for a unique
+    ground state, not 1.  Use ``num_reads=1`` (the default) when the success
+    probability itself is the quantity of interest.
     """
 
     def __init__(self, max_spins: int = 24):

@@ -10,6 +10,7 @@ Metropolis sweeps; the same monotone-waveform restriction is enforced.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,11 @@ class AnnealSchedule:
         b = np.asarray(self.betas, dtype=np.float64)
         if b.ndim != 1 or b.size == 0:
             raise ValidationError("schedule must be a non-empty 1-D array of betas")
+        if not np.all(np.isfinite(b)):
+            raise ValidationError(
+                "betas must be finite (NaN/inf would pass the sign and "
+                "monotonicity checks unnoticed)"
+            )
         if np.any(b < 0):
             raise ValidationError("betas must be non-negative")
         if np.any(np.diff(b) < 0):
@@ -57,8 +63,8 @@ class AnnealSchedule:
         Models changing the annealing *duration* while keeping its shape —
         the user-settable option the paper notes for the D-Wave QPU.
         """
-        if factor <= 0:
-            raise ValidationError(f"factor must be positive, got {factor}")
+        if not (math.isfinite(factor) and factor > 0):
+            raise ValidationError(f"factor must be positive and finite, got {factor}")
         m = max(1, round(self.num_sweeps * factor))
         x_old = np.linspace(0.0, 1.0, self.num_sweeps)
         x_new = np.linspace(0.0, 1.0, m)
@@ -71,6 +77,8 @@ def linear_schedule(
     """Linearly interpolated betas from ``beta_min`` to ``beta_max``."""
     if num_sweeps < 1:
         raise ValidationError(f"num_sweeps must be >= 1, got {num_sweeps}")
+    if not (math.isfinite(beta_min) and math.isfinite(beta_max)):
+        raise ValidationError("beta_min and beta_max must be finite")
     if not 0 <= beta_min <= beta_max:
         raise ValidationError("need 0 <= beta_min <= beta_max")
     return AnnealSchedule(np.linspace(beta_min, beta_max, num_sweeps))
@@ -82,6 +90,8 @@ def geometric_schedule(
     """Geometrically interpolated betas (more sweeps at low temperature)."""
     if num_sweeps < 1:
         raise ValidationError(f"num_sweeps must be >= 1, got {num_sweeps}")
+    if not (math.isfinite(beta_min) and math.isfinite(beta_max)):
+        raise ValidationError("beta_min and beta_max must be finite")
     if not 0 < beta_min <= beta_max:
         raise ValidationError("need 0 < beta_min <= beta_max")
     return AnnealSchedule(np.geomspace(beta_min, beta_max, num_sweeps))

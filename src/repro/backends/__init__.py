@@ -1,14 +1,17 @@
 """Unified performance backends: one protocol over three model realizations.
 
-The repo carries three independent implementations of the paper's
+The repo carries multiple independent implementations of the paper's
 split-execution performance model — the closed forms, the ASPEN-evaluated
-listings, and the discrete-event runtime.  This package puts them behind
-one :class:`~repro.backends.base.PerformanceBackend` protocol and a
+listings, the discrete-event runtime, plus two measurement-informed
+variants (a calibration replay and a learning-augmented fit).  This
+package puts them behind one
+:class:`~repro.backends.base.PerformanceBackend` protocol and a
 string-keyed registry::
 
     from repro import backends
 
-    backends.available_backends()      # ('aspen', 'closed_form', 'des')
+    backends.available_backends()
+    # ('aspen', 'calibrated', 'closed_form', 'des', 'learned')
     t = backends.get("aspen").evaluate(backends.full_point(lps=30))
     cols = backends.get("des").sweep(backends.full_point(), [1, 10, 100])
 
@@ -36,8 +39,10 @@ from .base import (
     register,
     unregister,
 )
+from .calibrated import CalibratedBackend
 from .closed_form import ClosedFormBackend, model_for_config
 from .des import DesBackend
+from .learned import LearnedBackend
 
 __all__ = [
     "CONTENTION_AXES",
@@ -57,4 +62,6 @@ __all__ = [
     "ClosedFormBackend",
     "AspenBackend",
     "DesBackend",
+    "CalibratedBackend",
+    "LearnedBackend",
 ]

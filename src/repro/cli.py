@@ -62,7 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="closed_form",
-        help="performance backend (registry name: closed_form, aspen, des, ...)",
+        help="performance backend (registry name: closed_form, aspen, des, "
+        "calibrated, learned, ...)",
     )
 
     p = sub.add_parser("solve", help="solve an Ising problem on the simulated QPU")
@@ -215,7 +216,7 @@ def _add_spec_flags(p: argparse.ArgumentParser) -> None:
                    help="embedding-mode axis: online, offline, or online,offline")
     p.add_argument("--backend", type=str, default=None,
                    help="backend axis: comma list of registry names "
-                   "(e.g. closed_form,aspen,des)")
+                   "(e.g. closed_form,aspen,des,calibrated,learned)")
     p.add_argument("--scheduler", type=str, default=None,
                    help="scheduler axis: comma list of dispatch strategies "
                    "(static, work-stealing, size-aware); adds the simulated "

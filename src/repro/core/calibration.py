@@ -16,6 +16,7 @@ against the library's own CMR implementation:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import replace
 
@@ -81,10 +82,15 @@ def calibrate_embed_rate(
     Returns a copy of the model with ``embed_rate_scale`` set.
     """
     base = model or Stage1Model()
-    pairs = [(n, t) for n, t in measured.items() if n >= min_size and t > 0]
+    pairs = [
+        (n, t)
+        for n, t in measured.items()
+        if n >= min_size and math.isfinite(t) and t > 0
+    ]
     if not pairs:
         raise ValidationError(
-            f"no measured sizes >= {min_size} available for calibration"
+            f"no measured sizes >= {min_size} with positive finite timings "
+            "available for calibration"
         )
     log_ratios = []
     for n, t_measured in pairs:
@@ -93,8 +99,20 @@ def calibrate_embed_rate(
             continue
         # rate that would make the model match this measurement exactly
         log_ratios.append(np.log(ops / t_measured))
+    if not log_ratios:
+        # np.mean([]) would be NaN, silently poisoning embed_rate_scale.
+        raise ValidationError(
+            "calibration is degenerate: every usable measured size has a "
+            "non-positive model operation count (embedding_ops <= 0), so no "
+            "embedding rate can be fitted"
+        )
     rate = float(np.exp(np.mean(log_ratios)))
     scale = rate / base.host.flops_sp_simd
+    if not (math.isfinite(scale) and scale > 0):
+        raise ValidationError(
+            f"calibration produced a non-finite or non-positive "
+            f"embed_rate_scale ({scale!r}); check the measured timings"
+        )
     return replace(base, embed_rate_scale=scale)
 
 

@@ -20,6 +20,7 @@ asserts equality against the evaluator).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,7 +38,15 @@ _INPUT_ELEMENT_BYTES = 4.0  # single-precision values, as in the listing
 
 @dataclass(frozen=True)
 class Stage1Breakdown:
-    """Per-contribution seconds of one Stage-1 evaluation."""
+    """Per-contribution seconds of one Stage-1 evaluation.
+
+    Every field is in *seconds* — including ``embedding_flops``, whose name
+    is a historical misnomer: it stores the embedding *time*
+    (``embedding_ops / embed_rate``), not an operation count.  The field
+    name is frozen because it doubles as a stage-term identifier in study
+    artifacts and golden fixtures; prefer the honest
+    :attr:`embedding_seconds` alias in new code.
+    """
 
     ising_generation: float
     parameter_setting: float
@@ -46,6 +55,11 @@ class Stage1Breakdown:
     output_stores: float
     intracomm: float
     processor_initialize: float
+
+    @property
+    def embedding_seconds(self) -> float:
+        """Honest alias for ``embedding_flops`` (which stores seconds)."""
+        return self.embedding_flops
 
     @property
     def total(self) -> float:
@@ -83,6 +97,11 @@ class Stage1ArrayBreakdown:
     output_stores: np.ndarray
     intracomm: np.ndarray
     processor_initialize: np.ndarray
+
+    @property
+    def embedding_seconds(self) -> np.ndarray:
+        """Honest alias for ``embedding_flops`` (which stores seconds)."""
+        return self.embedding_flops
 
     @property
     def total(self) -> np.ndarray:
@@ -129,8 +148,11 @@ class Stage1Model:
     def __post_init__(self) -> None:
         if min(self.m, self.n, self.l) < 1:
             raise ValidationError("Chimera dimensions must be positive")
-        if self.embed_rate_scale <= 0:
-            raise ValidationError("embed_rate_scale must be positive")
+        if not (math.isfinite(self.embed_rate_scale) and self.embed_rate_scale > 0):
+            raise ValidationError(
+                f"embed_rate_scale must be positive and finite, "
+                f"got {self.embed_rate_scale!r}"
+            )
 
     # -- graph-size parameters (the listing's NG / EG / NH / EH) --------- #
     @property

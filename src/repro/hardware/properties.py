@@ -11,6 +11,7 @@ returning both the degraded model and a distortion report.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,8 +51,10 @@ class DeviceProperties:
 
     def __post_init__(self) -> None:
         for name, (lo, hi) in (("h_range", self.h_range), ("j_range", self.j_range)):
-            if not lo < hi:
-                raise HardwareError(f"{name} must satisfy lo < hi, got ({lo}, {hi})")
+            if not (math.isfinite(lo) and math.isfinite(hi) and lo < hi):
+                raise HardwareError(
+                    f"{name} must be a finite range with lo < hi, got ({lo}, {hi})"
+                )
         if self.precision_bits < 2:
             raise HardwareError(f"precision_bits must be >= 2, got {self.precision_bits}")
 

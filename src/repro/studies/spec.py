@@ -143,7 +143,13 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
     if name in ("lps", "sessions"):
         out = []
         for v in vals:
-            if isinstance(v, bool) or v != int(v):
+            try:
+                # int(nan) raises ValueError and int(inf) OverflowError —
+                # both must land as ValidationError, not leak to the caller.
+                is_integral = not isinstance(v, bool) and v == int(v)
+            except (TypeError, ValueError, OverflowError):
+                is_integral = False
+            if not is_integral:
                 raise ValidationError(f"{name} values must be integers, got {v!r}")
             if int(v) < 0:
                 raise ValidationError(f"{name} values must be non-negative, got {v}")
@@ -152,7 +158,12 @@ def _validate_axis(name: str, values: Sequence) -> tuple:
 
     out = []
     for v in vals:
-        fv = float(v)
+        try:
+            fv = float(v)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"axis {name!r} values must be numbers, got {v!r}"
+            ) from exc
         if not math.isfinite(fv):
             raise ValidationError(f"axis {name!r} values must be finite, got {v!r}")
         out.append(fv)

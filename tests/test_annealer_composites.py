@@ -1,0 +1,317 @@
+"""Tests for the dimod-style composed samplers.
+
+Differential philosophy: every composite must preserve the ``SampleSet``
+contract (sorted energies, honest multiplicities, energies evaluated on the
+*logical* model) and, where the composite is a pure transformation
+(truncation, variable fixing), agree exactly with the bare sampler plus the
+equivalent post-hoc transformation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealer import (
+    ComposedSampler,
+    DWaveDevice,
+    EmbeddingComposite,
+    ExactSolver,
+    FixedVariableComposite,
+    ParallelTemperingComposite,
+    SampleSet,
+    Sampler,
+    SimulatedAnnealingSampler,
+    TruncateComposite,
+    linear_schedule,
+)
+from repro.exceptions import SamplerError
+from repro.hardware import ChimeraTopology
+from repro.qubo import IsingModel, brute_force_ising, random_ising
+
+
+@pytest.fixture(scope="module")
+def small_device():
+    return DWaveDevice(topology=ChimeraTopology(3, 3, 4))
+
+
+@pytest.fixture()
+def model():
+    return IsingModel(
+        [0.5, -0.25, 0.1, 0.0],
+        {(0, 1): -1.0, (1, 2): 0.5, (2, 3): -0.75, (0, 3): 0.25},
+        0.125,
+    )
+
+
+def assert_sampleset_contract(ss: SampleSet, model: IsingModel) -> None:
+    assert np.all(np.diff(ss.energies) >= 0)
+    assert np.isin(ss.samples, (-1, 1)).all()
+    assert np.all(ss.num_occurrences >= 1)
+    assert np.allclose(ss.energies, model.energies(ss.samples))
+
+
+class TestComposedSamplerBase:
+    def test_child_must_be_sampler(self):
+        with pytest.raises(SamplerError, match="must be a Sampler"):
+            TruncateComposite(object(), k=2)
+
+    def test_unwrapped_walks_to_bare_sampler(self, small_device):
+        sa = SimulatedAnnealingSampler()
+        stack = TruncateComposite(
+            FixedVariableComposite(EmbeddingComposite(sa, device=small_device), {0: 1}),
+            k=3,
+        )
+        assert stack.unwrapped is sa
+        assert isinstance(stack.child, FixedVariableComposite)
+        assert stack.children == (stack.child,)
+
+    def test_is_sampler(self):
+        assert issubclass(ComposedSampler, Sampler)
+
+
+class TestTruncateComposite:
+    def test_differential_vs_bare_truncated(self, model):
+        """Same seed: composite output == bare output post-hoc truncated."""
+        sa = SimulatedAnnealingSampler()
+        bare = sa.sample(model, num_reads=20, rng=5)
+        composed = TruncateComposite(sa, k=4).sample(model, num_reads=20, rng=5)
+        expected = bare.truncated(4)
+        assert np.array_equal(composed.samples, expected.samples)
+        assert np.array_equal(composed.energies, expected.energies)
+        assert np.array_equal(composed.num_occurrences, expected.num_occurrences)
+
+    def test_passthrough_when_fewer_rows(self, model):
+        result = TruncateComposite(ExactSolver(), k=50).sample(model, num_reads=3)
+        assert result.num_rows == 3
+
+    def test_k_validation(self):
+        sa = SimulatedAnnealingSampler()
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(SamplerError, match="positive integer"):
+                TruncateComposite(sa, k=bad)
+
+    def test_contract(self, model):
+        ss = TruncateComposite(SimulatedAnnealingSampler(), k=5).sample(
+            model, num_reads=12, rng=0
+        )
+        assert_sampleset_contract(ss, model)
+        assert ss.num_rows == 5
+
+
+class TestFixedVariableComposite:
+    def test_differential_vs_restricted_enumeration(self, model):
+        """With ExactSolver: minimum == brute-force minimum over states
+        consistent with the fixed assignment."""
+        fixed = {1: -1}
+        composed = FixedVariableComposite(ExactSolver(), fixed)
+        result = composed.sample(model, num_reads=4)
+        states, energies = brute_force_ising(model, num_best=1 << 4)
+        mask = states[:, 1] == -1
+        assert result.lowest_energy == pytest.approx(energies[mask].min())
+        assert np.all(result.samples[:, 1] == -1)
+
+    def test_energies_are_original_model_energies(self, model):
+        result = FixedVariableComposite(SimulatedAnnealingSampler(), {0: 1}).sample(
+            model, num_reads=15, rng=2
+        )
+        assert_sampleset_contract(result, model)
+        assert np.all(result.samples[:, 0] == 1)
+        assert result.num_reads == 15
+
+    def test_empty_fixed_is_passthrough(self, model):
+        sa = SimulatedAnnealingSampler()
+        bare = sa.sample(model, num_reads=10, rng=9)
+        composed = FixedVariableComposite(sa, {}).sample(model, num_reads=10, rng=9)
+        assert np.array_equal(bare.samples, composed.samples)
+        assert np.array_equal(bare.energies, composed.energies)
+
+    def test_all_variables_fixed(self, model):
+        fixed = {0: 1, 1: 1, 2: -1, 3: -1}
+        result = FixedVariableComposite(ExactSolver(), fixed).sample(
+            model, num_reads=3
+        )
+        assert result.num_reads == 3
+        expected = model.energy([1, 1, -1, -1])
+        assert np.allclose(result.energies, expected)
+
+    def test_validation(self, model):
+        sa = SimulatedAnnealingSampler()
+        with pytest.raises(SamplerError, match="-1 or \\+1"):
+            FixedVariableComposite(sa, {0: 0})
+        with pytest.raises(SamplerError, match="ints"):
+            FixedVariableComposite(sa, {"a": 1})
+        with pytest.raises(SamplerError, match="out of range"):
+            FixedVariableComposite(sa, {99: 1}).sample(model, num_reads=2, rng=0)
+
+    def test_offset_and_coupling_folding(self):
+        """The reduced model's energies equal the original's on the slice."""
+        m = random_ising(6, density=0.8, rng=11)
+        comp = FixedVariableComposite(ExactSolver(), {2: 1, 4: -1})
+        reduced, free = comp._reduced_model(m)
+        assert free == [0, 1, 3, 5]
+        gen = np.random.default_rng(0)
+        for _ in range(10):
+            sub = (gen.integers(0, 2, size=reduced.num_spins) * 2 - 1).astype(np.int8)
+            full = np.empty(6, dtype=np.int8)
+            full[free] = sub
+            full[2], full[4] = 1, -1
+            assert reduced.energy(sub) == pytest.approx(m.energy(full))
+
+
+class TestEmbeddingComposite:
+    def test_finds_ground_state(self, model, small_device):
+        ex = ExactSolver()
+        ground = ex.ground_energy(model)
+        composed = EmbeddingComposite(SimulatedAnnealingSampler(), device=small_device)
+        result = composed.sample(model, num_reads=60, rng=3)
+        assert result.lowest_energy == pytest.approx(ground)
+        assert result.num_reads == 60
+        assert_sampleset_contract(result, model)
+
+    def test_logical_width_restored(self, model, small_device):
+        """Physical sampling happens on the device; logical columns return."""
+        composed = EmbeddingComposite(SimulatedAnnealingSampler(), device=small_device)
+        result = composed.sample(model, num_reads=5, rng=0)
+        assert result.num_spins == model.num_spins
+        assert small_device.num_working_qubits > model.num_spins
+
+    def test_precomputed_embedding(self, model, small_device):
+        embedding = small_device.embed(model, rng=7)
+        composed = EmbeddingComposite(SimulatedAnnealingSampler(), device=small_device)
+        result = composed.sample(model, num_reads=10, rng=1, embedding=embedding)
+        assert_sampleset_contract(result, model)
+
+    def test_chain_strength_validation(self, small_device):
+        sa = SimulatedAnnealingSampler()
+        with pytest.raises(SamplerError, match="chain_strength"):
+            EmbeddingComposite(sa, device=small_device, chain_strength=float("nan"))
+        with pytest.raises(SamplerError, match="chain_strength"):
+            EmbeddingComposite(sa, device=small_device, chain_strength=-1.0)
+
+
+class TestParallelTemperingComposite:
+    def test_finds_ground_state_frustrated(self, small_device):
+        m = random_ising(10, density=0.7, rng=21)
+        ground = ExactSolver().ground_energy(m)
+        pt = ParallelTemperingComposite(
+            SimulatedAnnealingSampler(linear_schedule(32)), num_replicas=4, rounds=3
+        )
+        result = pt.sample(m, num_reads=30, rng=17)
+        assert result.lowest_energy == pytest.approx(ground)
+        assert result.num_reads == 30
+        assert_sampleset_contract(result, m)
+
+    def test_at_least_as_good_as_single_weak_anneal(self):
+        """Same weak schedule, same total seed: PT's best <= bare SA's best."""
+        m = random_ising(12, density=0.6, rng=33)
+        weak = linear_schedule(16)
+        bare = SimulatedAnnealingSampler(weak).sample(m, num_reads=30, rng=5)
+        pt = ParallelTemperingComposite(
+            SimulatedAnnealingSampler(weak), num_replicas=4, rounds=3
+        )
+        tempered = pt.sample(m, num_reads=30, rng=5)
+        assert tempered.lowest_energy <= bare.lowest_energy + 1e-12
+
+    def test_deterministic_given_seed(self, model):
+        pt = ParallelTemperingComposite(SimulatedAnnealingSampler(), num_replicas=3)
+        a = pt.sample(model, num_reads=8, rng=42)
+        b = pt.sample(model, num_reads=8, rng=42)
+        assert np.array_equal(a.samples, b.samples)
+        assert np.array_equal(a.energies, b.energies)
+
+    def test_child_without_schedule_support_rejected(self, model):
+        pt = ParallelTemperingComposite(ExactSolver(), num_replicas=2, rounds=1)
+        with pytest.raises(SamplerError, match="unexpected options"):
+            pt.sample(model, num_reads=2, rng=0)
+
+    def test_parameter_validation(self):
+        sa = SimulatedAnnealingSampler()
+        with pytest.raises(SamplerError, match="num_replicas"):
+            ParallelTemperingComposite(sa, num_replicas=1)
+        with pytest.raises(SamplerError, match="rounds"):
+            ParallelTemperingComposite(sa, rounds=0)
+        with pytest.raises(SamplerError, match="hot_factor"):
+            ParallelTemperingComposite(sa, hot_factor=0.0)
+        with pytest.raises(SamplerError, match="hot_factor"):
+            ParallelTemperingComposite(sa, hot_factor=float("nan"))
+
+
+class TestStacking:
+    def test_three_deep_stack(self, model, small_device):
+        """The acceptance-criteria stack: truncate(fix(embed(sa)))."""
+        sa = SimulatedAnnealingSampler()
+        stack = TruncateComposite(
+            FixedVariableComposite(
+                EmbeddingComposite(sa, device=small_device), fixed={0: 1}
+            ),
+            k=5,
+        )
+        result = stack.sample(model, num_reads=40, rng=7)
+        assert result.num_rows <= 5
+        assert np.all(result.samples[:, 0] == 1)
+        assert_sampleset_contract(result, model)
+
+    def test_stack_differential_vs_bare(self, model, small_device):
+        """The stacked minimum matches brute force restricted to the fix."""
+        sa = SimulatedAnnealingSampler()
+        stack = TruncateComposite(
+            FixedVariableComposite(
+                EmbeddingComposite(sa, device=small_device), fixed={0: 1}
+            ),
+            k=5,
+        )
+        result = stack.sample(model, num_reads=60, rng=1)
+        states, energies = brute_force_ising(model, num_best=1 << 4)
+        restricted_min = energies[states[:, 0] == 1].min()
+        assert result.lowest_energy == pytest.approx(restricted_min)
+
+    def test_four_deep_with_pt(self, small_device):
+        m = random_ising(6, density=0.8, rng=2)
+        stack = TruncateComposite(
+            FixedVariableComposite(
+                ParallelTemperingComposite(
+                    SimulatedAnnealingSampler(linear_schedule(24)),
+                    num_replicas=3,
+                    rounds=2,
+                ),
+                fixed={1: -1},
+            ),
+            k=3,
+        )
+        result = stack.sample(m, num_reads=20, rng=3)
+        assert result.num_rows <= 3
+        assert np.all(result.samples[:, 1] == -1)
+        assert_sampleset_contract(result, m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=7),
+    k=st.integers(min_value=1, max_value=6),
+    fix_var=st.integers(min_value=0, max_value=6),
+    fix_spin=st.sampled_from((-1, 1)),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_stacking_order(n, k, fix_var, fix_spin, seed):
+    """On random small models, truncation commutes with the stack below it:
+    ``Truncate(FixedVar(exact), k)`` equals fixing then post-hoc truncating,
+    and nested truncations collapse to the tighter one."""
+    fix_var %= n
+    m = random_ising(n, density=0.7, rng=seed)
+    ex = ExactSolver()
+    fixed = {fix_var: fix_spin}
+
+    inner = FixedVariableComposite(ex, fixed)
+    stacked = TruncateComposite(inner, k=k).sample(m, num_reads=6)
+    posthoc = inner.sample(m, num_reads=6).truncated(min(k, 6))
+    assert np.array_equal(stacked.samples, posthoc.samples)
+    assert np.array_equal(stacked.energies, posthoc.energies)
+
+    nested = TruncateComposite(TruncateComposite(inner, k=k), k=k + 2).sample(
+        m, num_reads=6
+    )
+    flat = TruncateComposite(inner, k=min(k, k + 2)).sample(m, num_reads=6)
+    assert np.array_equal(nested.energies, flat.energies)

@@ -49,9 +49,24 @@ class TestExactSolver:
             ExactSolver().sample(random_ising(3, rng=0), schedule=None)
 
     def test_deterministic_perfect_annealer(self):
-        """ExactSolver is the p_s = 1 reference device for Eq. 6 validation."""
+        """ExactSolver always includes the ground state in the ensemble."""
         m = random_ising(7, rng=3)
         ss = ExactSolver().sample(m, num_reads=3)
         ground = ss.lowest_energy
         assert ss.ground_state_probability(ground) > 0.0
         assert ss.energies[0] == pytest.approx(ground)
+
+    def test_ground_state_probability_is_one_over_num_reads(self):
+        """Interplay pin: the reads are *distinct* states with multiplicity
+        1, so a unique ground state yields p_s = 1/num_reads — NOT 1, which
+        the docstring used to (wrongly) claim."""
+        m = IsingModel([1.0, 2.0], {})  # unique ground (-1, -1), distinct energies
+        ground = ExactSolver().ground_energy(m)
+        for num_reads in (1, 2, 4):
+            ss = ExactSolver().sample(m, num_reads=num_reads)
+            assert ss.ground_state_probability(ground) == pytest.approx(1 / num_reads)
+        # Degenerate ground states count once each: g / num_reads.
+        ferro = IsingModel([0.0, 0.0], {(0, 1): -1.0})  # two ground states
+        ground = ExactSolver().ground_energy(ferro)
+        ss = ExactSolver().sample(ferro, num_reads=4)
+        assert ss.ground_state_probability(ground) == pytest.approx(2 / 4)

@@ -124,3 +124,32 @@ def test_property_descent_monotone_and_idempotent(n, k, seed):
     twice = greedy_descent(m, once)
     assert np.all(m.energies(once) <= m.energies(S) + 1e-12)
     assert np.array_equal(once, twice)  # local minima are fixed points
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    k=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_refine_sampleset_invariants(n, k, seed):
+    """refine_sampleset never raises an energy, keeps reads, is idempotent."""
+    gen = np.random.default_rng(seed)
+    m = random_ising(n, density=0.7, rng=seed)
+    S = (gen.integers(0, 2, size=(k, n)) * 2 - 1).astype(np.int8)
+    occ = gen.integers(1, 4, size=k).astype(np.int64)
+    e = m.energies(S)
+    order = np.argsort(e, kind="heapsort")
+    raw = SampleSet(S[order], e[order], occ[order])
+
+    refined = refine_sampleset(m, raw)
+    # Descent lowers every sample's energy pointwise; both ensembles are
+    # sorted ascending, so the sorted arrays compare pointwise too.
+    assert np.all(refined.energies <= raw.energies + 1e-12)
+    assert refined.num_reads == raw.num_reads
+    assert np.all(np.diff(refined.energies) >= 0)
+    # Every refined sample sits at a local minimum, so refining again is a
+    # no-op (idempotence at local minima).
+    again = refine_sampleset(m, refined)
+    assert np.array_equal(again.energies, refined.energies)
+    assert again.num_reads == refined.num_reads

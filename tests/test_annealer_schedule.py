@@ -73,3 +73,34 @@ class TestStretch:
     def test_bad_factor(self):
         with pytest.raises(ValidationError):
             linear_schedule(3).stretched(0.0)
+
+    def test_nonfinite_factor_rejected(self):
+        """Regression: NaN passed the `factor <= 0` guard unnoticed."""
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValidationError, match="finite"):
+                linear_schedule(3).stretched(bad)
+
+
+class TestNonFiniteBetas:
+    """Regression: `np.any(b < 0)` and `np.any(np.diff(b) < 0)` are both
+    False for NaN arrays, so NaN betas used to construct successfully."""
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            AnnealSchedule(np.array([0.1, float("nan"), 1.0]))
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            AnnealSchedule(np.full(4, np.nan))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            AnnealSchedule(np.array([0.1, np.inf]))
+
+    def test_nonfinite_factory_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            linear_schedule(5, float("nan"), 1.0)
+        with pytest.raises(ValidationError):
+            geometric_schedule(5, 0.1, float("nan"))
+        with pytest.raises(ValidationError):
+            linear_schedule(5, 0.1, float("inf"))

@@ -1,0 +1,221 @@
+"""Tests specific to the measurement-fitted backends (calibrated / learned).
+
+The registry-parametrized differential suite (test_backend_differential.py)
+already holds both to their declared envelopes and to the sweep ==
+evaluate-loop contract; this module pins what is specific to them: the
+frozen-table replay, the Fig.-9(a) envelope shape, fit determinism, the
+training-data hygiene guards, and capability gating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import full_point
+from repro.backends.calibrated import (
+    REFERENCE_CMR_TIMINGS_S,
+    CalibratedBackend,
+    calibrated_stage1,
+)
+from repro.backends.learned import (
+    TRAINING_SWEEP_ROWS,
+    LearnedBackend,
+    fit_stage_constants,
+)
+from repro.core.calibration import model_measured_ratios
+from repro.core.stage1 import Stage1Model
+from repro.exceptions import ValidationError
+
+
+class TestRegistry:
+    def test_both_registered(self):
+        names = backends.available_backends()
+        assert "calibrated" in names
+        assert "learned" in names
+
+    def test_capability_envelopes_declared(self):
+        cal = backends.capabilities("calibrated")
+        lrn = backends.capabilities("learned")
+        # Fig. 9(a): factor of 4 <=> rtol = 3 (|x - ref| <= 3 ref).
+        assert cal.rtol == 3.0
+        assert lrn.rtol > cal.rtol  # learned declares the wider envelope
+        assert "lps" in cal.supported_axes and "lps" in lrn.supported_axes
+        assert "embedding_mode" in cal.supported_axes
+        assert "embedding_mode" not in lrn.supported_axes
+
+
+class TestCalibratedBackend:
+    def test_replayed_fit_matches_direct_calibration(self):
+        backend = backends.get("calibrated")
+        expected = calibrated_stage1().embed_rate_scale
+        assert backend.embed_rate_scale == expected
+        assert np.isfinite(backend.embed_rate_scale)
+        assert backend.embed_rate_scale > 0
+
+    def test_fig9a_envelope_shape(self):
+        """The fitted model tracks the frozen measurements within a factor
+        of 4 at n >= 10; the raw model overestimates below n = 10."""
+        fitted = calibrated_stage1()
+        ratios = model_measured_ratios(REFERENCE_CMR_TIMINGS_S, fitted)
+        for n, r in ratios.items():
+            if n >= 10:
+                assert 0.25 <= r <= 4.0, (n, r)
+        raw = model_measured_ratios(REFERENCE_CMR_TIMINGS_S, Stage1Model())
+        for n, r in raw.items():
+            if n < 10:
+                assert r > 4.0, (n, r)
+
+    def test_stages_2_and_3_untouched(self):
+        """Calibration moves only the Stage-1 embedding term."""
+        cal = backends.get("calibrated")
+        ref = backends.get("closed_form")
+        for lps in (0, 10, 50, 100):
+            point = full_point(lps=lps)
+            a, b = cal.evaluate(point), ref.evaluate(point)
+            assert a.stage2_s == b.stage2_s
+            assert a.stage3_s == b.stage3_s
+            assert a.repetitions == b.repetitions
+
+    def test_stage1_within_declared_envelope(self):
+        cal = backends.get("calibrated")
+        ref = backends.get("closed_form")
+        for lps in (20, 50, 100):
+            point = full_point(lps=lps)
+            s1, s1_ref = cal.evaluate(point).stage1_s, ref.evaluate(point).stage1_s
+            assert s1_ref / 4.0 <= s1 <= 4.0 * s1_ref
+            # Calibration shrinks the raw overestimate, never inflates it.
+            assert s1 < s1_ref
+
+    def test_offline_mode_identical_to_reference(self):
+        """Offline embedding bypasses the calibrated rate entirely."""
+        cal = backends.get("calibrated")
+        ref = backends.get("closed_form")
+        point = full_point(lps=50, embedding_mode="offline")
+        a, b = cal.evaluate(point), ref.evaluate(point)
+        assert a.stage1_s == b.stage1_s
+        assert a.stage2_s == b.stage2_s
+
+    def test_machine_axes_gated(self):
+        cal = backends.get("calibrated")
+        with pytest.raises(ValidationError, match="not supported"):
+            cal.evaluate(full_point(lps=10, clock_hz=3.2e9))
+        with pytest.raises(ValidationError, match="not supported"):
+            cal.sweep(full_point(anneal_us=40.0), [1, 2])
+
+    def test_deterministic_across_instances(self):
+        a, b = CalibratedBackend(), CalibratedBackend()
+        assert a.embed_rate_scale == b.embed_rate_scale
+        pa = a.evaluate(full_point(lps=37))
+        pb = b.evaluate(full_point(lps=37))
+        assert pa == pb
+
+
+class TestLearnedBackend:
+    def test_fitted_constants_reasonable(self):
+        a1, a2, a3 = backends.get("learned").stage_constants
+        for a in (a1, a2, a3):
+            assert np.isfinite(a) and a > 0
+        # The frozen training sweep encodes mild systematic bias per stage;
+        # the fit should land well inside the declared envelope.
+        for a in (a1, a2, a3):
+            assert 0.25 < a < 4.0
+
+    def test_prediction_is_alpha_times_reference(self):
+        lrn = backends.get("learned")
+        ref = backends.get("closed_form")
+        a1, a2, a3 = lrn.stage_constants
+        for lps in (0, 5, 50, 100):
+            point = full_point(lps=lps)
+            got, base = lrn.evaluate(point), ref.evaluate(point)
+            assert got.stage1_s == a1 * base.stage1_s
+            assert got.stage2_s == a2 * base.stage2_s
+            assert got.stage3_s == a3 * base.stage3_s
+            assert got.repetitions == base.repetitions
+
+    def test_training_region_agreement(self):
+        """Inside the training region the fit tracks closely — far tighter
+        than the declared extrapolation envelope."""
+        lrn = backends.get("learned")
+        ref = backends.get("closed_form")
+        for lps, accuracy, success, *_ in TRAINING_SWEEP_ROWS:
+            point = full_point(lps=lps, accuracy=accuracy, success=success)
+            got, base = lrn.evaluate(point), ref.evaluate(point)
+            assert got.total_seconds == pytest.approx(base.total_seconds, rel=1.0)
+
+    def test_axes_gated(self):
+        lrn = backends.get("learned")
+        with pytest.raises(ValidationError, match="not supported"):
+            lrn.evaluate(full_point(lps=10, embedding_mode="offline"))
+
+    def test_deterministic_across_instances(self):
+        a, b = LearnedBackend(), LearnedBackend()
+        assert a.stage_constants == b.stage_constants
+
+
+class TestFitStageConstants:
+    def test_nan_measured_rejected(self):
+        rows = [(10, 0.99, 0.7, float("nan"), 1e-4, 1e-8)]
+        with pytest.raises(ValidationError, match="positive and finite"):
+            fit_stage_constants(rows)
+
+    def test_nonpositive_measured_rejected(self):
+        rows = [(10, 0.99, 0.7, 1.0, 0.0, 1e-8)]
+        with pytest.raises(ValidationError, match="positive and finite"):
+            fit_stage_constants(rows)
+
+    def test_inf_measured_rejected(self):
+        rows = [(10, 0.99, 0.7, 1.0, 1e-4, float("inf"))]
+        with pytest.raises(ValidationError, match="positive and finite"):
+            fit_stage_constants(rows)
+
+    def test_wrong_row_width_rejected(self):
+        with pytest.raises(ValidationError, match="3 measured stage columns"):
+            fit_stage_constants([(10, 0.99, 0.7, 1.0, 1e-4)])
+
+    def test_recovers_known_constants(self):
+        """Training rows that ARE alpha * closed form fit alpha exactly."""
+        from repro.core.pipeline import SplitExecutionModel
+
+        model = SplitExecutionModel()
+        alphas = (0.5, 2.0, 1.25)
+        rows = []
+        for lps in (10, 40, 80):
+            t = model.time_to_solution(lps, 0.99, 0.7)
+            rows.append(
+                (
+                    lps,
+                    0.99,
+                    0.7,
+                    alphas[0] * t.stage1_seconds,
+                    alphas[1] * t.stage2_seconds,
+                    alphas[2] * t.stage3_seconds,
+                )
+            )
+        fitted = fit_stage_constants(rows, model)
+        assert fitted == pytest.approx(alphas, rel=1e-12)
+
+
+class TestStudyIntegration:
+    def test_five_backend_study_within_tolerance(self):
+        from repro.studies import ScenarioSpec, run_study
+
+        spec = ScenarioSpec(
+            axes={
+                "backend": ["closed_form", "calibrated", "learned"],
+                "lps": [1, 20, 60],
+                "success": [0.61, 0.7],
+            },
+            name="fitted-backends",
+        )
+        results = run_study(spec)
+        assert results.backends_within_tolerance() == {
+            "calibrated": True,
+            "learned": True,
+        }
+        reference = results.column("repetitions")[results.backend_rows("closed_form")]
+        for name in ("calibrated", "learned"):
+            assert np.array_equal(
+                results.column("repetitions")[results.backend_rows(name)], reference
+            )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -64,6 +65,29 @@ class TestCalibrate:
     def test_no_usable_sizes(self):
         with pytest.raises(ValidationError):
             calibrate_embed_rate({5: 1.0}, min_size=10)
+
+    def test_zero_op_count_sizes_raise(self):
+        """Regression: sizes whose model op count is zero (n <= 1) used to
+        leave the fit empty, and `np.mean([])` poisoned the model with a
+        NaN embed_rate_scale instead of raising."""
+        with pytest.raises(ValidationError, match="degenerate"):
+            calibrate_embed_rate({0: 0.5, 1: 0.5}, min_size=0)
+
+    def test_nan_measured_timings_excluded(self):
+        """NaN timings are dropped like non-positive ones; all-NaN raises."""
+        with pytest.raises(ValidationError, match="positive finite"):
+            calibrate_embed_rate({12: float("nan"), 16: float("nan")})
+        # A NaN row alongside good rows must not poison the fit.
+        base = Stage1Model()
+        rate = base.host.flops_sp_simd
+        good = {n: base.embedding_ops(n) / rate for n in (12, 16)}
+        fitted = calibrate_embed_rate({**good, 20: float("nan")})
+        assert np.isfinite(fitted.embed_rate_scale)
+        assert fitted.embed_rate_scale == pytest.approx(1.0, rel=1e-9)
+
+    def test_inf_measured_timings_excluded(self):
+        with pytest.raises(ValidationError, match="positive finite"):
+            calibrate_embed_rate({12: float("inf")})
 
 
 class TestRatios:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -92,6 +93,24 @@ class TestStage1:
             Stage1Model(embed_rate_scale=0.0)
         with pytest.raises(ValidationError):
             Stage1Model(m=0)
+
+    def test_nonfinite_embed_rate_scale_rejected(self):
+        """Regression: `nan <= 0` is False, so NaN slipped past the guard."""
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValidationError, match="finite"):
+                Stage1Model(embed_rate_scale=bad)
+
+    def test_embedding_seconds_alias(self):
+        """`embedding_flops` stores seconds (frozen misnomer); the alias
+        exposes the honest name on both scalar and array breakdowns."""
+        m = Stage1Model()
+        b = m.breakdown(30)
+        assert b.embedding_seconds == b.embedding_flops
+        arrays = m.breakdown_arrays(np.array([1, 10, 30], dtype=np.int64))
+        assert np.array_equal(arrays.embedding_seconds, arrays.embedding_flops)
+        # And it is truly ops / rate, i.e. a duration.
+        rate = m.host.flops_sp_simd * m.embed_rate_scale
+        assert b.embedding_seconds == m.embedding_ops(30) / rate
 
 
 class TestStage2:

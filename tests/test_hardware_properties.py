@@ -116,6 +116,16 @@ class TestProgramIsing:
         with pytest.raises(HardwareError):
             DeviceProperties(h_range=(1.0, -1.0))
 
+    def test_nonfinite_range_guard(self):
+        """Regression: `nan < hi` is False (caught), but (-inf, inf) passed
+        the `lo < hi` check; ranges must be finite."""
+        with pytest.raises(HardwareError, match="finite"):
+            DeviceProperties(h_range=(float("-inf"), float("inf")))
+        with pytest.raises(HardwareError, match="finite"):
+            DeviceProperties(j_range=(-1.0, float("inf")))
+        with pytest.raises(HardwareError, match="finite"):
+            DeviceProperties(h_range=(float("nan"), 1.0))
+
     def test_high_precision_small_distortion(self):
         m = random_ising(6, rng=7)
         _, low = program_ising(m, DeviceProperties(precision_bits=4))

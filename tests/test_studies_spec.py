@@ -50,6 +50,25 @@ class TestAxisValidation:
         with pytest.raises(ValidationError, match="finite"):
             Axis("anneal_us", (float("inf"),))
 
+    def test_nonfinite_integer_axis_values_rejected(self):
+        """Regression: `int(nan)` raises ValueError and `int(inf)` raises
+        OverflowError — both used to escape as raw exceptions instead of
+        ValidationError."""
+        with pytest.raises(ValidationError, match="integers"):
+            Axis("lps", (float("nan"),))
+        with pytest.raises(ValidationError, match="integers"):
+            Axis("lps", (float("inf"),))
+        with pytest.raises(ValidationError, match="integers"):
+            Axis("sessions", (float("nan"),))
+        with pytest.raises(ValidationError, match="integers"):
+            Axis("sessions", (1, float("-inf")))
+
+    def test_non_numeric_float_axis_values_rejected(self):
+        with pytest.raises(ValidationError, match="numbers"):
+            Axis("accuracy", ("high",))
+        with pytest.raises(ValidationError, match="numbers"):
+            Axis("clock_hz", (None,))
+
 
 class TestGridGeometry:
     def test_defaults_fill_absent_axes(self):
